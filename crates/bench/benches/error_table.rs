@@ -1,0 +1,23 @@
+//! §5.3 error-table bench: regenerates the LoPC/LogP error analysis and
+//! times the worst-case (`W = 0`) model solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lopc_bench::params::fig5_machine;
+use lopc_bench::run_experiment;
+use lopc_core::AllToAll;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let result = run_experiment("tab5_err", true).unwrap();
+    println!("\n[tab5_err] {}", result.notes.join("\n[tab5_err] "));
+
+    let mut g = c.benchmark_group("tab5_err");
+    g.bench_function("worst_case_w0_solve", |b| {
+        let model = AllToAll::new(fig5_machine(), 0.0);
+        b.iter(|| black_box(model.solve().unwrap().contention))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 5-1 bench: regenerates the contention-vs-C² figure and times the
+//! model sweep that produces it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lopc_bench::experiments::fig5_1::contention_fraction;
+use lopc_bench::run_experiment;
+use lopc_core::Machine;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let result = run_experiment("fig5_1", true).unwrap();
+    println!("\n[fig5_1] {}", result.notes.join("\n[fig5_1] "));
+
+    let mut g = c.benchmark_group("fig5_1");
+    g.bench_function("model_sweep_4x41", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &so in &[128.0, 256.0, 512.0, 1024.0] {
+                for i in 0..=40 {
+                    let c2 = i as f64 * 0.05;
+                    let m = Machine::new(32, 25.0, so).with_c2(c2);
+                    acc += contention_fraction(black_box(m), 1000.0);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

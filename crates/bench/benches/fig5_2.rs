@@ -1,0 +1,31 @@
+//! Figure 5-2 bench: regenerates the response-time-vs-W figure (model,
+//! bounds, simulator) and times both the model solve and one simulator run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lopc_bench::params::fig5_machine;
+use lopc_bench::run_experiment;
+use lopc_core::AllToAll;
+use lopc_sim::run;
+use lopc_workloads::{AllToAllWorkload, Window};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let result = run_experiment("fig5_2", true).unwrap();
+    println!("\n[fig5_2] {}", result.notes.join("\n[fig5_2] "));
+
+    let mut g = c.benchmark_group("fig5_2");
+    g.bench_function("model_solve_w512", |b| {
+        let model = AllToAll::new(fig5_machine(), 512.0);
+        b.iter(|| black_box(model.solve().unwrap().r))
+    });
+    g.sample_size(10);
+    g.bench_function("sim_run_w512_quick_window", |b| {
+        let wl = AllToAllWorkload::new(fig5_machine(), 512.0).with_window(Window::quick());
+        let cfg = wl.sim_config(1);
+        b.iter(|| black_box(run(&cfg).unwrap().aggregate.mean_r))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 5-3 bench: regenerates the contention-components figure and times
+//! the per-point decomposition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lopc_bench::params::fig5_machine;
+use lopc_bench::run_experiment;
+use lopc_core::AllToAll;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let result = run_experiment("fig5_3", true).unwrap();
+    println!("\n[fig5_3] {}", result.notes.join("\n[fig5_3] "));
+
+    let mut g = c.benchmark_group("fig5_3");
+    g.bench_function("decomposition_grid_11", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &w in &[
+                2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0,
+            ] {
+                let sol = AllToAll::new(fig5_machine(), black_box(w)).solve().unwrap();
+                acc += (sol.rw - w) + (sol.rq - 200.0) + (sol.ry - 200.0);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

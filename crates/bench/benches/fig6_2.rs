@@ -1,0 +1,39 @@
+//! Figure 6-2 bench: regenerates the work-pile throughput figure and times
+//! the model sweep plus one simulator run at the optimum.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lopc_bench::params::{fig6_machine, W_FIG6};
+use lopc_bench::run_experiment;
+use lopc_core::ClientServer;
+use lopc_sim::run;
+use lopc_workloads::{Window, Workpile};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let result = run_experiment("fig6_2", true).unwrap();
+    println!("\n[fig6_2] {}", result.notes.join("\n[fig6_2] "));
+
+    let model = ClientServer::new(fig6_machine(), W_FIG6);
+    let opt = model.optimal_servers().unwrap();
+
+    let mut g = c.benchmark_group("fig6_2");
+    g.bench_function("model_sweep_31_splits", |b| {
+        b.iter(|| {
+            let pts = model.sweep().unwrap();
+            black_box(pts.len())
+        })
+    });
+    g.bench_function("closed_form_optimum", |b| {
+        b.iter(|| black_box(model.optimal_servers().unwrap()))
+    });
+    g.sample_size(10);
+    g.bench_function("sim_run_at_optimum", |b| {
+        let wl = Workpile::new(fig6_machine(), W_FIG6, opt).with_window(Window::quick());
+        let cfg = wl.sim_config(9);
+        b.iter(|| black_box(run(&cfg).unwrap().aggregate.throughput))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

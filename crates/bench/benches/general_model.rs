@@ -1,0 +1,34 @@
+//! Appendix A bench: regenerates the multi-hop/hotspot study and times the
+//! general AMVA solver at several scales.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lopc_bench::run_experiment;
+use lopc_core::{GeneralModel, Machine};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let result = run_experiment("general", true).unwrap();
+    println!("\n[general] {}", result.notes.join("\n[general] "));
+
+    let mut g = c.benchmark_group("general_model");
+    for &p in &[8usize, 32, 128] {
+        let machine = Machine::new(p, 25.0, 150.0).with_c2(0.0);
+        g.bench_function(format!("homogeneous_solve_p{p}"), |b| {
+            b.iter(|| {
+                let m = GeneralModel::homogeneous_all_to_all(black_box(machine), 800.0);
+                black_box(m.solve().unwrap().iterations)
+            })
+        });
+    }
+    let machine = Machine::new(32, 25.0, 150.0).with_c2(0.0);
+    g.bench_function("multi_hop3_solve_p32", |b| {
+        b.iter(|| {
+            let m = GeneralModel::multi_hop(black_box(machine), 800.0, 3);
+            black_box(m.solve().unwrap().r[0])
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

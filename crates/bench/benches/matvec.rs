@@ -1,0 +1,34 @@
+//! §3 matvec bench: regenerates the worked-example table and times the
+//! characterisation + prediction and a small end-to-end simulated multiply.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lopc_bench::run_experiment;
+use lopc_core::Machine;
+use lopc_sim::run;
+use lopc_workloads::MatVec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let result = run_experiment("matvec", true).unwrap();
+    println!("\n[matvec] {}", result.notes.join("\n[matvec] "));
+
+    let machine = Machine::new(8, 25.0, 200.0).with_c2(0.0);
+
+    let mut g = c.benchmark_group("matvec");
+    g.bench_function("characterise_and_predict_n512", |b| {
+        b.iter(|| {
+            let mv = MatVec::new(black_box(512), machine, 4.0);
+            black_box(mv.predicted_runtime().unwrap())
+        })
+    });
+    g.sample_size(10);
+    g.bench_function("simulate_full_multiply_n128", |b| {
+        let mv = MatVec::new(128, machine, 4.0);
+        let cfg = mv.sim_config(3);
+        b.iter(|| black_box(run(&cfg).unwrap().makespan))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

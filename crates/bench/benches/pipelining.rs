@@ -1,0 +1,32 @@
+//! Fork-join extension bench: regenerates the fan-out study and times the
+//! extension model solve plus one fan-out simulator run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lopc_bench::run_experiment;
+use lopc_core::{ForkJoin, Machine};
+use lopc_sim::run;
+use lopc_workloads::{BulkSync, Window};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let result = run_experiment("pipelining", true).unwrap();
+    println!("\n[pipelining] {}", result.notes.join("\n[pipelining] "));
+
+    let machine = Machine::new(32, 25.0, 200.0).with_c2(0.0);
+
+    let mut g = c.benchmark_group("pipelining");
+    g.bench_function("fork_join_solve_k4", |b| {
+        let model = ForkJoin::new(machine, 2000.0, 4);
+        b.iter(|| black_box(model.solve().unwrap().r))
+    });
+    g.sample_size(10);
+    g.bench_function("sim_run_k4_quick_window", |b| {
+        let wl = BulkSync::new(machine, 2000.0, 4).with_window(Window::quick());
+        let cfg = wl.sim_config(1);
+        b.iter(|| black_box(run(&cfg).unwrap().aggregate.mean_r))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Rule-of-thumb bench: regenerates the §5.3 bounds/rule-of-thumb grid and
+//! times the 45-point validation sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lopc_bench::experiments::rule_of_thumb::grid;
+use lopc_bench::run_experiment;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let result = run_experiment("rule_of_thumb", true).unwrap();
+    println!("\n[rule_of_thumb] {}", result.notes.join("\n[rule_of_thumb] "));
+
+    let mut g = c.benchmark_group("rule_of_thumb");
+    g.bench_function("bounds_grid_45_points", |b| {
+        b.iter(|| black_box(grid().len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

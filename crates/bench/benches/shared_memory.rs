@@ -1,0 +1,33 @@
+//! §5.1 shared-memory bench: regenerates the protocol-processor study and
+//! times the two model variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lopc_bench::run_experiment;
+use lopc_core::{GeneralModel, Machine};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let result = run_experiment("shared_mem", true).unwrap();
+    println!("\n[shared_mem] {}", result.notes.join("\n[shared_mem] "));
+
+    let machine = Machine::new(32, 25.0, 200.0).with_c2(0.0);
+
+    let mut g = c.benchmark_group("shared_mem");
+    g.bench_function("message_passing_solve", |b| {
+        b.iter(|| {
+            let m = GeneralModel::homogeneous_all_to_all(black_box(machine), 800.0);
+            black_box(m.solve().unwrap().r[0])
+        })
+    });
+    g.bench_function("protocol_processor_solve", |b| {
+        b.iter(|| {
+            let m = GeneralModel::homogeneous_all_to_all(black_box(machine), 800.0)
+                .with_protocol_processor();
+            black_box(m.solve().unwrap().r[0])
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Simulator performance bench: event throughput of the discrete-event
+//! engine across machine sizes, plus the parallel-replication speedup path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lopc_bench::params::fig5_machine;
+use lopc_core::Machine;
+use lopc_sim::{run, run_replications};
+use lopc_workloads::{AllToAllWorkload, Window};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Report raw event throughput once.
+    let wl = AllToAllWorkload::new(fig5_machine(), 512.0).with_window(Window::quick());
+    let report = run(&wl.sim_config(1)).unwrap();
+    println!(
+        "[sim_perf] one quick-window run: {} events, {} cycles",
+        report.events, report.aggregate.total_cycles
+    );
+
+    let mut g = c.benchmark_group("sim_perf");
+    for &p in &[8usize, 32, 128] {
+        let machine = Machine::new(p, 25.0, 200.0).with_c2(0.0);
+        let wl = AllToAllWorkload::new(machine, 512.0).with_window(Window::quick());
+        let cfg = wl.sim_config(5);
+        let events = run(&cfg).unwrap().events;
+        g.throughput(Throughput::Elements(events));
+        g.sample_size(10);
+        g.bench_function(format!("all_to_all_p{p}"), |b| {
+            b.iter(|| black_box(run(&cfg).unwrap().events))
+        });
+    }
+    g.sample_size(10);
+    g.bench_function("four_parallel_replications_p32", |b| {
+        let cfg = wl.sim_config(5);
+        b.iter(|| black_box(run_replications(&cfg, 4).unwrap().reports.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

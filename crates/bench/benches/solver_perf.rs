@@ -1,0 +1,76 @@
+//! Solver strategy bench: bisection vs secant vs damped fixed-point on the
+//! §5.3 `F[R] = R` equation (the quartic the thesis solves numerically).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lopc_bench::params::fig5_machine;
+use lopc_core::AllToAll;
+use lopc_solver::{bisect, secant, solve_damped, FixedPointOptions};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = AllToAll::new(fig5_machine(), 512.0);
+    let lo = model.contention_free();
+    let hi = model.upper_bound();
+
+    // Correctness cross-check before timing: all three agree.
+    let r_bis = bisect(|r| model.eval_f(r) - r, lo, hi + 1.0, 1e-10, 200)
+        .unwrap()
+        .x;
+    let r_sec = secant(|r| model.eval_f(r) - r, lo + 1.0, hi, 1e-9, 100)
+        .unwrap()
+        .x;
+    let r_fp = solve_damped(
+        vec![lo + 1.0],
+        |x, out| out[0] = model.eval_f(x[0]),
+        &FixedPointOptions {
+            damping: 0.5,
+            tol: 1e-12,
+            max_iter: 100_000,
+        },
+    )
+    .unwrap()
+    .x[0];
+    println!("[solver_perf] bisection {r_bis:.6} / secant {r_sec:.6} / fixed-point {r_fp:.6}");
+    assert!((r_bis - r_sec).abs() < 1e-4 && (r_bis - r_fp).abs() < 1e-4);
+
+    let mut g = c.benchmark_group("solver_perf");
+    g.bench_function("bisection", |b| {
+        b.iter(|| {
+            black_box(
+                bisect(|r| model.eval_f(r) - r, black_box(lo), hi + 1.0, 1e-10, 200)
+                    .unwrap()
+                    .x,
+            )
+        })
+    });
+    g.bench_function("secant", |b| {
+        b.iter(|| {
+            black_box(
+                secant(|r| model.eval_f(r) - r, black_box(lo) + 1.0, hi, 1e-9, 100)
+                    .unwrap()
+                    .x,
+            )
+        })
+    });
+    g.bench_function("damped_fixed_point", |b| {
+        b.iter(|| {
+            black_box(
+                solve_damped(
+                    vec![black_box(lo) + 1.0],
+                    |x, out| out[0] = model.eval_f(x[0]),
+                    &FixedPointOptions {
+                        damping: 0.5,
+                        tol: 1e-12,
+                        max_iter: 100_000,
+                    },
+                )
+                .unwrap()
+                .x[0],
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

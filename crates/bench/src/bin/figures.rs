@@ -1,0 +1,92 @@
+//! Regenerate every table and figure of the LoPC thesis.
+//!
+//! ```text
+//! figures [--exp <id>] [--quick] [--out <dir>]
+//! ```
+//!
+//! Renders ASCII charts and comparison tables to stdout and writes each
+//! figure's data as CSV under `--out` (default `target/figures`). With no
+//! `--exp`, all experiments run. `--quick` shrinks simulation windows (used
+//! by the smoke tests).
+
+use lopc_bench::{run_experiment, ALL_EXPERIMENTS};
+use lopc_report::{render_chart, write_csv, ChartOptions};
+use std::path::PathBuf;
+
+fn main() {
+    let mut exps: Vec<String> = Vec::new();
+    let mut quick = false;
+    let mut out = PathBuf::from("target/figures");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--exp" => {
+                let id = args.next().unwrap_or_else(|| usage("missing id after --exp"));
+                exps.push(id);
+            }
+            "--quick" => quick = true,
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| usage("missing dir after --out")));
+            }
+            "--list" => {
+                for e in ALL_EXPERIMENTS {
+                    println!("{e}");
+                }
+                return;
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    if exps.is_empty() {
+        exps = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    for id in &exps {
+        let Some(result) = run_experiment(id, quick) else {
+            eprintln!("unknown experiment: {id} (try --list)");
+            std::process::exit(2);
+        };
+        println!("\n================================================================");
+        println!("experiment: {}", result.name);
+        println!("================================================================");
+        for fig in &result.figures {
+            println!("\n{}", render_chart(fig, &ChartOptions::default()));
+            let path = out.join(format!("{}_{}.csv", result.name, slug(&fig.title)));
+            match write_csv(fig, &path) {
+                Ok(()) => println!("  [csv] {}", path.display()),
+                Err(e) => eprintln!("  [csv] failed to write {}: {e}", path.display()),
+            }
+        }
+        for table in &result.tables {
+            println!("\n{}", table.render());
+        }
+        if !result.notes.is_empty() {
+            println!("\nheadlines:");
+            for n in &result.notes {
+                println!("  - {n}");
+            }
+        }
+    }
+}
+
+fn slug(title: &str) -> String {
+    title
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect::<String>()
+        .split('_')
+        .filter(|s| !s.is_empty())
+        .take(6)
+        .collect::<Vec<_>>()
+        .join("_")
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: figures [--exp <id>]... [--quick] [--out <dir>] [--list]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,113 @@
+//! Figure 5-2: response time of all-to-all communication, handler time 200
+//! cycles, `C² = 0`, versus the work `W` between requests.
+//!
+//! Four series: the LoPC numerical solution, the eq. 5.12 lower bound
+//! (`W + 2St + 2So`, also the naive LogP prediction), the eq. 5.12 upper
+//! bound (`W + 2St + 3.46·So`), and the simulator measurement. The shape
+//! claim: measurements sit between the bounds and within ~6 % of the LoPC
+//! curve.
+
+use crate::experiments::{reps, window};
+use crate::params::{fig5_machine, W_GRID};
+use crate::ExpResult;
+use lopc_core::AllToAll;
+use lopc_report::{ComparisonTable, Figure, Series};
+use lopc_solver::par_map;
+use lopc_sim::run_replications;
+use lopc_workloads::AllToAllWorkload;
+
+/// Regenerate the figure.
+pub fn run(quick: bool) -> ExpResult {
+    let mut result = ExpResult::new("fig5_2");
+    let machine = fig5_machine();
+    let ws: Vec<f64> = W_GRID.to_vec();
+
+    let model = Series::from_fn("LoPC", &ws, |w| {
+        AllToAll::new(machine, w).solve().unwrap().r
+    });
+    let lower = Series::from_fn("lower bound (W+2St+2So)", &ws, |w| {
+        AllToAll::new(machine, w).contention_free()
+    });
+    let upper = Series::from_fn("upper bound (W+2St+3.46So)", &ws, |w| {
+        AllToAll::new(machine, w).upper_bound()
+    });
+
+    let sim_points: Vec<(f64, f64)> = par_map(&ws, |&w| {
+        let wl = AllToAllWorkload::new(machine, w).with_window(window(quick));
+        let r = run_replications(&wl.sim_config(1000 + w as u64), reps(quick))
+            .expect("valid config")
+            .mean_r();
+        (w, r.mean)
+    });
+    let sim = Series::new("simulator", sim_points);
+
+    let mut cmp = ComparisonTable::new("all-to-all response time R (LoPC vs simulator)");
+    for (i, &w) in ws.iter().enumerate() {
+        cmp.push(
+            format!("W={w:.0}"),
+            model.points[i].1,
+            sim.points[i].1,
+        );
+    }
+    result.note(format!(
+        "paper: LoPC within ~6% of simulation, pessimistic; measured: max |err| {:.1}%, \
+         conservative = {}",
+        cmp.max_abs_err() * 100.0,
+        cmp.is_conservative(0.02)
+    ));
+
+    let fig = Figure::new(
+        "Figure 5-2: Response time of all-to-all communication (So=200, C^2=0, P=32)",
+        "Work (cycles)",
+        "response time R (cycles)",
+    )
+    .with_series(model)
+    .with_series(lower)
+    .with_series(upper)
+    .with_series(sim);
+
+    result.figures.push(fig);
+    result.tables.push(cmp);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_sandwich_model_and_sim() {
+        let r = run(true);
+        let fig = &r.figures[0];
+        let model = &fig.series[0];
+        let lower = &fig.series[1];
+        let upper = &fig.series[2];
+        let sim = &fig.series[3];
+        for i in 0..model.points.len() {
+            let w = model.points[i].0;
+            assert!(
+                lower.points[i].1 < model.points[i].1 && model.points[i].1 < upper.points[i].1,
+                "model out of bounds at W={w}"
+            );
+            assert!(
+                sim.points[i].1 > lower.points[i].1 * 0.99,
+                "sim below lower bound at W={w}"
+            );
+            assert!(
+                sim.points[i].1 < upper.points[i].1 * 1.03,
+                "sim above upper bound at W={w}"
+            );
+        }
+    }
+
+    #[test]
+    fn model_tracks_sim_within_paper_band() {
+        let r = run(true);
+        // Quick windows are noisier than the real harness: allow 8 %.
+        assert!(
+            r.tables[0].max_abs_err() < 0.08,
+            "max err {:.1}%",
+            r.tables[0].max_abs_err() * 100.0
+        );
+    }
+}

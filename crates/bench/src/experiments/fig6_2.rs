@@ -1,0 +1,149 @@
+//! Figure 6-2: work-pile throughput on a 32-node machine with handler time
+//! 131 cycles, versus the number of server nodes.
+//!
+//! Series: the LoPC throughput curve, the simulator measurements, the naive
+//! LogP optimistic bounds (server saturation `Ps/So` and contention-free
+//! clients `Pc/(W+2St+2So)`, shown dotted in the paper), and the eq. 6.8
+//! closed-form optimum marker. Shape claims: unimodal curve, LoPC
+//! conservative by ≤ ~3 %, the closed form lands on the simulated optimum.
+
+use crate::experiments::{reps, window};
+use crate::params::{fig6_machine, W_FIG6};
+use crate::ExpResult;
+use lopc_core::ClientServer;
+use lopc_report::{ComparisonTable, Figure, Series};
+use lopc_solver::par_map;
+use lopc_sim::run_replications;
+use lopc_workloads::Workpile;
+
+/// One throughput curve: `(Ps, X)` points.
+pub type Curve = Vec<(f64, f64)>;
+
+/// Simulated and modelled throughput at every server count.
+pub fn sweep(quick: bool) -> (Curve, Curve) {
+    let machine = fig6_machine();
+    let model = ClientServer::new(machine, W_FIG6);
+    let ps_grid: Vec<usize> = (1..machine.p).collect();
+
+    let model_pts: Vec<(f64, f64)> = ps_grid
+        .iter()
+        .map(|&ps| (ps as f64, model.throughput(ps).unwrap().x))
+        .collect();
+
+    let sim_pts: Vec<(f64, f64)> = par_map(&ps_grid, |&ps| {
+        let wl = Workpile::new(machine, W_FIG6, ps).with_window(window(quick));
+        let x = run_replications(&wl.sim_config(4000 + ps as u64), reps(quick))
+            .unwrap()
+            .throughput()
+            .mean;
+        (ps as f64, x)
+    });
+    (model_pts, sim_pts)
+}
+
+/// Regenerate the figure.
+pub fn run(quick: bool) -> ExpResult {
+    let mut result = ExpResult::new("fig6_2");
+    let machine = fig6_machine();
+    let model = ClientServer::new(machine, W_FIG6);
+    let (model_pts, sim_pts) = sweep(quick);
+
+    let ps_f: Vec<f64> = model_pts.iter().map(|&(x, _)| x).collect();
+    let server_bound = Series::from_fn("LogP server bound Ps/So", &ps_f, |ps| {
+        model.logp_server_bound(ps as usize)
+    });
+    let client_bound = Series::from_fn("LogP client bound Pc/(W+2St+2So)", &ps_f, |ps| {
+        model.logp_client_bound(ps as usize)
+    });
+
+    let opt = model.optimal_servers().unwrap();
+    let opt_x = model.throughput(opt).unwrap().x;
+    let marker = Series::new("eq. 6.8 optimum", vec![(opt as f64, opt_x)]);
+
+    let mut cmp = ComparisonTable::new("work-pile throughput X (LoPC vs simulator)");
+    for (m, s) in model_pts.iter().zip(&sim_pts) {
+        cmp.push(format!("Ps={:.0}", m.0), m.1, s.1);
+    }
+
+    let sim_opt = sim_pts
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap()
+        .0 as usize;
+    result.note(format!(
+        "paper: LoPC conservative by <=3%; measured: worst under-prediction {:.1}%",
+        -cmp.rows
+            .iter()
+            .map(|r| r.err())
+            .fold(f64::INFINITY, f64::min)
+            * 100.0
+    ));
+    result.note(format!(
+        "paper: eq. 6.8 optimum maximises throughput; closed form Ps*={opt} \
+         (continuous {:.2}), simulated argmax Ps={sim_opt}",
+        model.optimal_servers_continuous()
+    ));
+
+    let fig = Figure::new(
+        "Figure 6-2: Work-pile throughput on 32 nodes (So=131, C^2=0, W=1000)",
+        "servers Ps",
+        "throughput X (chunks/cycle)",
+    )
+    .with_series(Series::new("LoPC", model_pts))
+    .with_series(Series::new("simulator", sim_pts))
+    .with_series(server_bound)
+    .with_series(client_bound)
+    .with_series(marker);
+
+    result.figures.push(fig);
+    result.tables.push(cmp);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimum_matches_simulated_argmax_within_one() {
+        let (_, sim_pts) = sweep(true);
+        let machine = fig6_machine();
+        let model = ClientServer::new(machine, W_FIG6);
+        let opt = model.optimal_servers().unwrap() as i64;
+        let sim_opt = sim_pts
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap()
+            .0 as i64;
+        assert!(
+            (opt - sim_opt).abs() <= 2,
+            "closed form {opt} vs simulated argmax {sim_opt}"
+        );
+    }
+
+    #[test]
+    fn model_tracks_sim_and_is_roughly_conservative() {
+        let (model_pts, sim_pts) = sweep(true);
+        for ((ps, m), (_, s)) in model_pts.iter().zip(&sim_pts) {
+            let err = (m - s) / s;
+            assert!(
+                err < 0.06 && err > -0.12,
+                "Ps={ps}: model {m} vs sim {s} ({:+.1}%)",
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn bounds_envelope_the_measurements() {
+        let (_, sim_pts) = sweep(true);
+        let model = ClientServer::new(fig6_machine(), W_FIG6);
+        for &(ps, x) in &sim_pts {
+            let ps = ps as usize;
+            assert!(x <= model.logp_server_bound(ps) * 1.02, "server bound at {ps}");
+            // Exponential chunk sampling lets short windows drift a few
+            // percent above the mean-based bound.
+            assert!(x <= model.logp_client_bound(ps) * 1.05, "client bound at {ps}");
+        }
+    }
+}

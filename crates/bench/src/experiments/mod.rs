@@ -1,0 +1,37 @@
+//! One module per reproduced table/figure. See the crate docs and DESIGN.md
+//! for the experiment index.
+
+pub mod fig5_1;
+pub mod fig5_2;
+pub mod fig5_3;
+pub mod fig6_2;
+pub mod general;
+pub mod matvec;
+pub mod pipelining;
+pub mod rule_of_thumb;
+pub mod shared_mem;
+pub mod tab5_err;
+
+use lopc_workloads::Window;
+
+/// Measurement window used by the experiments: generous in the real harness,
+/// short for smoke tests.
+pub fn window(quick: bool) -> Window {
+    if quick {
+        Window::quick()
+    } else {
+        Window {
+            warmup_cycles: 400.0,
+            measure_cycles: 4_000.0,
+        }
+    }
+}
+
+/// Replication count for simulator measurements.
+pub fn reps(quick: bool) -> usize {
+    if quick {
+        1
+    } else {
+        4
+    }
+}

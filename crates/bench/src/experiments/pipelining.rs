@@ -1,0 +1,111 @@
+//! §7 future-work extension: non-blocking (fork-join) requests.
+//!
+//! Sweeps the per-cycle fan-out `k` and compares the [`lopc_core::ForkJoin`]
+//! approximation against the simulator, plus the measured speedup of
+//! overlapping over serial blocking issue. This experiment goes beyond the
+//! thesis (which leaves non-blocking communication to future work), so there
+//! are no paper numbers to match — the table documents the extension's
+//! accuracy envelope instead.
+
+use crate::experiments::{reps, window};
+use crate::ExpResult;
+use lopc_core::{ForkJoin, Machine};
+use lopc_report::{ComparisonTable, Figure, Series};
+use lopc_solver::par_map;
+use lopc_sim::run_replications;
+use lopc_workloads::BulkSync;
+
+/// Fan-outs swept.
+pub const K_GRID: [u32; 4] = [1, 2, 4, 8];
+
+/// Work between batches.
+pub const W: f64 = 2000.0;
+
+/// Run the sweep: per k, (model R, sim R, sim speedup vs serialised issue).
+pub fn sweep(quick: bool) -> Vec<(u32, f64, f64, f64)> {
+    let machine = Machine::new(32, 25.0, 200.0).with_c2(0.0);
+    par_map(&K_GRID, |&k| {
+        let wl = BulkSync::new(machine, W, k).with_window(window(quick));
+        let model = ForkJoin::new(machine, W, k).solve().unwrap().r;
+        let sim = run_replications(&wl.sim_config(9000 + k as u64), reps(quick))
+            .unwrap()
+            .mean_r()
+            .mean;
+        // Serial baseline: k blocking cycles of W/k work each.
+        let serial_wl = lopc_workloads::AllToAllWorkload::new(machine, W / k as f64)
+            .with_window(window(quick));
+        let serial = run_replications(&serial_wl.sim_config(9100 + k as u64), reps(quick))
+            .unwrap()
+            .mean_r()
+            .mean
+            * k as f64;
+        (k, model, sim, serial / sim)
+    })
+}
+
+/// Regenerate the study.
+pub fn run(quick: bool) -> ExpResult {
+    let mut result = ExpResult::new("pipelining");
+    let pts = sweep(quick);
+
+    let mut cmp = ComparisonTable::new("fork-join response R (extension model vs simulator)");
+    for &(k, model, sim, _) in &pts {
+        cmp.push(format!("k={k}"), model, sim);
+    }
+
+    let fig = Figure::new(
+        "Extension (Sec. 7): fork-join fan-out (W=2000, So=200, C^2=0, P=32)",
+        "fan-out k (requests per cycle)",
+        "response time R (cycles)",
+    )
+    .with_series(Series::new(
+        "fork-join model",
+        pts.iter().map(|&(k, m, _, _)| (k as f64, m)).collect(),
+    ))
+    .with_series(Series::new(
+        "simulator",
+        pts.iter().map(|&(k, _, s, _)| (k as f64, s)).collect(),
+    ));
+
+    let last = pts.last().unwrap();
+    result.note(format!(
+        "extension (no paper baseline): fork-join model max |err| {:.1}% over k in {{1,2,4,8}}",
+        cmp.max_abs_err() * 100.0
+    ));
+    result.note(format!(
+        "measured overlap speedup vs serial blocking issue at k={}: {:.2}x",
+        last.0, last.3
+    ));
+
+    result.figures.push(fig);
+    result.tables.push(cmp);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_accuracy_envelope() {
+        let pts = sweep(true);
+        for &(k, model, sim, _) in &pts {
+            let err = (model - sim).abs() / sim;
+            let tol = if k <= 2 { 0.10 } else { 0.15 };
+            assert!(
+                err < tol,
+                "k={k}: model {model:.0} vs sim {sim:.0} ({:.1}%)",
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_speedup_grows_with_k() {
+        let pts = sweep(true);
+        let s2 = pts[1].3;
+        let s8 = pts[3].3;
+        assert!(s2 > 1.05, "k=2 speedup {s2}");
+        assert!(s8 > s2, "k=8 speedup {s8} should beat k=2 {s2}");
+    }
+}

@@ -1,0 +1,125 @@
+//! §5.3 / §7 rule-of-thumb validation: for homogeneous all-to-all patterns
+//! the cost of contention is approximately one extra handler, and the fixed
+//! point always lies inside the eq. 5.12 bounds.
+//!
+//! Swept over a broad `(W, So, St)` grid with `C² = 0` — broader than any
+//! single figure, because a rule of thumb is only useful if it holds away
+//! from the calibrated points.
+
+use crate::ExpResult;
+use lopc_core::{all_to_all::upper_bound_constant, AllToAll, Machine};
+use lopc_report::ComparisonTable;
+use lopc_solver::par_map;
+
+/// One grid point result.
+#[derive(Clone, Copy, Debug)]
+pub struct GridPoint {
+    /// Work between requests.
+    pub w: f64,
+    /// Handler occupancy.
+    pub so: f64,
+    /// Wire latency.
+    pub st: f64,
+    /// Solved response time.
+    pub r: f64,
+    /// Contention in units of one handler time.
+    pub contention_in_handlers: f64,
+    /// Whether eq. 5.12 held.
+    pub bounds_hold: bool,
+}
+
+/// Evaluate the rule of thumb across the grid.
+pub fn grid() -> Vec<GridPoint> {
+    let mut pts = Vec::new();
+    for &w in &[0.0, 10.0, 100.0, 1000.0, 10_000.0] {
+        for &so in &[10.0, 100.0, 500.0] {
+            for &st in &[0.0, 25.0, 250.0] {
+                pts.push((w, so, st));
+            }
+        }
+    }
+    par_map(&pts, |&(w, so, st)| {
+        let machine = Machine::new(32, st, so).with_c2(0.0);
+        let model = AllToAll::new(machine, w);
+        let sol = model.solve().unwrap();
+        GridPoint {
+            w,
+            so,
+            st,
+            r: sol.r,
+            contention_in_handlers: sol.contention / so,
+            bounds_hold: sol.r > model.contention_free() && sol.r <= model.upper_bound() + 1e-9,
+        }
+    })
+}
+
+/// Regenerate the check.
+pub fn run(_quick: bool) -> ExpResult {
+    let mut result = ExpResult::new("rule_of_thumb");
+    let pts = grid();
+
+    let mut cmp = ComparisonTable::new("rule of thumb W+2St+3So vs exact LoPC R*");
+    for p in &pts {
+        let rot = p.w + 2.0 * p.st + 3.0 * p.so;
+        cmp.push(
+            format!("W={:.0} So={:.0} St={:.0}", p.w, p.so, p.st),
+            rot,
+            p.r,
+        );
+    }
+
+    let all_bounds = pts.iter().all(|p| p.bounds_hold);
+    let (cmin, cmax) = pts.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), p| {
+        (lo.min(p.contention_in_handlers), hi.max(p.contention_in_handlers))
+    });
+    result.note(format!(
+        "paper: contention ~= one extra handler, bounded in (0, 1.46]*So; measured range \
+         over {} grid points: [{:.2}, {:.2}]*So; bounds hold everywhere: {all_bounds}",
+        pts.len(),
+        cmin,
+        cmax
+    ));
+    result.note(format!(
+        "paper: kappa(0) = 3.46; computed upper-bound constant {:.4}",
+        upper_bound_constant(0.0)
+    ));
+    result.note(format!(
+        "rule of thumb max |err| vs exact solution: {:.2}%",
+        cmp.max_abs_err() * 100.0
+    ));
+
+    result.tables.push(cmp);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_hold_on_entire_grid() {
+        for p in grid() {
+            assert!(p.bounds_hold, "bounds failed at {p:?}");
+        }
+    }
+
+    #[test]
+    fn contention_is_order_one_handler() {
+        for p in grid() {
+            assert!(
+                p.contention_in_handlers > 0.0 && p.contention_in_handlers <= 1.46,
+                "contention {}·So at {p:?}",
+                p.contention_in_handlers
+            );
+        }
+    }
+
+    #[test]
+    fn rule_of_thumb_close_to_exact() {
+        let r = run(true);
+        // 3·So sits between the 2·So and 3.46·So bounds; against the exact
+        // solution it is within half a handler => small relative error for
+        // any W (worst at W=0 where R ~ 3·So: ~15 %).
+        assert!(r.tables[0].max_abs_err() < 0.20);
+    }
+}

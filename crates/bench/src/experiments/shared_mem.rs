@@ -1,0 +1,156 @@
+//! §5.1 "Modeling Shared Memory": the protocol-processor variant.
+//!
+//! A shared-memory machine is a message-passing machine whose handlers run
+//! on a dedicated protocol processor, so request handlers never interrupt
+//! computation (`Rw = W`) while handlers still queue against each other.
+//! This experiment is the Holt-et-al-style occupancy study the thesis
+//! motivates: sweep handler occupancy `So` and compare message-passing vs
+//! protocol-processor response times — model against simulator for both.
+
+use crate::experiments::{reps, window};
+use crate::params::{P, ST};
+use crate::ExpResult;
+use lopc_core::{GeneralModel, Machine};
+use lopc_report::{ComparisonTable, Figure, Series};
+use lopc_solver::par_map;
+use lopc_sim::run_replications;
+use lopc_workloads::AllToAllWorkload;
+
+/// Occupancies swept.
+pub const SO_GRID: [f64; 4] = [50.0, 100.0, 200.0, 400.0];
+
+/// Work between requests.
+pub const W: f64 = 800.0;
+
+/// Model + sim response for message-passing and protocol-processor variants
+/// at one occupancy.
+#[derive(Clone, Copy, Debug)]
+pub struct SharedMemPoint {
+    /// Handler occupancy.
+    pub so: f64,
+    /// Message-passing model response.
+    pub model_mp: f64,
+    /// Protocol-processor model response.
+    pub model_pp: f64,
+    /// Message-passing simulated response.
+    pub sim_mp: f64,
+    /// Protocol-processor simulated response.
+    pub sim_pp: f64,
+}
+
+/// Run the sweep.
+pub fn sweep(quick: bool) -> Vec<SharedMemPoint> {
+    par_map(&SO_GRID, |&so| {
+        let machine = Machine::new(P, ST, so).with_c2(0.0);
+        let model_mp = GeneralModel::homogeneous_all_to_all(machine, W)
+            .solve()
+            .unwrap()
+            .r[0];
+        let model_pp = GeneralModel::homogeneous_all_to_all(machine, W)
+            .with_protocol_processor()
+            .solve()
+            .unwrap()
+            .r[0];
+        let wl = AllToAllWorkload::new(machine, W).with_window(window(quick));
+        let sim_mp = run_replications(&wl.sim_config(5000 + so as u64), reps(quick))
+            .unwrap()
+            .mean_r()
+            .mean;
+        let sim_pp = run_replications(
+            &wl.sim_config_protocol_processor(6000 + so as u64),
+            reps(quick),
+        )
+        .unwrap()
+        .mean_r()
+        .mean;
+        SharedMemPoint {
+            so,
+            model_mp,
+            model_pp,
+            sim_mp,
+            sim_pp,
+        }
+    })
+}
+
+/// Regenerate the study.
+pub fn run(quick: bool) -> ExpResult {
+    let mut result = ExpResult::new("shared_mem");
+    let pts = sweep(quick);
+
+    let mut fig = Figure::new(
+        "Shared memory (Section 5.1): protocol processor vs message passing (W=800, C^2=0)",
+        "handler occupancy So (cycles)",
+        "response time R (cycles)",
+    );
+    fig.push(Series::new(
+        "LoPC message-passing",
+        pts.iter().map(|p| (p.so, p.model_mp)).collect(),
+    ));
+    fig.push(Series::new(
+        "LoPC protocol-processor",
+        pts.iter().map(|p| (p.so, p.model_pp)).collect(),
+    ));
+    fig.push(Series::new(
+        "sim message-passing",
+        pts.iter().map(|p| (p.so, p.sim_mp)).collect(),
+    ));
+    fig.push(Series::new(
+        "sim protocol-processor",
+        pts.iter().map(|p| (p.so, p.sim_pp)).collect(),
+    ));
+
+    let mut cmp_mp = ComparisonTable::new("message-passing R (LoPC vs simulator)");
+    let mut cmp_pp = ComparisonTable::new("protocol-processor R (LoPC vs simulator)");
+    for p in &pts {
+        cmp_mp.push(format!("So={:.0}", p.so), p.model_mp, p.sim_mp);
+        cmp_pp.push(format!("So={:.0}", p.so), p.model_pp, p.sim_pp);
+    }
+
+    let last = pts.last().unwrap();
+    result.note(format!(
+        "protocol processor removes compute interference: at So={:.0}, \
+         MP R={:.0} vs PP R={:.0} (sim: {:.0} vs {:.0})",
+        last.so, last.model_mp, last.model_pp, last.sim_mp, last.sim_pp
+    ));
+    result.note(format!(
+        "model error: MP max |err| {:.1}%, PP max |err| {:.1}%",
+        cmp_mp.max_abs_err() * 100.0,
+        cmp_pp.max_abs_err() * 100.0
+    ));
+
+    result.figures.push(fig);
+    result.tables.push(cmp_mp);
+    result.tables.push(cmp_pp);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_processor_is_never_slower() {
+        for p in sweep(true) {
+            assert!(p.model_pp <= p.model_mp + 1e-9, "model at So={}", p.so);
+            assert!(p.sim_pp <= p.sim_mp * 1.01, "sim at So={}", p.so);
+        }
+    }
+
+    #[test]
+    fn model_tracks_sim_in_both_variants() {
+        for p in sweep(true) {
+            let e_mp = (p.model_mp - p.sim_mp).abs() / p.sim_mp;
+            let e_pp = (p.model_pp - p.sim_pp).abs() / p.sim_pp;
+            assert!(e_mp < 0.08, "MP err {:.1}% at So={}", e_mp * 100.0, p.so);
+            assert!(e_pp < 0.08, "PP err {:.1}% at So={}", e_pp * 100.0, p.so);
+        }
+    }
+
+    #[test]
+    fn benefit_grows_with_occupancy() {
+        let pts = sweep(true);
+        let gain = |p: &SharedMemPoint| p.model_mp - p.model_pp;
+        assert!(gain(pts.last().unwrap()) > gain(&pts[0]));
+    }
+}

@@ -1,0 +1,56 @@
+//! Model error type.
+
+use lopc_solver::SolverError;
+
+/// Why a model could not be evaluated.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelError {
+    /// A parameter failed validation.
+    InvalidParameter(&'static str),
+    /// The model is degenerate (e.g. all costs zero: response time 0).
+    Degenerate(&'static str),
+    /// The underlying numerical solve failed.
+    Solver(SolverError),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ModelError::Degenerate(msg) => write!(f, "degenerate model: {msg}"),
+            ModelError::Solver(e) => write!(f, "solver failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolverError> for ModelError {
+    fn from(e: SolverError) -> Self {
+        ModelError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = ModelError::InvalidParameter("p must be >= 2");
+        assert!(e.to_string().contains("p must be"));
+        assert!(e.source().is_none());
+
+        let e: ModelError = SolverError::InvalidInput("x").into();
+        assert!(e.to_string().contains("solver failure"));
+        assert!(e.source().is_some());
+    }
+}

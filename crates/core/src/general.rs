@@ -1,0 +1,516 @@
+//! The general LoPC model (Appendix A): per-node AMVA with an arbitrary
+//! routing matrix, multi-hop requests, idle server threads, and the
+//! protocol-processor (shared-memory) variant.
+//!
+//! For each thread `c` with work `W_c` and visit fractions `V[c][k]`
+//! (`Σ_k V[c][k]` may exceed 1 for multi-hop requests):
+//!
+//! ```text
+//! X_c   = 1 / R_c                                        (A.1)
+//! X_ck  = V[c][k] · X_c                                  (A.2)
+//! Uq_k  = So · Σ_c X_ck          Uy_k = X_k · So         (A.3, A.4)
+//! Qq_k  = Rq_k · Σ_c X_ck        Qy_k = X_k · Ry_k       (A.5, A.6)
+//! Rq_k  = So(1 + Qq_k + Qy_k + β(Uq_k + Uy_k))           (A.7 + §5.2)
+//! Ry_k  = So(1 + Qq_k + β·Uq_k)                          (A.8 + §5.2)
+//! Rw_c  = (W_c + So·Qq_c)/(1 − Uq_c)   (or W_c with a protocol processor)
+//! R_c   = Rw_c + Σ_k V[c][k](St + Rq_k) + St + Ry_c      (A.10)
+//! ```
+//!
+//! solved by damped fixed-point iteration (`lopc_solver::solve_damped`).
+
+use crate::error::ModelError;
+use crate::params::Machine;
+use lopc_solver::{solve_damped, FixedPointOptions};
+
+/// The general model input.
+#[derive(Clone, Debug)]
+pub struct GeneralModel {
+    /// Architectural parameters.
+    pub machine: Machine,
+    /// Per-node thread work `W_c`; `None` marks an idle (pure server)
+    /// thread that never issues requests.
+    pub w: Vec<Option<f64>>,
+    /// Visit fractions: `v[c][k]` is the mean number of times one of thread
+    /// `c`'s requests is served at node `k` per cycle. Row sums may exceed 1
+    /// (multi-hop). Rows of idle threads must be all zero.
+    pub v: Vec<Vec<f64>>,
+    /// Model a per-node protocol processor: handlers never interrupt the
+    /// computation thread (`Rw = W`, §5.1).
+    pub protocol_processor: bool,
+}
+
+/// Per-node / per-thread solution of the general model (Table 4.1).
+#[derive(Clone, Debug)]
+pub struct GeneralSolution {
+    /// Cycle response time per thread (`NaN` for idle threads).
+    pub r: Vec<f64>,
+    /// Throughput per thread (0 for idle threads).
+    pub x: Vec<f64>,
+    /// Compute residence per thread (`NaN` for idle threads).
+    pub rw: Vec<f64>,
+    /// Request-handler response per node.
+    pub rq: Vec<f64>,
+    /// Reply-handler response per node.
+    pub ry: Vec<f64>,
+    /// Request-handler utilisation per node.
+    pub uq: Vec<f64>,
+    /// Reply-handler utilisation per node.
+    pub uy: Vec<f64>,
+    /// Request-handler population per node.
+    pub qq: Vec<f64>,
+    /// Reply-handler population per node.
+    pub qy: Vec<f64>,
+    /// Fixed-point iterations used.
+    pub iterations: usize,
+}
+
+impl GeneralSolution {
+    /// System throughput `Σ_c X_c` (requests per cycle).
+    pub fn system_throughput(&self) -> f64 {
+        self.x.iter().sum()
+    }
+
+    /// Mean response time over active threads.
+    pub fn mean_r(&self) -> f64 {
+        let active: Vec<f64> = self.r.iter().copied().filter(|r| r.is_finite()).collect();
+        if active.is_empty() {
+            f64::NAN
+        } else {
+            active.iter().sum::<f64>() / active.len() as f64
+        }
+    }
+}
+
+impl GeneralModel {
+    /// Homogeneous all-to-all instance: every thread works `w` and sends to
+    /// every other node uniformly (`V[c][k] = 1/(P−1)`). Solving this must
+    /// agree with the §5 closed form — a cross-check the tests enforce.
+    pub fn homogeneous_all_to_all(machine: Machine, w: f64) -> Self {
+        let p = machine.p;
+        let frac = 1.0 / (p - 1) as f64;
+        let v = (0..p)
+            .map(|c| {
+                (0..p)
+                    .map(|k| if k == c { 0.0 } else { frac })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        GeneralModel {
+            machine,
+            w: vec![Some(w); p],
+            v,
+            protocol_processor: false,
+        }
+    }
+
+    /// Client-server instance: nodes `0..ps` are idle servers, the rest are
+    /// clients doing `w` between uniform requests to the servers (§6).
+    pub fn client_server(machine: Machine, w: f64, ps: usize) -> Self {
+        let p = machine.p;
+        assert!(ps >= 1 && ps < p, "ps must be in 1..p");
+        let frac = 1.0 / ps as f64;
+        let mut w_vec = vec![None; p];
+        let mut v = vec![vec![0.0; p]; p];
+        for c in ps..p {
+            w_vec[c] = Some(w);
+            for row in v[c].iter_mut().take(ps) {
+                *row = frac;
+            }
+        }
+        GeneralModel {
+            machine,
+            w: w_vec,
+            v,
+            protocol_processor: false,
+        }
+    }
+
+    /// Multi-hop instance: like all-to-all but each request is served at
+    /// `hops` nodes before the reply (uniform forwarding), so every row sums
+    /// to `hops`.
+    pub fn multi_hop(machine: Machine, w: f64, hops: u32) -> Self {
+        let mut model = Self::homogeneous_all_to_all(machine, w);
+        for row in &mut model.v {
+            for x in row.iter_mut() {
+                *x *= hops as f64;
+            }
+        }
+        model
+    }
+
+    /// Enable the protocol-processor variant (§5.1).
+    pub fn with_protocol_processor(mut self) -> Self {
+        self.protocol_processor = true;
+        self
+    }
+
+    /// Validate shapes and ranges.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        self.machine.validate()?;
+        let p = self.machine.p;
+        if self.w.len() != p {
+            return Err(ModelError::InvalidParameter("w must have length p"));
+        }
+        if self.v.len() != p {
+            return Err(ModelError::InvalidParameter("v must be p x p"));
+        }
+        let mut any_active = false;
+        for (c, row) in self.v.iter().enumerate() {
+            if row.len() != p {
+                return Err(ModelError::InvalidParameter("v must be p x p"));
+            }
+            for &x in row {
+                if !x.is_finite() || x < 0.0 {
+                    return Err(ModelError::InvalidParameter(
+                        "visit fractions must be finite and >= 0",
+                    ));
+                }
+            }
+            if row[c] != 0.0 {
+                return Err(ModelError::InvalidParameter(
+                    "threads must not request from their own node",
+                ));
+            }
+            match self.w[c] {
+                Some(w) => {
+                    if !w.is_finite() || w < 0.0 {
+                        return Err(ModelError::InvalidParameter("w must be finite and >= 0"));
+                    }
+                    if row.iter().sum::<f64>() <= 0.0 {
+                        return Err(ModelError::InvalidParameter(
+                            "active threads need at least one destination",
+                        ));
+                    }
+                    any_active = true;
+                }
+                None => {
+                    if row.iter().any(|&x| x != 0.0) {
+                        return Err(ModelError::InvalidParameter(
+                            "idle threads must have an all-zero visit row",
+                        ));
+                    }
+                }
+            }
+        }
+        if !any_active {
+            return Err(ModelError::InvalidParameter("no active threads"));
+        }
+        Ok(())
+    }
+
+    /// Solve the Appendix A system.
+    #[allow(clippy::needless_range_loop)] // indexing several parallel arrays
+    pub fn solve(&self) -> Result<GeneralSolution, ModelError> {
+        self.validate()?;
+        let p = self.machine.p;
+        let so = self.machine.s_o;
+        let st = self.machine.s_l;
+        let beta = self.machine.beta();
+
+        // Contention-free initial response per active thread.
+        let init_r = |c: usize| -> f64 {
+            let hops: f64 = self.v[c].iter().sum();
+            self.w[c].unwrap_or(0.0) + hops * (st + so) + st + so
+        };
+        // Degenerate: a zero-cost cycle has no steady state.
+        for c in 0..p {
+            if self.w[c].is_some() && init_r(c) <= 0.0 {
+                return Err(ModelError::Degenerate("zero-cost cycle"));
+            }
+        }
+
+        // State layout: [rq[0..p] | ry[0..p] | r[0..p]]; idle threads keep a
+        // pinned r of 1.0 that nothing reads.
+        let mut x0 = vec![so.max(1e-12); 2 * p];
+        for c in 0..p {
+            x0.push(if self.w[c].is_some() { init_r(c) } else { 1.0 });
+        }
+
+        let eps = 1e-9;
+        let f = |state: &[f64], out: &mut [f64]| {
+            let (rq, rest) = state.split_at(p);
+            let (ry, r) = rest.split_at(p);
+
+            // Throughputs.
+            let mut x = vec![0.0; p];
+            for c in 0..p {
+                if self.w[c].is_some() {
+                    x[c] = 1.0 / r[c].max(eps);
+                }
+            }
+            // Arrival rates of requests (lambda_q) and replies (lambda_y).
+            let mut lambda_q = vec![0.0; p];
+            for c in 0..p {
+                if x[c] > 0.0 {
+                    for k in 0..p {
+                        lambda_q[k] += self.v[c][k] * x[c];
+                    }
+                }
+            }
+            for k in 0..p {
+                let lq = lambda_q[k];
+                let ly = x[k];
+                let uqk = so * lq;
+                let uyk = so * ly;
+                let qqk = rq[k] * lq;
+                let qyk = ry[k] * ly;
+                out[k] = so * (1.0 + qqk + qyk + beta * (uqk + uyk));
+                out[p + k] = so * (1.0 + qqk + beta * uqk);
+            }
+            for c in 0..p {
+                out[2 * p + c] = match self.w[c] {
+                    None => 1.0,
+                    Some(w) => {
+                        let lq = lambda_q[c];
+                        let uqc = (so * lq).min(1.0 - eps);
+                        let qqc = rq[c] * lq;
+                        let rw = if self.protocol_processor {
+                            w
+                        } else {
+                            (w + so * qqc) / (1.0 - uqc)
+                        };
+                        let mut total = rw + st + ry[c];
+                        for k in 0..p {
+                            let vck = self.v[c][k];
+                            if vck > 0.0 {
+                                total += vck * (st + rq[k]);
+                            }
+                        }
+                        total
+                    }
+                };
+            }
+        };
+
+        let opts = FixedPointOptions {
+            damping: 0.5,
+            tol: 1e-11,
+            max_iter: 200_000,
+        };
+        let conv = solve_damped(x0, f, &opts)?;
+
+        // Unpack and recompute the derived quantities at the fixed point.
+        let state = conv.x;
+        let rq = state[..p].to_vec();
+        let ry = state[p..2 * p].to_vec();
+        let mut r = vec![f64::NAN; p];
+        let mut x = vec![0.0; p];
+        let mut rw = vec![f64::NAN; p];
+        for c in 0..p {
+            if self.w[c].is_some() {
+                r[c] = state[2 * p + c];
+                x[c] = 1.0 / r[c];
+            }
+        }
+        let mut lambda_q = vec![0.0; p];
+        for c in 0..p {
+            if x[c] > 0.0 {
+                for k in 0..p {
+                    lambda_q[k] += self.v[c][k] * x[c];
+                }
+            }
+        }
+        let mut uq = vec![0.0; p];
+        let mut uy = vec![0.0; p];
+        let mut qq = vec![0.0; p];
+        let mut qy = vec![0.0; p];
+        for k in 0..p {
+            uq[k] = so * lambda_q[k];
+            uy[k] = so * x[k];
+            qq[k] = rq[k] * lambda_q[k];
+            qy[k] = ry[k] * x[k];
+        }
+        for c in 0..p {
+            if let Some(w) = self.w[c] {
+                rw[c] = if self.protocol_processor {
+                    w
+                } else {
+                    (w + so * qq[c]) / (1.0 - uq[c].min(1.0 - eps))
+                };
+            }
+        }
+
+        Ok(GeneralSolution {
+            r,
+            x,
+            rw,
+            rq,
+            ry,
+            uq,
+            uy,
+            qq,
+            qy,
+            iterations: conv.iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::all_to_all::AllToAll;
+    use crate::client_server::ClientServer;
+
+    fn machine() -> Machine {
+        Machine::new(16, 25.0, 200.0).with_c2(0.0)
+    }
+
+    /// The general model restricted to the homogeneous pattern must agree
+    /// with the §5 closed form.
+    #[test]
+    fn matches_all_to_all_closed_form() {
+        for &w in &[0.0, 100.0, 1000.0] {
+            for &c2 in &[0.0, 1.0, 2.0] {
+                let m = machine().with_c2(c2);
+                let general = GeneralModel::homogeneous_all_to_all(m, w)
+                    .solve()
+                    .unwrap();
+                let closed = AllToAll::new(m, w).solve().unwrap();
+                let r_general = general.r[0];
+                assert!(
+                    (r_general - closed.r).abs() / closed.r < 1e-6,
+                    "W={w} C²={c2}: general {} vs closed {}",
+                    r_general,
+                    closed.r
+                );
+            }
+        }
+    }
+
+    /// All threads identical => identical per-node solution.
+    #[test]
+    fn homogeneous_solution_is_symmetric() {
+        let sol = GeneralModel::homogeneous_all_to_all(machine(), 500.0)
+            .solve()
+            .unwrap();
+        for k in 1..16 {
+            assert!((sol.r[k] - sol.r[0]).abs() < 1e-8);
+            assert!((sol.rq[k] - sol.rq[0]).abs() < 1e-8);
+            assert!((sol.uq[k] - sol.uq[0]).abs() < 1e-8);
+        }
+    }
+
+    /// The general model's client-server instance must agree with the §6
+    /// scalar recursion.
+    #[test]
+    fn matches_client_server_recursion() {
+        let m = Machine::new(32, 50.0, 131.0).with_c2(0.0);
+        let w = 1000.0;
+        for ps in [1usize, 4, 8, 16, 24] {
+            let general = GeneralModel::client_server(m, w, ps).solve().unwrap();
+            let scalar = ClientServer::new(m, w).throughput(ps).unwrap();
+            let x_general = general.system_throughput();
+            assert!(
+                (x_general - scalar.x).abs() / scalar.x < 1e-6,
+                "ps={ps}: general X={x_general} vs scalar {}",
+                scalar.x
+            );
+            // Server quantities agree too.
+            assert!((general.rq[0] - scalar.rq).abs() / scalar.rq < 1e-6);
+            assert!((general.qq[0] - scalar.qs).abs() < 1e-6);
+        }
+    }
+
+    /// Multi-hop: each extra hop adds at least (St + So) to the cycle.
+    #[test]
+    fn multi_hop_grows_with_hops() {
+        let m = machine();
+        let r1 = GeneralModel::multi_hop(m, 500.0, 1).solve().unwrap().r[0];
+        let r2 = GeneralModel::multi_hop(m, 500.0, 2).solve().unwrap().r[0];
+        let r3 = GeneralModel::multi_hop(m, 500.0, 3).solve().unwrap().r[0];
+        assert!(r2 - r1 >= 225.0 - 1e-6, "r2-r1 = {}", r2 - r1);
+        assert!(r3 - r2 >= 225.0 - 1e-6);
+    }
+
+    /// Protocol processor removes compute interference: Rw == W, and the
+    /// cycle is never slower than the message-passing variant.
+    #[test]
+    fn protocol_processor_rw_is_w() {
+        let m = machine().with_c2(1.0);
+        let w = 400.0;
+        let mp = GeneralModel::homogeneous_all_to_all(m, w).solve().unwrap();
+        let pp = GeneralModel::homogeneous_all_to_all(m, w)
+            .with_protocol_processor()
+            .solve()
+            .unwrap();
+        assert!((pp.rw[0] - w).abs() < 1e-9);
+        assert!(mp.rw[0] > w, "message passing must show interference");
+        assert!(pp.r[0] < mp.r[0]);
+    }
+
+    /// Hotspot: a node that receives extra traffic shows higher utilisation
+    /// and queueing than its peers.
+    #[test]
+    fn hotspot_asymmetry() {
+        let m = machine();
+        let p = m.p;
+        // 50% of every thread's requests go to node 0, rest uniform.
+        let mut model = GeneralModel::homogeneous_all_to_all(m, 500.0);
+        for c in 1..p {
+            for k in 0..p {
+                if k != c {
+                    model.v[c][k] = if k == 0 {
+                        0.5
+                    } else {
+                        0.5 / (p - 2) as f64
+                    };
+                }
+            }
+        }
+        let sol = model.solve().unwrap();
+        assert!(sol.uq[0] > 2.0 * sol.uq[1], "hotspot utilisation");
+        assert!(sol.qq[0] > sol.qq[1], "hotspot queueing");
+        // Node 0's own thread suffers the most compute interference.
+        assert!(sol.rw[0] > sol.rw[1]);
+    }
+
+    /// Little's law self-consistency at the fixed point: Qq = λq · Rq.
+    #[test]
+    fn littles_law_at_fixed_point() {
+        let sol = GeneralModel::homogeneous_all_to_all(machine(), 300.0)
+            .solve()
+            .unwrap();
+        for k in 0..16 {
+            let lambda_q = sol.uq[k] / 200.0; // Uq = So λ
+            assert!((sol.qq[k] - lambda_q * sol.rq[k]).abs() < 1e-9);
+        }
+    }
+
+    /// Validation catches malformed inputs.
+    #[test]
+    fn validation_errors() {
+        let m = machine();
+        let mut bad = GeneralModel::homogeneous_all_to_all(m, 100.0);
+        bad.v[0][0] = 0.5; // self-visit
+        assert!(bad.solve().is_err());
+
+        let mut bad = GeneralModel::homogeneous_all_to_all(m, 100.0);
+        bad.w[3] = None; // idle thread with non-zero row
+        assert!(bad.solve().is_err());
+
+        let mut bad = GeneralModel::homogeneous_all_to_all(m, 100.0);
+        bad.v.pop();
+        assert!(bad.solve().is_err());
+
+        let mut bad = GeneralModel::homogeneous_all_to_all(m, 100.0);
+        for w in &mut bad.w {
+            *w = None;
+        }
+        for row in &mut bad.v {
+            row.iter_mut().for_each(|x| *x = 0.0);
+        }
+        assert!(bad.solve().is_err());
+    }
+
+    /// Idle threads report NaN response and zero throughput.
+    #[test]
+    fn idle_threads_have_no_cycle() {
+        let m = Machine::new(8, 10.0, 100.0);
+        let sol = GeneralModel::client_server(m, 500.0, 2).solve().unwrap();
+        assert!(sol.r[0].is_nan());
+        assert!(sol.r[1].is_nan());
+        assert_eq!(sol.x[0], 0.0);
+        assert!(sol.r[2].is_finite());
+        assert!(sol.mean_r().is_finite());
+    }
+}

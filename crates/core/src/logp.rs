@@ -1,0 +1,114 @@
+//! The LogP baseline: the contention-free model LoPC extends.
+//!
+//! LoPC takes `L`, `o` and `P` directly from LogP (Table 3.1) and adds the
+//! contention cost `C`. A *naive* LogP analysis of a blocking request/reply
+//! cycle predicts `W + 2·St + 2·So` — correct only when no handler ever
+//! queues or interrupts useful work. §5.3 quantifies how wrong that is (up
+//! to 37 % under-prediction at `W = 0`), which is the reason LoPC exists;
+//! this module provides the baseline those comparisons are made against.
+
+use crate::params::Machine;
+
+/// Classic LogP parameters, derivable from a LoPC [`Machine`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogPParams {
+    /// Network latency `L` (== LoPC `St`).
+    pub l: f64,
+    /// Per-message processing overhead `o` (== LoPC `So`).
+    pub o: f64,
+    /// Bandwidth gap `g`; LoPC assumes balanced interfaces, so 0.
+    pub g: f64,
+    /// Processor count `P`.
+    pub p: usize,
+}
+
+impl From<&Machine> for LogPParams {
+    fn from(m: &Machine) -> Self {
+        LogPParams {
+            l: m.s_l,
+            o: m.s_o,
+            g: 0.0,
+            p: m.p,
+        }
+    }
+}
+
+impl LogPParams {
+    /// One-way message cost under LogP: `o + L + o` (send overhead, wire,
+    /// receive overhead).
+    pub fn one_way(&self) -> f64 {
+        2.0 * self.o + self.l
+    }
+
+    /// Contention-free cost of one compute/request cycle: work, two wire
+    /// trips, a request handler and a reply handler —
+    /// `W + 2·St + 2·So` (the lower bound of eq. 5.12).
+    pub fn contention_free_cycle(&self, w: f64) -> f64 {
+        w + 2.0 * self.l + 2.0 * self.o
+    }
+
+    /// Contention-free total runtime for `n` requests per node (`n·R`, §4).
+    pub fn contention_free_runtime(&self, w: f64, n: u64) -> f64 {
+        n as f64 * self.contention_free_cycle(w)
+    }
+}
+
+/// Convenience on [`Machine`]: the LogP (contention-free) cycle prediction.
+impl Machine {
+    /// `W + 2·St + 2·So` — the naive LogP response-time prediction and the
+    /// lower bound of eq. 5.12.
+    pub fn contention_free_response(&self, w: f64) -> f64 {
+        w + 2.0 * self.s_l + 2.0 * self.s_o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_mapping_matches_table_3_1() {
+        let m = Machine::new(32, 25.0, 200.0);
+        let lp = LogPParams::from(&m);
+        assert_eq!(lp.l, 25.0);
+        assert_eq!(lp.o, 200.0);
+        assert_eq!(lp.g, 0.0);
+        assert_eq!(lp.p, 32);
+    }
+
+    #[test]
+    fn one_way_cost() {
+        let lp = LogPParams {
+            l: 10.0,
+            o: 3.0,
+            g: 0.0,
+            p: 4,
+        };
+        assert_eq!(lp.one_way(), 16.0);
+    }
+
+    #[test]
+    fn contention_free_cycle_is_lower_bound() {
+        let m = Machine::new(32, 25.0, 200.0);
+        let lp = LogPParams::from(&m);
+        assert_eq!(lp.contention_free_cycle(1000.0), 1000.0 + 50.0 + 400.0);
+        assert_eq!(
+            m.contention_free_response(1000.0),
+            lp.contention_free_cycle(1000.0)
+        );
+    }
+
+    #[test]
+    fn runtime_scales_with_n() {
+        let lp = LogPParams {
+            l: 5.0,
+            o: 10.0,
+            g: 0.0,
+            p: 8,
+        };
+        assert_eq!(
+            lp.contention_free_runtime(100.0, 7),
+            7.0 * (100.0 + 10.0 + 20.0)
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Model parameters: the architectural characterisation (Table 3.1) and the
+//! algorithmic characterisation (§3) of the thesis.
+
+use crate::ModelError;
+
+/// Architectural parameters of the LoPC model (Table 3.1).
+///
+/// `St`/`s_l` is the LogP `L`; `So`/`s_o` is the LogP `o` reinterpreted as the
+/// cost of taking a message interrupt and running the handler; `P` is the
+/// number of processors; `C²` is the optional squared coefficient of
+/// variation of handler service times (1 = exponential, the default; 0 =
+/// constant). The LogP `g` (bandwidth gap) is assumed 0 — balanced network
+/// interfaces (§3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Machine {
+    /// Number of processors `P`.
+    pub p: usize,
+    /// Average wire latency `St` (LogP `L`), in cycles.
+    pub s_l: f64,
+    /// Average handler dispatch cost `So` (LogP `o`), in cycles.
+    pub s_o: f64,
+    /// Squared coefficient of variation of handler service time `C²`.
+    pub c2: f64,
+}
+
+impl Machine {
+    /// A machine with exponential handlers (`C² = 1`, the LoPC default).
+    pub fn new(p: usize, s_l: f64, s_o: f64) -> Self {
+        Machine {
+            p,
+            s_l,
+            s_o,
+            c2: 1.0,
+        }
+    }
+
+    /// Override the handler service-time variability.
+    pub fn with_c2(mut self, c2: f64) -> Self {
+        self.c2 = c2;
+        self
+    }
+
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.p < 2 {
+            return Err(ModelError::InvalidParameter("p must be >= 2"));
+        }
+        if !self.s_l.is_finite() || self.s_l < 0.0 {
+            return Err(ModelError::InvalidParameter("s_l must be finite and >= 0"));
+        }
+        if !self.s_o.is_finite() || self.s_o < 0.0 {
+            return Err(ModelError::InvalidParameter("s_o must be finite and >= 0"));
+        }
+        if !self.c2.is_finite() || self.c2 < 0.0 {
+            return Err(ModelError::InvalidParameter("c2 must be finite and >= 0"));
+        }
+        Ok(())
+    }
+
+    /// The §5.2 residual-life weight `β = (C² − 1)/2` that appears in every
+    /// corrected response-time equation.
+    #[inline]
+    pub fn beta(&self) -> f64 {
+        0.5 * (self.c2 - 1.0)
+    }
+}
+
+/// Algorithmic parameters (§3): the LoPC characterisation of one program.
+///
+/// `W = m/n` where `m` is total local work and `n` the number of blocking
+/// requests issued by each node. The §3 worked example (matrix–vector
+/// multiply) is provided by `lopc-workloads`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Algorithm {
+    /// Average work between blocking requests, `W`, in cycles.
+    pub w: f64,
+    /// Total requests per node, `n`.
+    pub n: u64,
+}
+
+impl Algorithm {
+    /// Construct and validate.
+    pub fn new(w: f64, n: u64) -> Self {
+        Algorithm { w, n }
+    }
+
+    /// Derive `(W, n)` from total per-node operation counts: `m` local
+    /// operations of `cost` cycles each, and `n` messages (the §3 recipe
+    /// `W = m·cost / n`).
+    pub fn from_op_counts(m: u64, cost: f64, n: u64) -> Self {
+        let w = if n == 0 {
+            0.0
+        } else {
+            m as f64 * cost / n as f64
+        };
+        Algorithm { w, n }
+    }
+
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if !self.w.is_finite() || self.w < 0.0 {
+            return Err(ModelError::InvalidParameter("w must be finite and >= 0"));
+        }
+        Ok(())
+    }
+
+    /// Total application runtime given a per-cycle response time `r`
+    /// (`n·R`, §4).
+    pub fn total_runtime(&self, r: f64) -> f64 {
+        self.n as f64 * r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_defaults_to_exponential() {
+        let m = Machine::new(32, 25.0, 200.0);
+        assert_eq!(m.c2, 1.0);
+        assert_eq!(m.beta(), 0.0);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn with_c2_overrides() {
+        let m = Machine::new(32, 25.0, 200.0).with_c2(0.0);
+        assert_eq!(m.c2, 0.0);
+        assert_eq!(m.beta(), -0.5);
+    }
+
+    #[test]
+    fn machine_validation_catches_bad_values() {
+        assert!(Machine::new(1, 0.0, 0.0).validate().is_err());
+        assert!(Machine::new(2, -1.0, 0.0).validate().is_err());
+        assert!(Machine::new(2, 0.0, f64::NAN).validate().is_err());
+        assert!(Machine::new(2, 0.0, 0.0).with_c2(-1.0).validate().is_err());
+    }
+
+    #[test]
+    fn algorithm_from_op_counts_matches_section3() {
+        // Matrix-vector multiply, N x N cyclically distributed over P:
+        // m = (N/P)·N multiply-adds, n = (N/P)(P-1) puts, so
+        // W = cost · N/(P-1).
+        let (n_dim, p, cost) = (1024u64, 32u64, 1.0);
+        let m_ops = (n_dim / p) * n_dim;
+        let n_msgs = (n_dim / p) * (p - 1);
+        let alg = Algorithm::from_op_counts(m_ops, cost, n_msgs);
+        let expected_w = cost * n_dim as f64 / (p - 1) as f64;
+        assert!((alg.w - expected_w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_messages_gives_zero_w() {
+        let alg = Algorithm::from_op_counts(100, 2.0, 0);
+        assert_eq!(alg.w, 0.0);
+    }
+
+    #[test]
+    fn total_runtime_is_n_times_r() {
+        let alg = Algorithm::new(100.0, 50);
+        assert_eq!(alg.total_runtime(1500.0), 75_000.0);
+    }
+
+    #[test]
+    fn algorithm_validation() {
+        assert!(Algorithm::new(-1.0, 1).validate().is_err());
+        assert!(Algorithm::new(0.0, 0).validate().is_ok());
+    }
+}

@@ -1,0 +1,182 @@
+//! ASCII scatter/line charts, good enough to eyeball figure shapes in a
+//! terminal (who wins, where the crossover falls).
+
+use crate::series::Figure;
+
+/// Chart rendering options.
+#[derive(Clone, Copy, Debug)]
+pub struct ChartOptions {
+    /// Plot width in columns (data area).
+    pub width: usize,
+    /// Plot height in rows (data area).
+    pub height: usize,
+    /// Log-scale the x axis (requires positive x).
+    pub log_x: bool,
+}
+
+impl Default for ChartOptions {
+    fn default() -> Self {
+        ChartOptions {
+            width: 72,
+            height: 20,
+            log_x: false,
+        }
+    }
+}
+
+/// Marker characters assigned to series in order.
+const MARKS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Render a figure as an ASCII chart with a legend.
+pub fn render_chart(fig: &Figure, opts: &ChartOptions) -> String {
+    let mut out = String::new();
+    out.push_str(&fig.title);
+    out.push('\n');
+
+    let Some((x_lo, x_hi)) = fig.x_range() else {
+        out.push_str("(no data)\n");
+        return out;
+    };
+    let Some((y_lo, y_hi)) = fig.y_range() else {
+        out.push_str("(no data)\n");
+        return out;
+    };
+    let (y_lo, y_hi) = pad_range(y_lo, y_hi);
+    let (x_lo, x_hi) = if x_lo == x_hi {
+        pad_range(x_lo, x_hi)
+    } else {
+        (x_lo, x_hi)
+    };
+
+    let xmap = |x: f64| -> Option<usize> {
+        let t = if opts.log_x {
+            if x <= 0.0 || x_lo <= 0.0 {
+                return None;
+            }
+            (x.ln() - x_lo.ln()) / (x_hi.ln() - x_lo.ln())
+        } else {
+            (x - x_lo) / (x_hi - x_lo)
+        };
+        if !(0.0..=1.0).contains(&t) {
+            return None;
+        }
+        Some(((t * (opts.width - 1) as f64).round() as usize).min(opts.width - 1))
+    };
+    let ymap = |y: f64| -> Option<usize> {
+        if y.is_nan() {
+            return None;
+        }
+        let t = (y - y_lo) / (y_hi - y_lo);
+        if !(0.0..=1.0).contains(&t) {
+            return None;
+        }
+        // Row 0 is the top.
+        Some(opts.height - 1 - ((t * (opts.height - 1) as f64).round() as usize).min(opts.height - 1))
+    };
+
+    let mut grid = vec![vec![' '; opts.width]; opts.height];
+    for (si, s) in fig.series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for &(x, y) in &s.points {
+            if let (Some(cx), Some(cy)) = (xmap(x), ymap(y)) {
+                grid[cy][cx] = mark;
+            }
+        }
+    }
+
+    let y_label_width = 12;
+    for (ri, row) in grid.iter().enumerate() {
+        let y_here = y_hi - (y_hi - y_lo) * ri as f64 / (opts.height - 1) as f64;
+        out.push_str(&format!("{y_here:>y_label_width$.4} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(y_label_width + 1));
+    out.push('+');
+    out.push_str(&"-".repeat(opts.width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>y_label_width$} {x_lo:<20.4}{:>width$.4}\n",
+        "",
+        x_hi,
+        width = opts.width - 20
+    ));
+    out.push_str(&format!(
+        "x: {}{}   y: {}\n",
+        fig.x_label,
+        if opts.log_x { " (log)" } else { "" },
+        fig.y_label
+    ));
+    for (si, s) in fig.series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", MARKS[si % MARKS.len()], s.label));
+    }
+    out
+}
+
+fn pad_range(lo: f64, hi: f64) -> (f64, f64) {
+    if lo == hi {
+        let pad = if lo == 0.0 { 1.0 } else { lo.abs() * 0.1 };
+        (lo - pad, hi + pad)
+    } else {
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+
+    fn fig() -> Figure {
+        Figure::new("Test", "x", "y")
+            .with_series(Series::from_fn("up", &[1.0, 2.0, 3.0, 4.0], |x| x))
+            .with_series(Series::from_fn("down", &[1.0, 2.0, 3.0, 4.0], |x| 5.0 - x))
+    }
+
+    #[test]
+    fn renders_with_legend_and_axes() {
+        let s = render_chart(&fig(), &ChartOptions::default());
+        assert!(s.contains("Test"));
+        assert!(s.contains("* up"));
+        assert!(s.contains("o down"));
+        assert!(s.contains('|'));
+        assert!(s.contains('+'));
+    }
+
+    #[test]
+    fn empty_figure_is_graceful() {
+        let s = render_chart(&Figure::default(), &ChartOptions::default());
+        assert!(s.contains("(no data)"));
+    }
+
+    #[test]
+    fn log_x_skips_nonpositive() {
+        let f = Figure::new("L", "x", "y")
+            .with_series(Series::new("s", vec![(0.0, 1.0), (1.0, 1.0), (100.0, 2.0)]));
+        let opts = ChartOptions {
+            log_x: true,
+            ..Default::default()
+        };
+        // Must not panic; x=0 is simply dropped.
+        let s = render_chart(&f, &opts);
+        assert!(s.contains("(log)"));
+    }
+
+    #[test]
+    fn constant_series_padded() {
+        let f = Figure::new("C", "x", "y")
+            .with_series(Series::new("s", vec![(1.0, 5.0), (2.0, 5.0)]));
+        let s = render_chart(&f, &ChartOptions::default());
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn marks_cycle_when_many_series() {
+        let mut f = Figure::new("M", "x", "y");
+        for i in 0..10 {
+            f.push(Series::new(format!("s{i}"), vec![(i as f64, i as f64)]));
+        }
+        let s = render_chart(&f, &ChartOptions::default());
+        assert!(s.contains("s9"));
+    }
+}

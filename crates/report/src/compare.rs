@@ -1,0 +1,147 @@
+//! Model-vs-measurement comparisons: the numbers EXPERIMENTS.md records.
+
+use crate::table::{fmt_num, Table};
+
+/// Signed relative error `(model − measured)/measured` (positive = model
+/// over-predicts, the conservative direction for LoPC).
+pub fn pct_err(model: f64, measured: f64) -> f64 {
+    if measured == 0.0 {
+        if model == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (model - measured) / measured
+    }
+}
+
+/// One comparison point.
+#[derive(Clone, Debug)]
+pub struct ComparisonRow {
+    /// Point label (e.g. "W=512").
+    pub label: String,
+    /// Model prediction.
+    pub model: f64,
+    /// Measured (simulated) value.
+    pub measured: f64,
+}
+
+impl ComparisonRow {
+    /// Signed relative error.
+    pub fn err(&self) -> f64 {
+        pct_err(self.model, self.measured)
+    }
+}
+
+/// A set of comparison rows with summary statistics.
+#[derive(Clone, Debug, Default)]
+pub struct ComparisonTable {
+    /// What is being compared (e.g. "response time R").
+    pub quantity: String,
+    /// The rows.
+    pub rows: Vec<ComparisonRow>,
+}
+
+impl ComparisonTable {
+    /// New empty table for the named quantity.
+    pub fn new(quantity: impl Into<String>) -> Self {
+        ComparisonTable {
+            quantity: quantity.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Add one comparison point.
+    pub fn push(&mut self, label: impl Into<String>, model: f64, measured: f64) {
+        self.rows.push(ComparisonRow {
+            label: label.into(),
+            model,
+            measured,
+        });
+    }
+
+    /// Maximum absolute relative error.
+    pub fn max_abs_err(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.err().abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean absolute relative error.
+    pub fn mean_abs_err(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.err().abs()).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// True when the model never under-predicts by more than `tol`
+    /// (LoPC is expected to be conservative).
+    pub fn is_conservative(&self, tol: f64) -> bool {
+        self.rows.iter().all(|r| r.err() >= -tol)
+    }
+
+    /// Render as text.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["point", "model", "measured", "err %"]);
+        for r in &self.rows {
+            t.row([
+                r.label.clone(),
+                fmt_num(r.model),
+                fmt_num(r.measured),
+                format!("{:+.2}", r.err() * 100.0),
+            ]);
+        }
+        format!(
+            "{} — max |err| {:.2}%, mean |err| {:.2}%\n{}",
+            self.quantity,
+            self.max_abs_err() * 100.0,
+            self.mean_abs_err() * 100.0,
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_err_sign_convention() {
+        assert!((pct_err(110.0, 100.0) - 0.10).abs() < 1e-12);
+        assert!((pct_err(90.0, 100.0) + 0.10).abs() < 1e-12);
+        assert_eq!(pct_err(0.0, 0.0), 0.0);
+        assert_eq!(pct_err(1.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut t = ComparisonTable::new("R");
+        t.push("a", 106.0, 100.0);
+        t.push("b", 98.0, 100.0);
+        assert!((t.max_abs_err() - 0.06).abs() < 1e-12);
+        assert!((t.mean_abs_err() - 0.04).abs() < 1e-12);
+        assert!(t.is_conservative(0.03));
+        assert!(!t.is_conservative(0.01));
+    }
+
+    #[test]
+    fn empty_table_stats() {
+        let t = ComparisonTable::new("X");
+        assert_eq!(t.max_abs_err(), 0.0);
+        assert_eq!(t.mean_abs_err(), 0.0);
+        assert!(t.is_conservative(0.0));
+    }
+
+    #[test]
+    fn render_contains_summary() {
+        let mut t = ComparisonTable::new("throughput");
+        t.push("ps=4", 0.05, 0.051);
+        let s = t.render();
+        assert!(s.contains("throughput"));
+        assert!(s.contains("ps=4"));
+        assert!(s.contains("max |err|"));
+    }
+}

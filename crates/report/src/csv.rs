@@ -1,0 +1,95 @@
+//! CSV emission for external plotting.
+
+use crate::series::Figure;
+use std::io::Write;
+use std::path::Path;
+
+/// Write a figure as CSV: one `x` column and one column per series, joined
+/// on exact x values (missing combinations are empty cells).
+pub fn write_csv(fig: &Figure, path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(f, "{}", csv_string(fig))?;
+    f.flush()
+}
+
+/// Render the CSV in memory (separated out for testability).
+pub fn csv_string(fig: &Figure) -> String {
+    // Collect the union of x values, sorted.
+    let mut xs: Vec<f64> = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+
+    let mut out = String::new();
+    out.push_str(&escape(&fig.x_label));
+    for s in &fig.series {
+        out.push(',');
+        out.push_str(&escape(&s.label));
+    }
+    out.push('\n');
+
+    for &x in &xs {
+        out.push_str(&format!("{x}"));
+        for s in &fig.series {
+            out.push(',');
+            if let Some(&(_, y)) = s.points.iter().find(|&&(px, _)| px == x) {
+                out.push_str(&format!("{y}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+
+    #[test]
+    fn joins_on_x() {
+        let fig = Figure::new("t", "w", "r")
+            .with_series(Series::new("a", vec![(1.0, 10.0), (2.0, 20.0)]))
+            .with_series(Series::new("b", vec![(2.0, 200.0), (3.0, 300.0)]));
+        let csv = csv_string(&fig);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "w,a,b");
+        assert_eq!(lines[1], "1,10,");
+        assert_eq!(lines[2], "2,20,200");
+        assert_eq!(lines[3], "3,,300");
+    }
+
+    #[test]
+    fn escapes_commas_and_quotes() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn writes_file_with_parent_creation() {
+        let dir = std::env::temp_dir().join("lopc_csv_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("fig.csv");
+        let fig = Figure::new("t", "x", "y")
+            .with_series(Series::new("s", vec![(1.0, 2.0)]));
+        write_csv(&fig, &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("x,s"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

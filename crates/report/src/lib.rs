@@ -1,0 +1,18 @@
+//! Figure and table plumbing for the LoPC reproduction.
+//!
+//! Every experiment in the benchmark harness produces a [`Figure`] — a set of
+//! named data [`Series`] — which can be rendered as an ASCII chart for the
+//! terminal, emitted as CSV for external plotting, and summarised as a
+//! model-vs-measurement comparison table ([`compare`]).
+
+pub mod chart;
+pub mod compare;
+pub mod csv;
+pub mod series;
+pub mod table;
+
+pub use chart::{render_chart, ChartOptions};
+pub use compare::{pct_err, ComparisonRow, ComparisonTable};
+pub use csv::write_csv;
+pub use series::{Figure, Series};
+pub use table::Table;

@@ -1,0 +1,171 @@
+//! Data series and figures.
+
+/// One named series of `(x, y)` points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build a series from points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// Build by evaluating `f` over `xs`.
+    pub fn from_fn(label: impl Into<String>, xs: &[f64], mut f: impl FnMut(f64) -> f64) -> Self {
+        Series {
+            label: label.into(),
+            points: xs.iter().map(|&x| (x, f(x))).collect(),
+        }
+    }
+
+    /// Minimum and maximum y (None when empty or all-NaN).
+    pub fn y_range(&self) -> Option<(f64, f64)> {
+        let mut it = self.points.iter().map(|&(_, y)| y).filter(|y| !y.is_nan());
+        let first = it.next()?;
+        Some(it.fold((first, first), |(lo, hi), y| (lo.min(y), hi.max(y))))
+    }
+
+    /// Linear interpolation at `x` (clamps outside the domain). None when
+    /// the series is empty.
+    pub fn interpolate(&self, x: f64) -> Option<f64> {
+        let pts = &self.points;
+        if pts.is_empty() {
+            return None;
+        }
+        if x <= pts[0].0 {
+            return Some(pts[0].1);
+        }
+        if x >= pts[pts.len() - 1].0 {
+            return Some(pts[pts.len() - 1].1);
+        }
+        let i = pts.partition_point(|&(px, _)| px < x);
+        let (x0, y0) = pts[i - 1];
+        let (x1, y1) = pts[i];
+        if x1 == x0 {
+            return Some(y0);
+        }
+        Some(y0 + (y1 - y0) * (x - x0) / (x1 - x0))
+    }
+}
+
+/// A figure: several series with axis labels, corresponding to one of the
+/// paper's figures.
+#[derive(Clone, Debug, Default)]
+pub struct Figure {
+    /// Figure title (e.g. "Figure 5-2: response time of all-to-all …").
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The data.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Empty figure with labels.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a series (builder style).
+    pub fn with_series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Add a series in place.
+    pub fn push(&mut self, s: Series) {
+        self.series.push(s);
+    }
+
+    /// Global y range over all series.
+    pub fn y_range(&self) -> Option<(f64, f64)> {
+        let mut out: Option<(f64, f64)> = None;
+        for s in &self.series {
+            if let Some((lo, hi)) = s.y_range() {
+                out = Some(match out {
+                    None => (lo, hi),
+                    Some((l, h)) => (l.min(lo), h.max(hi)),
+                });
+            }
+        }
+        out
+    }
+
+    /// Global x range over all series.
+    pub fn x_range(&self) -> Option<(f64, f64)> {
+        let mut out: Option<(f64, f64)> = None;
+        for s in &self.series {
+            for &(x, _) in &s.points {
+                if x.is_nan() {
+                    continue;
+                }
+                out = Some(match out {
+                    None => (x, x),
+                    Some((l, h)) => (l.min(x), h.max(x)),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_evaluates() {
+        let s = Series::from_fn("sq", &[1.0, 2.0, 3.0], |x| x * x);
+        assert_eq!(s.points, vec![(1.0, 1.0), (2.0, 4.0), (3.0, 9.0)]);
+    }
+
+    #[test]
+    fn y_range_ignores_nan() {
+        let s = Series::new("s", vec![(0.0, 1.0), (1.0, f64::NAN), (2.0, 5.0)]);
+        assert_eq!(s.y_range(), Some((1.0, 5.0)));
+    }
+
+    #[test]
+    fn empty_ranges_are_none() {
+        assert!(Series::new("e", vec![]).y_range().is_none());
+        assert!(Figure::default().y_range().is_none());
+        assert!(Figure::default().x_range().is_none());
+    }
+
+    #[test]
+    fn interpolation() {
+        let s = Series::new("lin", vec![(0.0, 0.0), (10.0, 100.0)]);
+        assert_eq!(s.interpolate(5.0), Some(50.0));
+        assert_eq!(s.interpolate(-1.0), Some(0.0), "clamps left");
+        assert_eq!(s.interpolate(20.0), Some(100.0), "clamps right");
+        assert!(Series::new("e", vec![]).interpolate(1.0).is_none());
+    }
+
+    #[test]
+    fn figure_ranges_span_series() {
+        let fig = Figure::new("t", "x", "y")
+            .with_series(Series::new("a", vec![(0.0, 1.0), (5.0, 2.0)]))
+            .with_series(Series::new("b", vec![(2.0, -1.0), (9.0, 7.0)]));
+        assert_eq!(fig.x_range(), Some((0.0, 9.0)));
+        assert_eq!(fig.y_range(), Some((-1.0, 7.0)));
+    }
+}

@@ -1,0 +1,139 @@
+//! Aligned plain-text tables.
+
+/// A simple right-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header arity.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns, a header underline, and two spaces of
+    /// column separation.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                // Right-align numbers-ish content, left-align first column.
+                if i == 0 {
+                    line.push_str(&format!("{cell:<width$}", width = widths[i]));
+                } else {
+                    line.push_str(&format!("{cell:>width$}", width = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with engineering-friendly precision.
+pub fn fmt_num(x: f64) -> String {
+    if x == 0.0 {
+        return "0".into();
+    }
+    let a = x.abs();
+    if !(0.001..10_000.0).contains(&a) {
+        format!("{x:.3e}")
+    } else if a >= 100.0 {
+        format!("{x:.1}")
+    } else if a >= 1.0 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["alpha", "1"]);
+        t.row(["b", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with('-'));
+        // Both data lines have equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        Table::new(["a", "b"]).row(["only one"]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(["x"]);
+        assert!(t.is_empty());
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn fmt_num_ranges() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(3.14159), "3.142");
+        assert_eq!(fmt_num(123.456), "123.5");
+        assert!(fmt_num(123_456.0).contains('e'));
+        assert!(fmt_num(0.000_01).contains('e'));
+        assert_eq!(fmt_num(0.5), "0.50000");
+    }
+}

@@ -1,0 +1,945 @@
+//! The discrete-event engine: nodes, messages, handlers, and the event loop.
+//!
+//! Semantics implemented (Chapter 2 of the thesis, and the model/simulator
+//! contract recorded in DESIGN.md §5):
+//!
+//! * Sending a message is free; it arrives exactly `St` later (contention-
+//!   free network).
+//! * An arriving message **interrupts** a computing thread immediately
+//!   (preempt-resume); remaining work is banked and resumed later.
+//! * Handlers are **atomic**: arrivals during a handler wait in an infinite
+//!   FIFO. When a handler completes, queued messages run **before** the
+//!   computation thread resumes.
+//! * A request handler either forwards the request (multi-hop) or sends the
+//!   reply to the originator; a reply handler unblocks the local thread and
+//!   ends the cycle.
+//! * With `protocol_processor = true`, handlers run on a per-node coprocessor
+//!   and never interrupt computation (§5.1 "Modeling Shared Memory").
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::config::{ConfigError, NodeId, SimConfig, StopCondition, Time};
+use crate::stats::{Aggregate, NodeStats, NodeSummary, SimReport, Welford};
+use lopc_dist::Distribution;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Message kind: requests travel origin → server(s); the final server turns
+/// the message into a reply back to the origin.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MsgKind {
+    Request,
+    Reply,
+}
+
+/// A message in flight or queued. Cycle-level bookkeeping lives on the
+/// origin node (a fork-join cycle owns several messages at once); the
+/// message itself carries only per-request state.
+#[derive(Clone, Debug)]
+struct Msg {
+    kind: MsgKind,
+    origin: NodeId,
+    /// Handler visits remaining *after* the current one (multi-hop).
+    hops_left: u32,
+    /// Accumulated request-handler response time over all hops (`Rq`).
+    rq_sum: f64,
+    /// Arrival time at the node currently holding the message.
+    arrived_at: Time,
+}
+
+/// CPU occupancy of a node.
+#[derive(Clone, Copy, Debug)]
+enum Cpu {
+    Idle,
+    /// Running a (non-preemptible) handler.
+    Handler,
+    /// Running the computation thread; completion is the event carrying
+    /// `token`, invalidated by bumping the node's token on preemption.
+    Compute { end: Time },
+}
+
+/// Computation-thread state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum ThreadState {
+    /// Has `remaining` work to do but the CPU is busy with handlers.
+    Ready { remaining: f64 },
+    /// Currently computing (CPU is `Compute`).
+    Running,
+    /// Request outstanding; spinning (interruptible at zero cost).
+    Blocked,
+    /// Finished its cycle quota (makespan mode).
+    Done,
+    /// A pure server: never computes, never requests.
+    Absent,
+}
+
+/// Per-node state.
+#[derive(Debug)]
+struct Node {
+    cpu: Cpu,
+    thread: ThreadState,
+    fifo: VecDeque<Msg>,
+    in_service: Option<Msg>,
+    // Protocol-processor state (used only when cfg.protocol_processor).
+    pp_busy: bool,
+    pp_fifo: VecDeque<Msg>,
+    pp_in_service: Option<Msg>,
+    // Cycle bookkeeping.
+    t_cycle_start: Time,
+    /// When this cycle's requests were injected.
+    t_sent: Time,
+    /// Replies still outstanding in the current fork-join cycle.
+    outstanding: u32,
+    /// Accumulated request-handler response over the cycle's requests.
+    cyc_rq: f64,
+    /// Accumulated reply-handler response over the cycle's replies.
+    cyc_ry: f64,
+    cycles_done: u64,
+    compute_token: u64,
+    /// Round-robin cursor for deterministic destination choosers.
+    rr: usize,
+    stats: NodeStats,
+}
+
+impl Node {
+    fn new() -> Self {
+        Node {
+            cpu: Cpu::Idle,
+            thread: ThreadState::Absent,
+            fifo: VecDeque::new(),
+            in_service: None,
+            pp_busy: false,
+            pp_fifo: VecDeque::new(),
+            pp_in_service: None,
+            t_cycle_start: 0.0,
+            t_sent: 0.0,
+            outstanding: 0,
+            cyc_rq: 0.0,
+            cyc_ry: 0.0,
+            cycles_done: 0,
+            compute_token: 0,
+            rr: 0,
+            stats: NodeStats::new(),
+        }
+    }
+}
+
+/// Event payload.
+#[derive(Debug)]
+enum EvKind {
+    Arrive(Msg),
+    HandlerDone,
+    PpHandlerDone,
+    ComputeDone { token: u64 },
+    WarmupReset,
+}
+
+/// A scheduled event; ordered by `(time, seq)` so simultaneous events retain
+/// FIFO scheduling order and runs are bit-reproducible.
+#[derive(Debug)]
+struct Ev {
+    t: Time,
+    seq: u64,
+    node: NodeId,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.t
+            .total_cmp(&other.t)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// The simulation engine. Construct with [`Engine::new`], then call
+/// [`Engine::run_to_completion`] (or use the [`crate::run`] convenience).
+pub struct Engine {
+    cfg: SimConfig,
+    now: Time,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Ev>>,
+    nodes: Vec<Node>,
+    rng: SmallRng,
+    events: u64,
+    /// Cycles recorded only when they *start* at or after this time.
+    warmup: Time,
+    /// Horizon end (None in makespan mode).
+    horizon_end: Option<Time>,
+    /// Per-thread cycle quota (None in horizon mode).
+    max_cycles: Option<u64>,
+    /// Active threads not yet `Done` (makespan mode termination).
+    active_remaining: usize,
+    makespan: Time,
+}
+
+impl Engine {
+    /// Build an engine for a validated configuration.
+    pub fn new(cfg: SimConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let (warmup, horizon_end, max_cycles) = match cfg.stop {
+            StopCondition::Horizon { warmup, end } => (warmup, Some(end), None),
+            StopCondition::CyclesPerThread { n } => (0.0, None, Some(n)),
+        };
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut eng = Engine {
+            nodes: (0..cfg.p).map(|_| Node::new()).collect(),
+            now: 0.0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            rng,
+            events: 0,
+            warmup,
+            horizon_end,
+            max_cycles,
+            active_remaining: cfg.active_threads(),
+            makespan: 0.0,
+            cfg,
+        };
+        eng.bootstrap();
+        Ok(eng)
+    }
+
+    /// Prime every active thread with its first work quantum.
+    fn bootstrap(&mut self) {
+        for k in 0..self.cfg.p {
+            if let Some(work) = self.cfg.threads[k].work.clone() {
+                let w = work.sample(&mut self.rng);
+                self.nodes[k].t_cycle_start = 0.0;
+                self.nodes[k].thread = ThreadState::Ready { remaining: w };
+                self.start_compute(k);
+            }
+        }
+        if self.warmup > 0.0 {
+            self.schedule(self.warmup, 0, EvKind::WarmupReset);
+        }
+    }
+
+    /// Sample this message's wire time: constant `St`, or drawn from the
+    /// configured latency distribution (same mean, §5.2).
+    #[inline]
+    fn wire_time(&mut self) -> f64 {
+        match &self.cfg.latency_dist {
+            None => self.cfg.net_latency,
+            Some(d) => d.sample(&mut self.rng),
+        }
+    }
+
+    #[inline]
+    fn schedule(&mut self, t: Time, node: NodeId, kind: EvKind) {
+        self.seq += 1;
+        self.heap.push(Reverse(Ev {
+            t,
+            seq: self.seq,
+            node,
+            kind,
+        }));
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// Run until the stop condition is reached and produce the report.
+    pub fn run_to_completion(mut self) -> SimReport {
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            if let Some(end) = self.horizon_end {
+                if ev.t > end {
+                    break;
+                }
+            }
+            debug_assert!(ev.t >= self.now, "time went backwards");
+            self.now = ev.t;
+            self.events += 1;
+            match ev.kind {
+                EvKind::Arrive(msg) => self.on_arrive(ev.node, msg),
+                EvKind::HandlerDone => self.on_handler_done(ev.node),
+                EvKind::PpHandlerDone => self.on_pp_handler_done(ev.node),
+                EvKind::ComputeDone { token } => self.on_compute_done(ev.node, token),
+                EvKind::WarmupReset => {
+                    let t = self.now;
+                    for n in &mut self.nodes {
+                        n.stats.reset_time_averages(t);
+                    }
+                }
+            }
+            if self.max_cycles.is_some() && self.active_remaining == 0 {
+                break;
+            }
+        }
+        self.finalize()
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn on_arrive(&mut self, k: NodeId, mut msg: Msg) {
+        msg.arrived_at = self.now;
+        {
+            let node = &mut self.nodes[k];
+            match msg.kind {
+                MsgKind::Request => node.stats.nq.add(self.now, 1.0),
+                MsgKind::Reply => {
+                    debug_assert_eq!(msg.origin, k, "reply must arrive at its origin");
+                    node.stats.ny.add(self.now, 1.0);
+                }
+            }
+            debug_assert!(
+                node.stats.ny.level() <= self.cfg.threads[k].fanout as f64,
+                "a node holds at most `fanout` replies"
+            );
+            let depth = node.stats.nq.level() + node.stats.ny.level();
+            node.stats.max_depth = node.stats.max_depth.max(depth as u64);
+        }
+
+        if self.cfg.protocol_processor {
+            if self.nodes[k].pp_busy {
+                self.nodes[k].pp_fifo.push_back(msg);
+            } else {
+                self.start_pp_handler(k, msg);
+            }
+            return;
+        }
+
+        match self.nodes[k].cpu {
+            Cpu::Idle => self.start_handler(k, msg),
+            Cpu::Handler => self.nodes[k].fifo.push_back(msg),
+            Cpu::Compute { end } => {
+                // Preempt-resume: bank remaining work, invalidate the pending
+                // completion event, run the handler now.
+                let remaining = (end - self.now).max(0.0);
+                let node = &mut self.nodes[k];
+                node.compute_token += 1;
+                node.thread = ThreadState::Ready { remaining };
+                node.stats.busy_compute.set(self.now, 0.0);
+                node.cpu = Cpu::Idle;
+                self.start_handler(k, msg);
+            }
+        }
+    }
+
+    fn start_handler(&mut self, k: NodeId, msg: Msg) {
+        debug_assert!(self.nodes[k].in_service.is_none());
+        let service = match msg.kind {
+            MsgKind::Request => self.cfg.request_handler.sample(&mut self.rng),
+            MsgKind::Reply => self.cfg.reply_handler.sample(&mut self.rng),
+        };
+        {
+            let node = &mut self.nodes[k];
+            match msg.kind {
+                MsgKind::Request => node.stats.busy_req.set(self.now, 1.0),
+                MsgKind::Reply => node.stats.busy_rep.set(self.now, 1.0),
+            }
+            node.cpu = Cpu::Handler;
+            node.in_service = Some(msg);
+        }
+        self.schedule(self.now + service, k, EvKind::HandlerDone);
+    }
+
+    fn start_pp_handler(&mut self, k: NodeId, msg: Msg) {
+        debug_assert!(self.nodes[k].pp_in_service.is_none());
+        let service = match msg.kind {
+            MsgKind::Request => self.cfg.request_handler.sample(&mut self.rng),
+            MsgKind::Reply => self.cfg.reply_handler.sample(&mut self.rng),
+        };
+        {
+            let node = &mut self.nodes[k];
+            match msg.kind {
+                MsgKind::Request => node.stats.busy_req.set(self.now, 1.0),
+                MsgKind::Reply => node.stats.busy_rep.set(self.now, 1.0),
+            }
+            node.pp_busy = true;
+            node.pp_in_service = Some(msg);
+        }
+        self.schedule(self.now + service, k, EvKind::PpHandlerDone);
+    }
+
+    fn on_handler_done(&mut self, k: NodeId) {
+        let msg = self.nodes[k]
+            .in_service
+            .take()
+            .expect("HandlerDone with no handler in service");
+        {
+            let node = &mut self.nodes[k];
+            node.cpu = Cpu::Idle;
+            match msg.kind {
+                MsgKind::Request => {
+                    node.stats.busy_req.set(self.now, 0.0);
+                    node.stats.nq.add(self.now, -1.0);
+                }
+                MsgKind::Reply => {
+                    node.stats.busy_rep.set(self.now, 0.0);
+                    node.stats.ny.add(self.now, -1.0);
+                }
+            }
+        }
+        self.complete_message(k, msg);
+
+        // CPU dispatch: queued handlers run before the thread resumes (this
+        // is the interference the BKT approximation charges to Rw).
+        if let Some(next) = self.nodes[k].fifo.pop_front() {
+            self.start_handler(k, next);
+        } else if let ThreadState::Ready { .. } = self.nodes[k].thread {
+            self.start_compute(k);
+        }
+    }
+
+    fn on_pp_handler_done(&mut self, k: NodeId) {
+        let msg = self.nodes[k]
+            .pp_in_service
+            .take()
+            .expect("PpHandlerDone with no handler in service");
+        {
+            let node = &mut self.nodes[k];
+            node.pp_busy = false;
+            match msg.kind {
+                MsgKind::Request => {
+                    node.stats.busy_req.set(self.now, 0.0);
+                    node.stats.nq.add(self.now, -1.0);
+                }
+                MsgKind::Reply => {
+                    node.stats.busy_rep.set(self.now, 0.0);
+                    node.stats.ny.add(self.now, -1.0);
+                }
+            }
+        }
+        self.complete_message(k, msg);
+
+        // The CPU never ran the handler: start the thread only if it just
+        // became ready and the CPU is idle.
+        if let (Cpu::Idle, ThreadState::Ready { .. }) = (self.nodes[k].cpu, self.nodes[k].thread) {
+            self.start_compute(k);
+        }
+        if let Some(next) = self.nodes[k].pp_fifo.pop_front() {
+            self.start_pp_handler(k, next);
+        }
+    }
+
+    /// Shared request/reply completion logic (CPU-handler and protocol-
+    /// processor paths): forward, reply, or end the origin's cycle.
+    fn complete_message(&mut self, k: NodeId, mut msg: Msg) {
+        match msg.kind {
+            MsgKind::Request => {
+                let response = self.now - msg.arrived_at;
+                msg.rq_sum += response;
+                if msg.arrived_at >= self.warmup {
+                    let node = &mut self.nodes[k];
+                    node.stats.rq_at_server.push(response);
+                    node.stats.requests_served += 1;
+                }
+                let wire = self.wire_time();
+                if msg.hops_left > 0 {
+                    msg.hops_left -= 1;
+                    // Forwarding hop: uniform over the other nodes, like the
+                    // multi-hop patterns of Appendix A.
+                    let next = crate::routing::DestChooser::UniformOther.pick(
+                        k,
+                        self.cfg.p,
+                        &mut self.rng,
+                        &mut self.nodes[k].rr,
+                    );
+                    self.schedule(self.now + wire, next, EvKind::Arrive(msg));
+                } else {
+                    msg.kind = MsgKind::Reply;
+                    let origin = msg.origin;
+                    self.schedule(self.now + wire, origin, EvKind::Arrive(msg));
+                }
+            }
+            MsgKind::Reply => {
+                debug_assert_eq!(msg.origin, k);
+                {
+                    let node = &mut self.nodes[k];
+                    debug_assert!(node.outstanding > 0, "unexpected reply");
+                    node.cyc_rq += msg.rq_sum;
+                    node.cyc_ry += self.now - msg.arrived_at;
+                    node.outstanding -= 1;
+                    if node.outstanding > 0 {
+                        return; // fork-join: wait for the siblings
+                    }
+                }
+                // Last reply of the cycle: record and start the next one.
+                let (r, rw, cyc_rq, cyc_ry) = {
+                    let node = &self.nodes[k];
+                    (
+                        self.now - node.t_cycle_start,
+                        node.t_sent - node.t_cycle_start,
+                        node.cyc_rq,
+                        node.cyc_ry,
+                    )
+                };
+                if self.nodes[k].t_cycle_start >= self.warmup {
+                    let node = &mut self.nodes[k];
+                    node.stats.r.push(r);
+                    node.stats.rw.push(rw);
+                    node.stats.rq.push(cyc_rq);
+                    node.stats.ry.push(cyc_ry);
+                    node.stats.cycles += 1;
+                }
+                self.nodes[k].cycles_done += 1;
+                self.makespan = self.now;
+
+                let quota_left = self
+                    .max_cycles
+                    .is_none_or(|n| self.nodes[k].cycles_done < n);
+                if quota_left {
+                    let work = self.cfg.threads[k]
+                        .work
+                        .clone()
+                        .expect("reply arrived at a server node");
+                    let w = work.sample(&mut self.rng);
+                    let node = &mut self.nodes[k];
+                    node.t_cycle_start = self.now;
+                    node.thread = ThreadState::Ready { remaining: w };
+                } else {
+                    self.nodes[k].thread = ThreadState::Done;
+                    self.active_remaining -= 1;
+                }
+            }
+        }
+    }
+
+    fn start_compute(&mut self, k: NodeId) {
+        let remaining = match self.nodes[k].thread {
+            ThreadState::Ready { remaining } => remaining,
+            other => unreachable!("start_compute on thread in state {other:?}"),
+        };
+        debug_assert!(
+            self.cfg.protocol_processor || self.nodes[k].fifo.is_empty(),
+            "compute must not start with queued handlers"
+        );
+        let node = &mut self.nodes[k];
+        node.compute_token += 1;
+        let token = node.compute_token;
+        node.thread = ThreadState::Running;
+        node.cpu = Cpu::Compute {
+            end: self.now + remaining,
+        };
+        node.stats.busy_compute.set(self.now, 1.0);
+        self.schedule(self.now + remaining, k, EvKind::ComputeDone { token });
+    }
+
+    fn on_compute_done(&mut self, k: NodeId, token: u64) {
+        if self.nodes[k].compute_token != token {
+            return; // stale: the thread was preempted after scheduling this
+        }
+        debug_assert!(matches!(self.nodes[k].cpu, Cpu::Compute { .. }));
+        debug_assert_eq!(self.nodes[k].thread, ThreadState::Running);
+        {
+            let node = &mut self.nodes[k];
+            node.stats.busy_compute.set(self.now, 0.0);
+            node.cpu = Cpu::Idle;
+            node.thread = ThreadState::Blocked;
+        }
+        // Issue the cycle's blocking request(s); sending is free, each
+        // message's wire time is St (or sampled).
+        let spec = &self.cfg.threads[k];
+        let hops = spec.hops;
+        let fanout = spec.fanout;
+        let dest = spec.dest.clone();
+        {
+            let node = &mut self.nodes[k];
+            node.t_sent = self.now;
+            node.outstanding = fanout;
+            node.cyc_rq = 0.0;
+            node.cyc_ry = 0.0;
+        }
+        for _ in 0..fanout {
+            let dst = dest.pick(k, self.cfg.p, &mut self.rng, &mut self.nodes[k].rr);
+            debug_assert_ne!(dst, k, "requests must target another node");
+            let msg = Msg {
+                kind: MsgKind::Request,
+                origin: k,
+                hops_left: hops - 1,
+                rq_sum: 0.0,
+                arrived_at: 0.0,
+            };
+            let wire = self.wire_time();
+            self.schedule(self.now + wire, dst, EvKind::Arrive(msg));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting
+    // ------------------------------------------------------------------
+
+    fn finalize(self) -> SimReport {
+        let t_end = match self.horizon_end {
+            Some(end) => end,
+            None => self.makespan,
+        };
+        let window = match self.horizon_end {
+            Some(end) => end - self.warmup,
+            None => self.makespan,
+        };
+
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        let mut pooled_r = Welford::new();
+        let mut pooled_rw = Welford::new();
+        let mut pooled_rq = Welford::new();
+        let mut pooled_ry = Welford::new();
+        let mut total_cycles = 0u64;
+        let mut sum_uq = 0.0;
+        let mut sum_uy = 0.0;
+        let mut sum_qq = 0.0;
+        let mut sum_qy = 0.0;
+
+        for node in &self.nodes {
+            let s = &node.stats;
+            let summary = NodeSummary {
+                mean_r: s.r.mean(),
+                mean_rw: s.rw.mean(),
+                mean_rq: s.rq.mean(),
+                mean_ry: s.ry.mean(),
+                mean_rq_at_server: s.rq_at_server.mean(),
+                qq: s.nq.average(t_end),
+                qy: s.ny.average(t_end),
+                uq: s.busy_req.average(t_end),
+                uy: s.busy_rep.average(t_end),
+                u_compute: s.busy_compute.average(t_end),
+                cycles: s.cycles,
+                requests_served: s.requests_served,
+                max_depth: s.max_depth,
+            };
+            pooled_r.merge(&s.r);
+            pooled_rw.merge(&s.rw);
+            pooled_rq.merge(&s.rq);
+            pooled_ry.merge(&s.ry);
+            total_cycles += s.cycles;
+            sum_uq += summary.uq;
+            sum_uy += summary.uy;
+            sum_qq += summary.qq;
+            sum_qy += summary.qy;
+            nodes.push(summary);
+        }
+
+        let p = nodes.len() as f64;
+        let aggregate = Aggregate {
+            mean_r: pooled_r.mean(),
+            r_std_err: pooled_r.std_err(),
+            mean_rw: pooled_rw.mean(),
+            mean_rq: pooled_rq.mean(),
+            mean_ry: pooled_ry.mean(),
+            mean_uq: sum_uq / p,
+            mean_uy: sum_uy / p,
+            mean_qq: sum_qq / p,
+            mean_qy: sum_qy / p,
+            total_cycles,
+            throughput: if window > 0.0 {
+                total_cycles as f64 / window
+            } else {
+                0.0
+            },
+        };
+
+        SimReport {
+            nodes,
+            aggregate,
+            window,
+            makespan: self.makespan,
+            events: self.events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SimConfig, StopCondition, ThreadSpec};
+    use crate::routing::DestChooser;
+    use lopc_dist::ServiceTime;
+
+    /// Two perfectly symmetric nodes with constant everything stay in
+    /// lockstep: both block at the same instant, each serves the other's
+    /// request while idle, and there is never any contention. The cycle time
+    /// is then exactly `W + 2·St + 2·So`.
+    #[test]
+    fn two_node_pingpong_is_contention_free() {
+        let (w, st, so) = (500.0, 25.0, 100.0);
+        let cfg = SimConfig {
+            p: 2,
+            net_latency: st,
+            request_handler: ServiceTime::constant(so),
+            reply_handler: ServiceTime::constant(so),
+            threads: vec![ThreadSpec::worker(ServiceTime::constant(w)); 2],
+            protocol_processor: false,
+            latency_dist: None,
+            stop: StopCondition::CyclesPerThread { n: 50 },
+            seed: 9,
+        };
+        let report = Engine::new(cfg).unwrap().run_to_completion();
+        let expected = w + 2.0 * st + 2.0 * so;
+        assert!(
+            (report.aggregate.mean_r - expected).abs() < 1e-9,
+            "R = {} != {expected}",
+            report.aggregate.mean_r
+        );
+        assert_eq!(report.aggregate.total_cycles, 100);
+        // Components are exact too.
+        assert!((report.aggregate.mean_rw - w).abs() < 1e-9);
+        assert!((report.aggregate.mean_rq - so).abs() < 1e-9);
+        assert!((report.aggregate.mean_ry - so).abs() < 1e-9);
+    }
+
+    /// Makespan of the deterministic ping-pong is n·R exactly.
+    #[test]
+    fn pingpong_makespan_is_n_times_r() {
+        let (w, st, so, n) = (300.0, 10.0, 50.0, 20u64);
+        let cfg = SimConfig {
+            p: 2,
+            net_latency: st,
+            request_handler: ServiceTime::constant(so),
+            reply_handler: ServiceTime::constant(so),
+            threads: vec![ThreadSpec::worker(ServiceTime::constant(w)); 2],
+            protocol_processor: false,
+            latency_dist: None,
+            stop: StopCondition::CyclesPerThread { n },
+            seed: 1,
+        };
+        let report = Engine::new(cfg).unwrap().run_to_completion();
+        let r = w + 2.0 * st + 2.0 * so;
+        assert!(
+            (report.makespan - n as f64 * r).abs() < 1e-6,
+            "makespan {} != {}",
+            report.makespan,
+            n as f64 * r
+        );
+    }
+
+    /// Component identity: R = Rw + (h+1)·St + Rq + Ry for every measured
+    /// cycle, so it must hold for the means.
+    #[test]
+    fn response_decomposition_identity() {
+        let st = 25.0;
+        let cfg = SimConfig {
+            p: 8,
+            net_latency: st,
+            request_handler: ServiceTime::exponential(100.0),
+            reply_handler: ServiceTime::exponential(100.0),
+            threads: vec![ThreadSpec::worker(ServiceTime::exponential(400.0)); 8],
+            protocol_processor: false,
+            latency_dist: None,
+            stop: StopCondition::Horizon {
+                warmup: 20_000.0,
+                end: 120_000.0,
+            },
+            seed: 77,
+        };
+        let report = Engine::new(cfg).unwrap().run_to_completion();
+        let a = &report.aggregate;
+        let recomposed = a.mean_rw + 2.0 * st + a.mean_rq + a.mean_ry;
+        assert!(
+            (a.mean_r - recomposed).abs() < 1e-6,
+            "R {} != decomposition {recomposed}",
+            a.mean_r
+        );
+    }
+
+    /// Same seed, same report; different seed, (almost surely) different.
+    #[test]
+    fn determinism_by_seed() {
+        let mk = |seed| {
+            let cfg = SimConfig {
+                p: 4,
+                net_latency: 10.0,
+                request_handler: ServiceTime::exponential(50.0),
+                reply_handler: ServiceTime::exponential(50.0),
+                threads: vec![ThreadSpec::worker(ServiceTime::exponential(200.0)); 4],
+                protocol_processor: false,
+                latency_dist: None,
+                stop: StopCondition::Horizon {
+                    warmup: 5_000.0,
+                    end: 50_000.0,
+                },
+                seed,
+            };
+            Engine::new(cfg).unwrap().run_to_completion()
+        };
+        let a = mk(5);
+        let b = mk(5);
+        let c = mk(6);
+        assert_eq!(a.aggregate.mean_r, b.aggregate.mean_r);
+        assert_eq!(a.events, b.events);
+        assert_ne!(a.aggregate.mean_r, c.aggregate.mean_r);
+    }
+
+    /// With a protocol processor the compute thread is never interrupted, so
+    /// Rw == W exactly for constant work.
+    #[test]
+    fn protocol_processor_never_interrupts_compute() {
+        let w = 300.0;
+        let cfg = SimConfig {
+            p: 8,
+            net_latency: 10.0,
+            request_handler: ServiceTime::exponential(150.0),
+            reply_handler: ServiceTime::exponential(150.0),
+            threads: vec![ThreadSpec::worker(ServiceTime::constant(w)); 8],
+            protocol_processor: true,
+            latency_dist: None,
+            stop: StopCondition::Horizon {
+                warmup: 20_000.0,
+                end: 150_000.0,
+            },
+            seed: 3,
+        };
+        let report = Engine::new(cfg).unwrap().run_to_completion();
+        assert!(
+            (report.aggregate.mean_rw - w).abs() < 1e-9,
+            "Rw = {} != W = {w}",
+            report.aggregate.mean_rw
+        );
+        // But handlers still queue against each other: Rq > So on average.
+        assert!(report.aggregate.mean_rq > 150.0);
+    }
+
+    /// Utilisations are probabilities.
+    #[test]
+    fn utilisations_bounded() {
+        let cfg = SimConfig {
+            p: 6,
+            net_latency: 5.0,
+            request_handler: ServiceTime::exponential(80.0),
+            reply_handler: ServiceTime::exponential(80.0),
+            threads: vec![ThreadSpec::worker(ServiceTime::exponential(100.0)); 6],
+            protocol_processor: false,
+            latency_dist: None,
+            stop: StopCondition::Horizon {
+                warmup: 10_000.0,
+                end: 60_000.0,
+            },
+            seed: 12,
+        };
+        let report = Engine::new(cfg).unwrap().run_to_completion();
+        for (i, n) in report.nodes.iter().enumerate() {
+            assert!((0.0..=1.0 + 1e-9).contains(&n.uq), "uq[{i}] = {}", n.uq);
+            assert!((0.0..=1.0 + 1e-9).contains(&n.uy), "uy[{i}] = {}", n.uy);
+            assert!(
+                n.uq + n.uy + n.u_compute <= 1.0 + 1e-9,
+                "CPU over-committed at node {i}"
+            );
+        }
+    }
+
+    /// Multi-hop requests visit h handlers and pay (h+1) wire latencies.
+    #[test]
+    fn multihop_decomposition() {
+        let st = 20.0;
+        let hops = 3u32;
+        let mut threads = vec![
+            ThreadSpec {
+                work: Some(ServiceTime::constant(500.0)),
+                dest: DestChooser::UniformOther,
+                hops,
+                fanout: 1,
+            };
+            6
+        ];
+        threads[0].hops = hops;
+        let cfg = SimConfig {
+            p: 6,
+            net_latency: st,
+            request_handler: ServiceTime::constant(50.0),
+            reply_handler: ServiceTime::constant(50.0),
+            threads,
+            protocol_processor: false,
+            latency_dist: None,
+            stop: StopCondition::Horizon {
+                warmup: 10_000.0,
+                end: 100_000.0,
+            },
+            seed: 21,
+        };
+        let report = Engine::new(cfg).unwrap().run_to_completion();
+        let a = &report.aggregate;
+        let recomposed = a.mean_rw + (hops as f64 + 1.0) * st + a.mean_rq + a.mean_ry;
+        assert!(
+            (a.mean_r - recomposed).abs() < 1e-6,
+            "R {} != multihop decomposition {recomposed}",
+            a.mean_r
+        );
+        // Rq spans h handler visits: at least h·So.
+        assert!(a.mean_rq >= hops as f64 * 50.0 - 1e-9);
+    }
+
+    /// Pure servers never complete cycles; clients complete all of them.
+    #[test]
+    fn client_server_roles() {
+        let mut threads = vec![ThreadSpec::server(); 6];
+        for spec in threads.iter_mut().skip(2) {
+            *spec = ThreadSpec {
+                work: Some(ServiceTime::exponential(400.0)),
+                dest: DestChooser::UniformAmong(vec![0, 1]),
+                hops: 1,
+                fanout: 1,
+            };
+        }
+        let cfg = SimConfig {
+            p: 6,
+            net_latency: 10.0,
+            request_handler: ServiceTime::exponential(131.0),
+            reply_handler: ServiceTime::exponential(131.0),
+            threads,
+            protocol_processor: false,
+            latency_dist: None,
+            stop: StopCondition::Horizon {
+                warmup: 20_000.0,
+                end: 120_000.0,
+            },
+            seed: 8,
+        };
+        let report = Engine::new(cfg).unwrap().run_to_completion();
+        assert_eq!(report.nodes[0].cycles, 0);
+        assert_eq!(report.nodes[1].cycles, 0);
+        for n in &report.nodes[2..] {
+            assert!(n.cycles > 0);
+        }
+        // All requests land on the two servers.
+        assert_eq!(
+            report.nodes[2..].iter().map(|n| n.requests_served).sum::<u64>(),
+            0
+        );
+        assert!(report.nodes[0].requests_served > 0);
+        assert!(report.nodes[1].requests_served > 0);
+    }
+
+    /// W = 0 (degenerate: thread re-requests instantly) must not wedge.
+    #[test]
+    fn zero_work_progresses() {
+        let cfg = SimConfig {
+            p: 4,
+            net_latency: 10.0,
+            request_handler: ServiceTime::constant(50.0),
+            reply_handler: ServiceTime::constant(50.0),
+            threads: vec![ThreadSpec::worker(ServiceTime::constant(0.0)); 4],
+            protocol_processor: false,
+            latency_dist: None,
+            stop: StopCondition::Horizon {
+                warmup: 5_000.0,
+                end: 50_000.0,
+            },
+            seed: 4,
+        };
+        let report = Engine::new(cfg).unwrap().run_to_completion();
+        assert!(report.aggregate.total_cycles > 100);
+        // R >= 2St + 2So even with no work.
+        assert!(report.aggregate.mean_r >= 2.0 * 10.0 + 2.0 * 50.0 - 1e-9);
+    }
+}

@@ -1,0 +1,146 @@
+//! Tests for the simulator extensions: fork-join fan-out, sampled wire
+//! times, and message-backlog tracking.
+
+use lopc_dist::ServiceTime;
+use lopc_sim::{run, DestChooser, SimConfig, StopCondition, ThreadSpec};
+
+fn base(p: usize, fanout: u32) -> SimConfig {
+    SimConfig {
+        p,
+        net_latency: 25.0,
+        request_handler: ServiceTime::constant(100.0),
+        reply_handler: ServiceTime::constant(100.0),
+        threads: vec![
+            ThreadSpec {
+                work: Some(ServiceTime::constant(800.0)),
+                dest: DestChooser::UniformOther,
+                hops: 1,
+                fanout,
+            };
+            p
+        ],
+        protocol_processor: false,
+        latency_dist: None,
+        stop: StopCondition::Horizon {
+            warmup: 20_000.0,
+            end: 150_000.0,
+        },
+        seed: 3,
+    }
+}
+
+/// Deterministic two-node fork-join: both nodes fire one request at the only
+/// other node. The lockstep cycle is exactly W + 2St + 2So (fanout 1).
+/// This pins the fanout plumbing to the blocking baseline.
+#[test]
+fn two_node_fanout_one_exact() {
+    let mut cfg = base(2, 1);
+    cfg.stop = StopCondition::CyclesPerThread { n: 10 };
+    let report = run(&cfg).unwrap();
+    assert!((report.aggregate.mean_r - (800.0 + 50.0 + 200.0)).abs() < 1e-9);
+}
+
+/// Fork-join cycles complete only after all replies: with fanout k the
+/// per-cycle Rq and Ry accumulators sum k handler responses each.
+#[test]
+fn fanout_accumulates_k_replies() {
+    let k = 3u32;
+    let report = run(&base(16, k)).unwrap();
+    let a = &report.aggregate;
+    // Rq >= k·So and Ry >= k·So because they are per-cycle *sums* over the
+    // k requests/replies.
+    assert!(a.mean_rq >= k as f64 * 100.0 - 1e-9, "Rq = {}", a.mean_rq);
+    assert!(a.mean_ry >= k as f64 * 100.0 - 1e-9, "Ry = {}", a.mean_ry);
+    // Requests served per completed cycle is k on average.
+    let served: u64 = report.nodes.iter().map(|n| n.requests_served).sum();
+    let ratio = served as f64 / a.total_cycles as f64;
+    assert!(
+        (ratio - k as f64).abs() < 0.1,
+        "requests per cycle = {ratio}, expected ~{k}"
+    );
+}
+
+/// Cycle time grows sublinearly in the fan-out: the round trips overlap.
+#[test]
+fn fanout_overlaps_round_trips() {
+    let r1 = run(&base(16, 1)).unwrap().aggregate.mean_r;
+    let r4 = run(&base(16, 4)).unwrap().aggregate.mean_r;
+    // 4 serial round trips would add 3·(2St+2So) = 750 on top of r1; the
+    // overlapped version must pay much less than that.
+    assert!(r4 > r1, "more communication costs more");
+    assert!(
+        r4 - r1 < 0.8 * 3.0 * 250.0,
+        "overlap: r4 - r1 = {} should be well under 750",
+        r4 - r1
+    );
+}
+
+/// §5.2's claim: "in a contention free network … the average wire time is
+/// all we need" — replacing the constant latency with an exponential of the
+/// same mean must leave the mean response time essentially unchanged.
+#[test]
+fn only_mean_wire_time_matters() {
+    let constant = run(&base(16, 1)).unwrap().aggregate.mean_r;
+    let mut jittered_cfg = base(16, 1);
+    jittered_cfg.latency_dist = Some(ServiceTime::exponential(25.0));
+    let jittered = run(&jittered_cfg).unwrap().aggregate.mean_r;
+    assert!(
+        (constant - jittered).abs() / constant < 0.02,
+        "constant-latency R {constant} vs exponential-latency R {jittered}"
+    );
+}
+
+/// Uniform jitter too, and determinism still holds with a latency dist.
+#[test]
+fn jittered_latency_is_deterministic() {
+    let mut cfg = base(8, 1);
+    cfg.latency_dist = Some(ServiceTime::uniform(0.0, 50.0)); // mean 25
+    let a = run(&cfg).unwrap();
+    let b = run(&cfg).unwrap();
+    assert_eq!(a.aggregate.mean_r, b.aggregate.mean_r);
+    assert_eq!(a.events, b.events);
+}
+
+/// §2's tractability assumption: hardware buffers can be treated as
+/// infinite because observed backlogs stay tiny for blocking programs —
+/// the simulator now produces the evidence.
+#[test]
+fn buffer_depths_stay_small_for_blocking_patterns() {
+    let report = run(&base(32, 1)).unwrap();
+    let worst = report.nodes.iter().map(|n| n.max_depth).max().unwrap();
+    // With one outstanding request per node, a 512-byte hardware FIFO
+    // (Alewife) holds ~dozens of 8-word messages; observed backlogs are far
+    // below even a handful.
+    assert!(worst <= 8, "deepest backlog {worst} messages");
+    // Fan-out multiplies the backlog but stays bounded by the closed
+    // population.
+    let report4 = run(&base(32, 4)).unwrap();
+    let worst4 = report4.nodes.iter().map(|n| n.max_depth).max().unwrap();
+    assert!(worst4 >= worst, "fan-out deepens queues");
+    assert!(worst4 <= 32, "still bounded: {worst4}");
+}
+
+/// Mean-mismatched latency distribution is rejected by validation.
+#[test]
+fn latency_mean_mismatch_rejected() {
+    let mut cfg = base(4, 1);
+    cfg.latency_dist = Some(ServiceTime::exponential(10.0)); // mean != 25
+    assert!(run(&cfg).is_err());
+}
+
+/// Fork-join composes with multi-hop: each of the k requests takes h
+/// handler visits.
+#[test]
+fn fanout_composes_with_hops() {
+    let mut cfg = base(12, 2);
+    for t in &mut cfg.threads {
+        t.hops = 2;
+    }
+    let report = run(&cfg).unwrap();
+    let a = &report.aggregate;
+    // Per cycle: 2 requests × 2 hops = 4 request-handler visits.
+    assert!(a.mean_rq >= 4.0 * 100.0 - 1e-9, "Rq = {}", a.mean_rq);
+    let served: u64 = report.nodes.iter().map(|n| n.requests_served).sum();
+    let ratio = served as f64 / a.total_cycles as f64;
+    assert!((ratio - 4.0).abs() < 0.2, "visits per cycle = {ratio}");
+}

@@ -1,0 +1,190 @@
+//! Bisection root finding for monotone scalar equations.
+
+use crate::SolverError;
+
+/// A located root.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Root {
+    /// Root abscissa.
+    pub x: f64,
+    /// Function value at `x` (≈ 0).
+    pub f: f64,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+/// Find a root of `f` on `[lo, hi]` by bisection.
+///
+/// Requires a sign change on the interval (`f(lo)·f(hi) ≤ 0`). Infinite
+/// function values are accepted at the endpoints (they carry a usable sign),
+/// which matters for queueing recursions that blow up at saturation.
+///
+/// `tol` is an absolute tolerance on the interval width.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(lo < hi)` is NaN-rejecting on purpose
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Root, SolverError> {
+    if !(lo < hi) {
+        return Err(SolverError::InvalidInput("bisect requires lo < hi"));
+    }
+    if !(tol > 0.0) {
+        return Err(SolverError::InvalidInput("bisect requires tol > 0"));
+    }
+    let mut f_lo = f(lo);
+    let f_hi = f(hi);
+    if f_lo.is_nan() {
+        return Err(SolverError::NumericalBreakdown { at: lo });
+    }
+    if f_hi.is_nan() {
+        return Err(SolverError::NumericalBreakdown { at: hi });
+    }
+    if f_lo == 0.0 {
+        return Ok(Root {
+            x: lo,
+            f: 0.0,
+            iterations: 0,
+        });
+    }
+    if f_hi == 0.0 {
+        return Ok(Root {
+            x: hi,
+            f: 0.0,
+            iterations: 0,
+        });
+    }
+    if f_lo.signum() == f_hi.signum() {
+        return Err(SolverError::NoBracket { lo, hi, f_lo, f_hi });
+    }
+
+    for i in 0..max_iter {
+        let mid = 0.5 * (lo + hi);
+        let f_mid = f(mid);
+        if f_mid.is_nan() {
+            return Err(SolverError::NumericalBreakdown { at: mid });
+        }
+        if f_mid == 0.0 || hi - lo < tol {
+            return Ok(Root {
+                x: mid,
+                f: f_mid,
+                iterations: i + 1,
+            });
+        }
+        if f_mid.signum() == f_lo.signum() {
+            lo = mid;
+            f_lo = f_mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(SolverError::NoConvergence {
+        iterations: max_iter,
+        residual: hi - lo,
+    })
+}
+
+/// Starting from `lo` with `f(lo) > 0`, double the step until `f` turns
+/// non-positive, returning an upper bracket. Used when only a lower bound on
+/// the fixed point is known a priori (e.g. the contention-free response time).
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(step > 0)` rejects NaN too
+pub fn bracket_upward<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    initial_step: f64,
+    max_doublings: usize,
+) -> Result<f64, SolverError> {
+    if !(initial_step > 0.0) {
+        return Err(SolverError::InvalidInput(
+            "bracket_upward requires a positive initial step",
+        ));
+    }
+    let mut step = initial_step;
+    for _ in 0..max_doublings {
+        let hi = lo + step;
+        let v = f(hi);
+        if v.is_nan() {
+            return Err(SolverError::NumericalBreakdown { at: hi });
+        }
+        if v <= 0.0 {
+            return Ok(hi);
+        }
+        step *= 2.0;
+    }
+    Err(SolverError::NoConvergence {
+        iterations: max_doublings,
+        residual: step,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_sqrt_two() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 100).unwrap();
+        assert!((r.x - std::f64::consts::SQRT_2).abs() < 1e-10);
+        assert!(r.iterations > 0);
+    }
+
+    #[test]
+    fn exact_root_at_endpoint() {
+        let r = bisect(|x| x - 1.0, 1.0, 2.0, 1e-9, 100).unwrap();
+        assert_eq!(r.x, 1.0);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn detects_missing_bracket() {
+        let e = bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9, 100).unwrap_err();
+        assert!(matches!(e, SolverError::NoBracket { .. }));
+    }
+
+    #[test]
+    fn rejects_inverted_interval() {
+        let e = bisect(|x| x, 2.0, 1.0, 1e-9, 100).unwrap_err();
+        assert!(matches!(e, SolverError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn handles_infinite_lower_endpoint() {
+        // Mimics a queueing recursion that saturates below some R: g = +inf
+        // at lo, negative at hi.
+        let g = |x: f64| {
+            if x < 1.0 {
+                f64::INFINITY
+            } else {
+                2.0 - x
+            }
+        };
+        let r = bisect(g, 0.5, 10.0, 1e-10, 200).unwrap();
+        assert!((r.x - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn decreasing_function() {
+        let r = bisect(|x| 5.0 - x, 0.0, 10.0, 1e-12, 100).unwrap();
+        assert!((r.x - 5.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bracket_upward_doubles_until_sign_change() {
+        let hi = bracket_upward(|x| 100.0 - x, 0.0, 1.0, 64).unwrap();
+        assert!(hi >= 100.0);
+    }
+
+    #[test]
+    fn bracket_upward_fails_for_always_positive() {
+        let e = bracket_upward(|_| 1.0, 0.0, 1.0, 8).unwrap_err();
+        assert!(matches!(e, SolverError::NoConvergence { .. }));
+    }
+
+    #[test]
+    fn nan_reported_as_breakdown() {
+        let e = bisect(|_| f64::NAN, 0.0, 1.0, 1e-9, 10).unwrap_err();
+        assert!(matches!(e, SolverError::NumericalBreakdown { .. }));
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type shared by the numerical routines.
+
+/// Why a numerical routine failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolverError {
+    /// The supplied interval does not bracket a root (no sign change).
+    NoBracket {
+        /// Left endpoint supplied.
+        lo: f64,
+        /// Right endpoint supplied.
+        hi: f64,
+        /// Function value at `lo`.
+        f_lo: f64,
+        /// Function value at `hi`.
+        f_hi: f64,
+    },
+    /// The iteration did not converge within the allowed iterations.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual at the last iterate.
+        residual: f64,
+    },
+    /// The function returned NaN during iteration.
+    NumericalBreakdown {
+        /// Point at which the breakdown occurred.
+        at: f64,
+    },
+    /// An input argument was invalid (empty state vector, inverted interval…).
+    InvalidInput(&'static str),
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::NoBracket { lo, hi, f_lo, f_hi } => write!(
+                f,
+                "no sign change on [{lo}, {hi}]: f(lo)={f_lo}, f(hi)={f_hi}"
+            ),
+            SolverError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "no convergence after {iterations} iterations (residual {residual:e})"
+            ),
+            SolverError::NumericalBreakdown { at } => {
+                write!(f, "function returned NaN near x = {at}")
+            }
+            SolverError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SolverError::NoBracket {
+            lo: 0.0,
+            hi: 1.0,
+            f_lo: 2.0,
+            f_hi: 3.0,
+        };
+        assert!(e.to_string().contains("no sign change"));
+        let e = SolverError::NoConvergence {
+            iterations: 5,
+            residual: 0.1,
+        };
+        assert!(e.to_string().contains("5 iterations"));
+        let e = SolverError::NumericalBreakdown { at: 2.0 };
+        assert!(e.to_string().contains("NaN"));
+        let e = SolverError::InvalidInput("empty");
+        assert!(e.to_string().contains("empty"));
+    }
+}

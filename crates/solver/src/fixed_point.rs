@@ -1,0 +1,181 @@
+//! Damped simultaneous fixed-point iteration for vector systems.
+//!
+//! The general LoPC model (Appendix A) is a system `x = F(x)` over the
+//! per-node response times and queue lengths. AMVA systems of this shape are
+//! contractive near the solution but can oscillate when iterated naively;
+//! under-relaxation (`x ← (1−α)x + αF(x)`) restores monotone convergence.
+
+use crate::SolverError;
+
+/// Options controlling [`solve_damped`].
+#[derive(Clone, Copy, Debug)]
+pub struct FixedPointOptions {
+    /// Relaxation factor `α ∈ (0, 1]`; 1 is undamped.
+    pub damping: f64,
+    /// Convergence tolerance on the max-norm of the relative update.
+    pub tol: f64,
+    /// Iteration budget.
+    pub max_iter: usize,
+}
+
+impl Default for FixedPointOptions {
+    fn default() -> Self {
+        FixedPointOptions {
+            damping: 0.5,
+            tol: 1e-10,
+            max_iter: 100_000,
+        }
+    }
+}
+
+/// Result of a converged fixed-point iteration.
+#[derive(Clone, Debug)]
+pub struct Convergence {
+    /// The fixed point.
+    pub x: Vec<f64>,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final max-norm relative residual.
+    pub residual: f64,
+}
+
+/// Iterate `x ← (1−α)x + α·F(x)` to convergence.
+///
+/// `f(x, out)` must write `F(x)` into `out` (same length as `x`). The
+/// iteration stops when `max_i |F(x)_i − x_i| / max(|x_i|, 1)` falls below
+/// `opts.tol`.
+pub fn solve_damped<F>(
+    x0: Vec<f64>,
+    mut f: F,
+    opts: &FixedPointOptions,
+) -> Result<Convergence, SolverError>
+where
+    F: FnMut(&[f64], &mut [f64]),
+{
+    if x0.is_empty() {
+        return Err(SolverError::InvalidInput("empty state vector"));
+    }
+    if !(opts.damping > 0.0 && opts.damping <= 1.0) {
+        return Err(SolverError::InvalidInput("damping must be in (0, 1]"));
+    }
+    let mut x = x0;
+    let mut fx = vec![0.0; x.len()];
+    let mut residual = f64::INFINITY;
+    for iter in 0..opts.max_iter {
+        f(&x, &mut fx);
+        residual = 0.0f64;
+        for i in 0..x.len() {
+            if fx[i].is_nan() {
+                return Err(SolverError::NumericalBreakdown { at: x[i] });
+            }
+            let denom = x[i].abs().max(1.0);
+            residual = residual.max((fx[i] - x[i]).abs() / denom);
+        }
+        if residual < opts.tol {
+            return Ok(Convergence {
+                x,
+                iterations: iter,
+                residual,
+            });
+        }
+        for i in 0..x.len() {
+            x[i] = (1.0 - opts.damping) * x[i] + opts.damping * fx[i];
+        }
+    }
+    Err(SolverError::NoConvergence {
+        iterations: opts.max_iter,
+        residual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_contraction_converges() {
+        // x = cos(x): Dottie number ≈ 0.739085.
+        let c = solve_damped(
+            vec![0.0],
+            |x, out| out[0] = x[0].cos(),
+            &FixedPointOptions::default(),
+        )
+        .unwrap();
+        assert!((c.x[0] - 0.739_085_133_2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn oscillating_map_needs_damping() {
+        // x = 10/x oscillates undamped (period 2); damping fixes it.
+        let opts = FixedPointOptions {
+            damping: 0.5,
+            tol: 1e-12,
+            max_iter: 10_000,
+        };
+        let c = solve_damped(vec![1.0], |x, out| out[0] = 10.0 / x[0], &opts).unwrap();
+        assert!((c.x[0] - 10f64.sqrt()).abs() < 1e-9);
+
+        let undamped = FixedPointOptions {
+            damping: 1.0,
+            tol: 1e-12,
+            max_iter: 1_000,
+        };
+        let e = solve_damped(vec![1.0], |x, out| out[0] = 10.0 / x[0], &undamped);
+        assert!(e.is_err(), "undamped iteration should oscillate forever");
+    }
+
+    #[test]
+    fn vector_system() {
+        // x = (y+1)/2, y = (x+1)/2  =>  x = y = 1.
+        let c = solve_damped(
+            vec![0.0, 0.0],
+            |x, out| {
+                out[0] = (x[1] + 1.0) / 2.0;
+                out[1] = (x[0] + 1.0) / 2.0;
+            },
+            &FixedPointOptions::default(),
+        )
+        .unwrap();
+        assert!((c.x[0] - 1.0).abs() < 1e-8);
+        assert!((c.x[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn empty_state_rejected() {
+        let e = solve_damped(vec![], |_, _| {}, &FixedPointOptions::default()).unwrap_err();
+        assert!(matches!(e, SolverError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn invalid_damping_rejected() {
+        let opts = FixedPointOptions {
+            damping: 0.0,
+            ..Default::default()
+        };
+        let e = solve_damped(vec![1.0], |x, out| out[0] = x[0], &opts).unwrap_err();
+        assert!(matches!(e, SolverError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn nan_breakdown_detected() {
+        let e = solve_damped(
+            vec![1.0],
+            |_, out| out[0] = f64::NAN,
+            &FixedPointOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, SolverError::NumericalBreakdown { .. }));
+    }
+
+    #[test]
+    fn already_converged_returns_zero_iterations() {
+        let c = solve_damped(
+            vec![2.0],
+            |x, out| out[0] = x[0],
+            &FixedPointOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(c.iterations, 0);
+        assert_eq!(c.x[0], 2.0);
+    }
+}

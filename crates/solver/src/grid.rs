@@ -1,0 +1,74 @@
+//! Integer-grid search utilities (optimal server allocation, §6).
+
+/// Result of a grid argmax.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ArgmaxResult {
+    /// Argument achieving the maximum.
+    pub arg: usize,
+    /// The maximum value.
+    pub value: f64,
+}
+
+/// Evaluate `f` on `lo..=hi` and return the argmax.
+///
+/// Ties resolve to the smallest argument. NaN values are skipped; if every
+/// value is NaN the result is `None`.
+pub fn argmax_usize<F: FnMut(usize) -> f64>(lo: usize, hi: usize, mut f: F) -> Option<ArgmaxResult> {
+    if lo > hi {
+        return None;
+    }
+    let mut best: Option<ArgmaxResult> = None;
+    for arg in lo..=hi {
+        let value = f(arg);
+        if value.is_nan() {
+            continue;
+        }
+        match best {
+            Some(b) if b.value >= value => {}
+            _ => best = Some(ArgmaxResult { arg, value }),
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_peak_of_concave_sequence() {
+        // f(x) = -(x-7)^2 peaks at 7.
+        let r = argmax_usize(0, 20, |x| -((x as f64 - 7.0).powi(2))).unwrap();
+        assert_eq!(r.arg, 7);
+        assert_eq!(r.value, 0.0);
+    }
+
+    #[test]
+    fn ties_resolve_low() {
+        let r = argmax_usize(0, 5, |_| 1.0).unwrap();
+        assert_eq!(r.arg, 0);
+    }
+
+    #[test]
+    fn empty_range_is_none() {
+        assert!(argmax_usize(5, 4, |_| 1.0).is_none());
+    }
+
+    #[test]
+    fn nan_values_skipped() {
+        let r = argmax_usize(0, 3, |x| if x == 2 { f64::NAN } else { x as f64 }).unwrap();
+        assert_eq!(r.arg, 3);
+    }
+
+    #[test]
+    fn all_nan_is_none() {
+        assert!(argmax_usize(0, 3, |_| f64::NAN).is_none());
+    }
+
+    #[test]
+    fn single_point_range() {
+        let r = argmax_usize(4, 4, |x| x as f64).unwrap();
+        assert_eq!(r.arg, 4);
+        assert_eq!(r.value, 4.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Secant method — faster than bisection when the function is smooth, used
+//! by benches to compare solver strategies (see the `solver_perf` bench).
+
+use crate::{Root, SolverError};
+
+/// Find a root of `f` starting from abscissae `x0`, `x1`.
+///
+/// Falls back on returning an error rather than diverging: iterates are
+/// required to stay finite, and the denominator must not vanish.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(tol > 0)` rejects NaN too
+pub fn secant<F: FnMut(f64) -> f64>(
+    mut f: F,
+    x0: f64,
+    x1: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Root, SolverError> {
+    if !(tol > 0.0) {
+        return Err(SolverError::InvalidInput("secant requires tol > 0"));
+    }
+    let mut a = x0;
+    let mut b = x1;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    for i in 0..max_iter {
+        if fb.is_nan() || !b.is_finite() {
+            return Err(SolverError::NumericalBreakdown { at: b });
+        }
+        if fb.abs() < tol {
+            return Ok(Root {
+                x: b,
+                f: fb,
+                iterations: i,
+            });
+        }
+        let denom = fb - fa;
+        if denom == 0.0 {
+            return Err(SolverError::NumericalBreakdown { at: b });
+        }
+        let next = b - fb * (b - a) / denom;
+        a = b;
+        fa = fb;
+        b = next;
+        fb = f(b);
+    }
+    Err(SolverError::NoConvergence {
+        iterations: max_iter,
+        residual: fb.abs(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_sqrt_two() {
+        let r = secant(|x| x * x - 2.0, 1.0, 2.0, 1e-12, 100).unwrap();
+        assert!((r.x - std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_converges_in_one_step() {
+        let r = secant(|x| 3.0 * x - 6.0, 0.0, 1.0, 1e-12, 10).unwrap();
+        assert!((r.x - 2.0).abs() < 1e-12);
+        assert!(r.iterations <= 2);
+    }
+
+    #[test]
+    fn flat_function_breaks_down() {
+        let e = secant(|_| 1.0, 0.0, 1.0, 1e-12, 10).unwrap_err();
+        assert!(matches!(e, SolverError::NumericalBreakdown { .. }));
+    }
+
+    #[test]
+    fn immediate_root_detected() {
+        let r = secant(|x| x, -1.0, 0.0, 1e-12, 10).unwrap();
+        assert_eq!(r.x, 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Parallel parameter sweeps.
+//!
+//! Regenerating a figure means evaluating the model or the simulator at many
+//! independent parameter points; this is an embarrassingly-parallel map. We
+//! use crossbeam scoped threads so the closure can borrow from the caller
+//! (no `'static` bound), chunking the index space evenly across the available
+//! cores.
+
+/// Parallel map over a slice of inputs, preserving order.
+///
+/// `f` is called once per item, potentially from different threads. Falls
+/// back to a sequential map when the input is small or only one core is
+/// available.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+
+    // Split the output into contiguous chunks, one set of chunks per thread.
+    let chunk = items.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (ti, out_chunk) in out.chunks_mut(chunk).enumerate() {
+            let start = ti * chunk;
+            let f = &f;
+            let items = &items[start..start + out_chunk.len()];
+            scope.spawn(move |_| {
+                for (slot, item) in out_chunk.iter_mut().zip(items) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    out.into_iter().map(|r| r.expect("slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u32> = vec![];
+        let out = par_map(&items, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        let out = par_map(&[41], |&x| x + 1);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn borrows_from_caller() {
+        let offset = 10usize;
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_map(&items, |&x| x + offset);
+        assert_eq!(out[5], 15);
+    }
+
+    #[test]
+    fn matches_sequential_map() {
+        let items: Vec<f64> = (0..257).map(|i| i as f64 * 0.5).collect();
+        let par = par_map(&items, |&x| x.sin());
+        let seq: Vec<f64> = items.iter().map(|&x| x.sin()).collect();
+        assert_eq!(par, seq);
+    }
+}

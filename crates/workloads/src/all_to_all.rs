@@ -1,0 +1,161 @@
+//! Homogeneous all-to-all workload (§5).
+
+use crate::Window;
+use lopc_core::{AllToAll, GeneralModel, Machine};
+use lopc_dist::ServiceTime;
+use lopc_sim::{DestChooser, SimConfig, ThreadSpec};
+
+/// All-to-all pattern: every node alternates `W` work with a blocking
+/// request to a uniformly random other node.
+#[derive(Clone, Debug)]
+pub struct AllToAllWorkload {
+    /// Architectural parameters (`P`, `St`, `So`, `C²`).
+    pub machine: Machine,
+    /// Mean work between requests.
+    pub w: f64,
+    /// Distribution of the compute time (the model only uses its mean; §5.2
+    /// notes compute variability does not matter because threads never queue
+    /// against each other).
+    pub work_dist: ServiceTime,
+    /// Measurement window.
+    pub window: Window,
+}
+
+impl AllToAllWorkload {
+    /// Workload with constant compute time `w`.
+    pub fn new(machine: Machine, w: f64) -> Self {
+        AllToAllWorkload {
+            machine,
+            w,
+            work_dist: ServiceTime::constant(w),
+            window: Window::default(),
+        }
+    }
+
+    /// Use a different compute-time distribution with the same mean.
+    pub fn with_work_dist(mut self, dist: ServiceTime) -> Self {
+        self.w = lopc_dist::Distribution::mean(&dist);
+        self.work_dist = dist;
+        self
+    }
+
+    /// Use a custom measurement window.
+    pub fn with_window(mut self, window: Window) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// The §5 closed-form model instance.
+    pub fn model(&self) -> AllToAll {
+        AllToAll::new(self.machine, self.w)
+    }
+
+    /// The equivalent Appendix A general-model instance.
+    pub fn general_model(&self) -> GeneralModel {
+        GeneralModel::homogeneous_all_to_all(self.machine, self.w)
+    }
+
+    /// Handler service-time distribution implied by `(So, C²)`.
+    pub fn handler_dist(&self) -> ServiceTime {
+        ServiceTime::with_cv2(self.machine.s_o, self.machine.c2)
+    }
+
+    /// The simulator configuration measuring the same system.
+    pub fn sim_config(&self, seed: u64) -> SimConfig {
+        let handler = self.handler_dist();
+        let nominal = self.machine.contention_free_response(self.w).max(1.0);
+        SimConfig {
+            p: self.machine.p,
+            net_latency: self.machine.s_l,
+            request_handler: handler.clone(),
+            reply_handler: handler,
+            threads: vec![
+                ThreadSpec {
+                    work: Some(self.work_dist.clone()),
+                    dest: DestChooser::UniformOther,
+                    hops: 1,
+                    fanout: 1,
+                };
+                self.machine.p
+            ],
+            protocol_processor: false,
+            latency_dist: None,
+            stop: self.window.to_stop(nominal),
+            seed,
+        }
+    }
+
+    /// Same system with a protocol processor (§5.1 shared-memory variant).
+    pub fn sim_config_protocol_processor(&self, seed: u64) -> SimConfig {
+        let mut cfg = self.sim_config(seed);
+        cfg.protocol_processor = true;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopc_dist::Distribution;
+    use lopc_sim::run;
+
+    fn fig52(w: f64) -> AllToAllWorkload {
+        AllToAllWorkload::new(Machine::new(32, 25.0, 200.0).with_c2(0.0), w)
+            .with_window(Window::quick())
+    }
+
+    #[test]
+    fn model_and_sim_share_parameters() {
+        let wl = fig52(512.0);
+        let cfg = wl.sim_config(1);
+        assert_eq!(cfg.p, 32);
+        assert_eq!(cfg.net_latency, 25.0);
+        assert!((cfg.request_handler.mean() - 200.0).abs() < 1e-9);
+        assert_eq!(cfg.request_handler.cv2(), 0.0);
+        assert!((wl.model().w - 512.0).abs() < 1e-12);
+    }
+
+    /// The headline validation: LoPC tracks the simulator within a few
+    /// percent, while the contention-free LogP prediction is far below.
+    #[test]
+    fn model_tracks_simulator() {
+        for &w in &[0.0, 200.0, 1000.0] {
+            let wl = fig52(w);
+            let sim = run(&wl.sim_config(7)).unwrap();
+            let model = wl.model().solve().unwrap();
+            let err = (model.r - sim.aggregate.mean_r).abs() / sim.aggregate.mean_r;
+            assert!(
+                err < 0.08,
+                "W={w}: model {} vs sim {} ({:.1}%)",
+                model.r,
+                sim.aggregate.mean_r,
+                err * 100.0
+            );
+        }
+    }
+
+    /// The simulated response time respects the eq. 5.12 bounds.
+    #[test]
+    fn sim_within_bounds() {
+        let wl = fig52(128.0);
+        let sim = run(&wl.sim_config(3)).unwrap();
+        let model = wl.model();
+        let r = sim.aggregate.mean_r;
+        assert!(r > model.contention_free() * 0.995, "R = {r}");
+        assert!(r < model.upper_bound() * 1.02, "R = {r}");
+    }
+
+    /// Exponential work with the same mean gives (nearly) the same response
+    /// time — compute variability does not matter (§5.2).
+    #[test]
+    fn work_variability_is_irrelevant() {
+        let base = fig52(600.0);
+        let noisy = fig52(600.0).with_work_dist(ServiceTime::exponential(600.0));
+        let r0 = run(&base.sim_config(11)).unwrap().aggregate.mean_r;
+        let r1 = run(&noisy.sim_config(11)).unwrap().aggregate.mean_r;
+        assert!(
+            (r0 - r1).abs() / r0 < 0.04,
+            "constant-work R {r0} vs exponential-work R {r1}"
+        );
+    }
+}

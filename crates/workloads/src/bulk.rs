@@ -1,0 +1,143 @@
+//! Bulk-synchronous fan-out workload: the §7 "non-blocking requests"
+//! extension, end to end.
+//!
+//! Each thread computes `W`, fires `k` requests at uniformly random other
+//! nodes, and blocks until all `k` replies have been handled. Shared-memory
+//! programs that prefetch, multi-word remote reads, and bulk `put`s all look
+//! like this. The matching analytical model is
+//! [`lopc_core::ForkJoin`] — an explicit approximation whose accuracy the
+//! tests and the `pipelining` bench measure.
+
+use crate::Window;
+use lopc_core::{ForkJoin, Machine};
+use lopc_dist::ServiceTime;
+use lopc_sim::{DestChooser, SimConfig, ThreadSpec};
+
+/// Fork-join fan-out workload.
+#[derive(Clone, Debug)]
+pub struct BulkSync {
+    /// Architectural parameters.
+    pub machine: Machine,
+    /// Mean work between request batches.
+    pub w: f64,
+    /// Requests per cycle.
+    pub fanout: u32,
+    /// Measurement window.
+    pub window: Window,
+}
+
+impl BulkSync {
+    /// Fan-out workload with constant work.
+    pub fn new(machine: Machine, w: f64, fanout: u32) -> Self {
+        BulkSync {
+            machine,
+            w,
+            fanout,
+            window: Window::default(),
+        }
+    }
+
+    /// Use a custom measurement window.
+    pub fn with_window(mut self, window: Window) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// The fork-join model instance.
+    pub fn model(&self) -> ForkJoin {
+        ForkJoin::new(self.machine, self.w, self.fanout)
+    }
+
+    /// Simulator configuration with per-cycle fan-out.
+    pub fn sim_config(&self, seed: u64) -> SimConfig {
+        let handler = ServiceTime::with_cv2(self.machine.s_o, self.machine.c2);
+        let nominal = self.model().contention_free().max(1.0);
+        SimConfig {
+            p: self.machine.p,
+            net_latency: self.machine.s_l,
+            request_handler: handler.clone(),
+            reply_handler: handler,
+            threads: vec![
+                ThreadSpec {
+                    work: Some(ServiceTime::constant(self.w)),
+                    dest: DestChooser::UniformOther,
+                    hops: 1,
+                    fanout: self.fanout,
+                };
+                self.machine.p
+            ],
+            protocol_processor: false,
+            latency_dist: None,
+            stop: self.window.to_stop(nominal),
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopc_sim::run;
+
+    fn setup(fanout: u32, w: f64) -> BulkSync {
+        BulkSync::new(Machine::new(32, 25.0, 200.0).with_c2(0.0), w, fanout).with_window(Window::quick())
+    }
+
+    /// fanout = 1 in the simulator matches the plain blocking workload.
+    #[test]
+    fn fanout_one_is_blocking() {
+        let bulk = setup(1, 800.0);
+        let plain = crate::AllToAllWorkload::new(bulk.machine, 800.0).with_window(Window::quick());
+        let a = run(&bulk.sim_config(5)).unwrap().aggregate.mean_r;
+        let b = run(&plain.sim_config(5)).unwrap().aggregate.mean_r;
+        assert!((a - b).abs() / b < 0.03, "bulk {a} vs plain {b}");
+    }
+
+    /// The fork-join model tracks the simulator for moderate fan-out.
+    #[test]
+    fn model_tracks_sim_for_moderate_fanout() {
+        for (k, tol) in [(1u32, 0.08), (2, 0.10), (4, 0.12)] {
+            let wl = setup(k, 2000.0);
+            let sim = run(&wl.sim_config(61)).unwrap().aggregate.mean_r;
+            let model = wl.model().solve().unwrap().r;
+            let err = (model - sim).abs() / sim;
+            assert!(
+                err < tol,
+                "k={k}: model {model:.0} vs sim {sim:.0} ({:.1}%)",
+                err * 100.0
+            );
+        }
+    }
+
+    /// Overlap wins in the simulator too: k requests per cycle cost far
+    /// less than k blocking cycles.
+    #[test]
+    fn sim_confirms_overlap_speedup() {
+        let k = 4u32;
+        let w = 1000.0;
+        let bulk = setup(k, w);
+        let serial = crate::AllToAllWorkload::new(bulk.machine, w / k as f64)
+            .with_window(Window::quick());
+        let r_bulk = run(&bulk.sim_config(7)).unwrap().aggregate.mean_r;
+        let r_serial = run(&serial.sim_config(7)).unwrap().aggregate.mean_r * k as f64;
+        assert!(
+            r_bulk < 0.85 * r_serial,
+            "fork-join {r_bulk:.0} vs serialised {r_serial:.0}"
+        );
+    }
+
+    /// Request rate per node scales with k (Little's law on the sim side).
+    #[test]
+    fn request_rate_scales_with_fanout() {
+        let r1 = run(&setup(1, 2000.0).sim_config(9)).unwrap();
+        let r4 = run(&setup(4, 2000.0).sim_config(9)).unwrap();
+        let served1: u64 = r1.nodes.iter().map(|n| n.requests_served).sum();
+        let served4: u64 = r4.nodes.iter().map(|n| n.requests_served).sum();
+        let rate1 = served1 as f64 / r1.window;
+        let rate4 = served4 as f64 / r4.window;
+        assert!(
+            rate4 > 2.0 * rate1,
+            "request rate should grow with fan-out: {rate1} vs {rate4}"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Multi-hop forwarding workload (Appendix A: `Σ_k V[c][k] > 1`).
+//!
+//! Each request is served at `hops` nodes in turn (the handler at each hop
+//! forwards to a uniformly random next node) before the final node replies
+//! to the originator — the "multi-hop requests" the general model was built
+//! to cover. Coherence protocols behave like this (requester → home →
+//! owner → requester).
+
+use crate::Window;
+use lopc_core::{GeneralModel, Machine};
+use lopc_dist::ServiceTime;
+use lopc_sim::{DestChooser, SimConfig, ThreadSpec};
+
+/// Forwarding-chain workload.
+#[derive(Clone, Debug)]
+pub struct Forwarding {
+    /// Architectural parameters.
+    pub machine: Machine,
+    /// Mean work between requests.
+    pub w: f64,
+    /// Handler visits per request (`≥ 1`).
+    pub hops: u32,
+    /// Measurement window.
+    pub window: Window,
+}
+
+impl Forwarding {
+    /// Chain workload with constant work.
+    pub fn new(machine: Machine, w: f64, hops: u32) -> Self {
+        Forwarding {
+            machine,
+            w,
+            hops,
+            window: Window::default(),
+        }
+    }
+
+    /// Use a custom measurement window.
+    pub fn with_window(mut self, window: Window) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// The general-model instance (every row of `V` sums to `hops`).
+    pub fn model(&self) -> GeneralModel {
+        GeneralModel::multi_hop(self.machine, self.w, self.hops)
+    }
+
+    /// Contention-free cycle cost: `W + (h+1)·St + h·So + So`.
+    pub fn contention_free(&self) -> f64 {
+        let h = self.hops as f64;
+        self.w + (h + 1.0) * self.machine.s_l + (h + 1.0) * self.machine.s_o
+    }
+
+    /// Simulator configuration with `hops` handler visits per request.
+    pub fn sim_config(&self, seed: u64) -> SimConfig {
+        let handler = ServiceTime::with_cv2(self.machine.s_o, self.machine.c2);
+        let nominal = self.contention_free().max(1.0);
+        SimConfig {
+            p: self.machine.p,
+            net_latency: self.machine.s_l,
+            request_handler: handler.clone(),
+            reply_handler: handler,
+            threads: vec![
+                ThreadSpec {
+                    work: Some(ServiceTime::constant(self.w)),
+                    dest: DestChooser::UniformOther,
+                    hops: self.hops,
+                    fanout: 1,
+                };
+                self.machine.p
+            ],
+            protocol_processor: false,
+            latency_dist: None,
+            stop: self.window.to_stop(nominal),
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopc_sim::run;
+
+    fn setup(hops: u32) -> Forwarding {
+        Forwarding::new(Machine::new(16, 25.0, 150.0).with_c2(0.0), 800.0, hops)
+            .with_window(Window::quick())
+    }
+
+    /// The general model tracks the simulator for 2- and 3-hop chains.
+    #[test]
+    fn model_tracks_sim_multihop() {
+        for hops in [1u32, 2, 3] {
+            let wl = setup(hops);
+            let sim = run(&wl.sim_config(31)).unwrap();
+            let model = wl.model().solve().unwrap();
+            let err = (model.r[0] - sim.aggregate.mean_r).abs() / sim.aggregate.mean_r;
+            assert!(
+                err < 0.08,
+                "hops={hops}: model {} vs sim {} ({:.1}%)",
+                model.r[0],
+                sim.aggregate.mean_r,
+                err * 100.0
+            );
+        }
+    }
+
+    /// One hop reduces to the plain all-to-all pattern.
+    #[test]
+    fn single_hop_equals_all_to_all() {
+        let wl = setup(1);
+        let general = wl.model().solve().unwrap().r[0];
+        let closed = lopc_core::AllToAll::new(wl.machine, wl.w).solve().unwrap().r;
+        assert!((general - closed).abs() / closed < 1e-6);
+    }
+
+    #[test]
+    fn contention_free_floor_respected() {
+        let wl = setup(3);
+        let sim = run(&wl.sim_config(2)).unwrap();
+        assert!(sim.aggregate.mean_r >= wl.contention_free() * 0.999);
+    }
+}

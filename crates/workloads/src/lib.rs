@@ -1,0 +1,76 @@
+//! Workload characterisations that drive both the LoPC model and the
+//! validation simulator.
+//!
+//! Each workload follows the §3 recipe: count the arithmetic and
+//! communication operations of the algorithm, derive `(W, n)` and the routing
+//! pattern, and hand the *same* parameterisation to
+//!
+//! * the analytical model (`lopc-core`), and
+//! * the event-driven simulator (`lopc-sim`),
+//!
+//! so model-vs-measurement comparisons are apples-to-apples by construction.
+//!
+//! Provided workloads:
+//!
+//! * [`AllToAllWorkload`] — homogeneous all-to-all (§5, Figures 5-1/5-2/5-3);
+//! * [`MatVec`] — the §3 worked example: cyclically-distributed matrix–vector
+//!   multiply with `put`+ack communication;
+//! * [`Workpile`] — client-server work distribution (§6, Figure 6-2);
+//! * [`Forwarding`] — multi-hop request chains (Appendix A);
+//! * [`Hotspot`] — non-homogeneous traffic concentrating on one node
+//!   (exercises the general model's per-node asymmetry);
+//! * [`BulkSync`] — fork-join fan-out of `k` overlapped requests per cycle
+//!   (the §7 "non-blocking requests" extension).
+
+pub mod all_to_all;
+pub mod bulk;
+pub mod forwarding;
+pub mod hotspot;
+pub mod matvec;
+pub mod workpile;
+
+pub use all_to_all::AllToAllWorkload;
+pub use bulk::BulkSync;
+pub use forwarding::Forwarding;
+pub use hotspot::Hotspot;
+pub use matvec::MatVec;
+pub use workpile::Workpile;
+
+/// Default steady-state measurement window used by the workload builders:
+/// warm up for `warmup_cycles` mean cycle times, then measure for
+/// `measure_cycles` more.
+#[derive(Clone, Copy, Debug)]
+pub struct Window {
+    /// Warmup length, in units of the *contention-free* cycle time.
+    pub warmup_cycles: f64,
+    /// Measurement length, in the same units.
+    pub measure_cycles: f64,
+}
+
+impl Default for Window {
+    fn default() -> Self {
+        // Long enough that Bard-level (~1 %) effects are resolvable.
+        Window {
+            warmup_cycles: 200.0,
+            measure_cycles: 2_000.0,
+        }
+    }
+}
+
+impl Window {
+    /// Shorter window for debug-build tests.
+    pub fn quick() -> Self {
+        Window {
+            warmup_cycles: 100.0,
+            measure_cycles: 600.0,
+        }
+    }
+
+    /// Convert to absolute simulated times given a nominal cycle length.
+    pub fn to_stop(self, nominal_cycle: f64) -> lopc_sim::StopCondition {
+        lopc_sim::StopCondition::Horizon {
+            warmup: self.warmup_cycles * nominal_cycle,
+            end: (self.warmup_cycles + self.measure_cycles) * nominal_cycle,
+        }
+    }
+}

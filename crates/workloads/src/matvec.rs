@@ -1,0 +1,238 @@
+//! The §3 worked example: matrix–vector multiply with a cyclically
+//! distributed matrix.
+//!
+//! An `N × N` matrix `A` is distributed so row `i` lives on processor
+//! `i mod P`; the input vector `x` is replicated. Each processor computes
+//! `N/P` dot products (`m = (N/P)·N` multiply-adds) and `put`s each result to
+//! the other `P − 1` processors (`n = (N/P)(P−1)` messages), blocking on the
+//! acknowledgement. Hence
+//!
+//! ```text
+//! W = m·t_madd / n = t_madd · N / (P − 1)
+//! ```
+//!
+//! The destinations cycle deterministically over the other nodes, which is
+//! *homogeneous* in the LoPC sense, so the model instance is exactly the §5
+//! all-to-all model and the predicted total runtime is `n·R`.
+//!
+//! # Synchronisation matters (the Brewer–Kuszmaul effect)
+//!
+//! With perfectly constant work and handler times, the staggered round-robin
+//! schedule is a sequence of *permutations*: every node receives exactly one
+//! message per round and the run is contention-free — the carefully
+//! interleaved CM-5 patterns of Brewer and Kuszmaul that the thesis's
+//! introduction discusses. Those authors measured that real interleaves
+//! "quickly became virtually random, largely due to small variances"; real
+//! machines cannot hold the lockstep. The [`MatVec::jitter`] parameter
+//! reproduces both regimes: `0.0` keeps the lockstep (simulated makespan ≈
+//! the contention-free LogP bound), while any realistic jitter (a few
+//! percent of `W`) lets the pattern decay into the random-arrival regime
+//! that LoPC models, and the makespan approaches `n·R`.
+
+use lopc_core::{Algorithm, AllToAll, Machine};
+use lopc_dist::{ServiceTime, UniformRange};
+use lopc_sim::{DestChooser, SimConfig, StopCondition, ThreadSpec};
+
+/// Matrix–vector multiply characterisation.
+#[derive(Clone, Copy, Debug)]
+pub struct MatVec {
+    /// Matrix dimension `N` (a multiple of `machine.p` for the clean cyclic
+    /// distribution of §3).
+    pub n_dim: usize,
+    /// Architectural parameters.
+    pub machine: Machine,
+    /// Cost of one multiply-add, in cycles.
+    pub t_madd: f64,
+    /// Fractional half-width of uniform per-chunk work jitter. `0.0` keeps
+    /// the deterministic lockstep (contention-free permutations); realistic
+    /// values (0.01–0.2) desynchronise the pattern into the regime LoPC
+    /// models.
+    pub jitter: f64,
+}
+
+impl MatVec {
+    /// Characterise `A·x` for an `N × N` matrix on `machine`, with 10 % work
+    /// jitter (the realistic desynchronised regime).
+    pub fn new(n_dim: usize, machine: Machine, t_madd: f64) -> Self {
+        MatVec {
+            n_dim,
+            machine,
+            t_madd,
+            jitter: 0.10,
+        }
+    }
+
+    /// Override the jitter fraction (see the type-level docs).
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+        self.jitter = jitter;
+        self
+    }
+
+    /// Local multiply-add operations per processor, `m = (N/P)·N`.
+    pub fn m_ops(&self) -> u64 {
+        (self.n_dim / self.machine.p) as u64 * self.n_dim as u64
+    }
+
+    /// Messages per processor, `n = (N/P)(P−1)`.
+    pub fn n_msgs(&self) -> u64 {
+        (self.n_dim / self.machine.p) as u64 * (self.machine.p - 1) as u64
+    }
+
+    /// The LoPC algorithmic characterisation `(W, n)`.
+    pub fn algorithm(&self) -> Algorithm {
+        Algorithm::from_op_counts(self.m_ops(), self.t_madd, self.n_msgs())
+    }
+
+    /// Average work between requests, `W = t_madd·N/(P−1)`.
+    pub fn w(&self) -> f64 {
+        self.algorithm().w
+    }
+
+    /// The §5 model instance for this pattern.
+    pub fn model(&self) -> AllToAll {
+        AllToAll::new(self.machine, self.w())
+    }
+
+    /// LoPC-predicted total runtime `n·R`.
+    pub fn predicted_runtime(&self) -> Result<f64, lopc_core::ModelError> {
+        self.model().total_runtime(self.n_msgs())
+    }
+
+    /// Contention-free (naive LogP) total runtime `n·(W + 2St + 2So)` —
+    /// also the makespan of the perfectly synchronised permutation schedule.
+    pub fn logp_runtime(&self) -> f64 {
+        self.n_msgs() as f64 * self.machine.contention_free_response(self.w())
+    }
+
+    /// Per-chunk work distribution implied by the jitter setting.
+    pub fn work_dist(&self) -> ServiceTime {
+        let w = self.w();
+        if self.jitter == 0.0 {
+            ServiceTime::constant(w)
+        } else {
+            ServiceTime::Uniform(UniformRange::centered(w, self.jitter * w))
+        }
+    }
+
+    /// Simulator configuration running the *whole* multiply: every node
+    /// performs exactly `n` put/ack cycles with deterministic round-robin
+    /// destinations; the report's `makespan` is the measured total runtime.
+    pub fn sim_config(&self, seed: u64) -> SimConfig {
+        let p = self.machine.p;
+        let handler = ServiceTime::with_cv2(self.machine.s_o, self.machine.c2);
+        let work = self.work_dist();
+        let threads = (0..p)
+            .map(|me| {
+                // Put y_i to each other node in turn, starting after me.
+                let order: Vec<usize> = (1..p).map(|d| (me + d) % p).collect();
+                ThreadSpec {
+                    work: Some(work.clone()),
+                    dest: DestChooser::RoundRobin(order),
+                    hops: 1,
+                    fanout: 1,
+                }
+            })
+            .collect();
+        SimConfig {
+            p,
+            net_latency: self.machine.s_l,
+            request_handler: handler.clone(),
+            reply_handler: handler,
+            threads,
+            protocol_processor: false,
+            latency_dist: None,
+            stop: StopCondition::CyclesPerThread { n: self.n_msgs() },
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopc_sim::run;
+
+    fn setup() -> MatVec {
+        MatVec::new(512, Machine::new(16, 25.0, 200.0).with_c2(0.0), 4.0)
+    }
+
+    #[test]
+    fn section3_counts() {
+        let mv = setup();
+        assert_eq!(mv.m_ops(), 32 * 512);
+        assert_eq!(mv.n_msgs(), 32 * 15);
+        // W = t_madd * N / (P-1).
+        assert!((mv.w() - 4.0 * 512.0 / 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predicted_runtime_is_n_times_r() {
+        let mv = setup();
+        let r = mv.model().solve().unwrap().r;
+        let rt = mv.predicted_runtime().unwrap();
+        assert!((rt - mv.n_msgs() as f64 * r).abs() < 1e-6);
+        assert!(rt > mv.logp_runtime(), "LoPC adds contention to LogP");
+    }
+
+    /// The Brewer–Kuszmaul lockstep: zero jitter keeps the staggered
+    /// round-robin a sequence of contention-free permutations, so the
+    /// makespan equals the naive LogP bound exactly.
+    #[test]
+    fn lockstep_permutation_is_contention_free() {
+        let mv = MatVec::new(256, Machine::new(8, 25.0, 200.0).with_c2(0.0), 4.0)
+            .with_jitter(0.0);
+        let report = run(&mv.sim_config(5)).unwrap();
+        let logp = mv.logp_runtime();
+        assert!(
+            (report.makespan - logp).abs() / logp < 1e-9,
+            "lockstep makespan {} != LogP bound {logp}",
+            report.makespan
+        );
+    }
+
+    /// A few percent of work jitter destroys the lockstep and the makespan
+    /// climbs to the LoPC prediction n·R (the realistic regime).
+    #[test]
+    fn jittered_makespan_matches_prediction() {
+        let mv = MatVec::new(256, Machine::new(8, 25.0, 200.0).with_c2(0.0), 4.0)
+            .with_jitter(0.10);
+        let report = run(&mv.sim_config(5)).unwrap();
+        let predicted = mv.predicted_runtime().unwrap();
+        let err = (predicted - report.makespan).abs() / report.makespan;
+        assert!(
+            err < 0.10,
+            "predicted {predicted} vs makespan {} ({:.1}%)",
+            report.makespan,
+            err * 100.0
+        );
+        assert!(
+            mv.logp_runtime() < report.makespan,
+            "naive LogP must under-predict once desynchronised"
+        );
+    }
+
+    /// Jittered round-robin and uniform-random destinations give similar
+    /// response times (homogeneity is what matters once desynchronised).
+    #[test]
+    fn desynchronised_round_robin_is_homogeneous() {
+        let mv = MatVec::new(256, Machine::new(8, 25.0, 200.0).with_c2(0.0), 4.0)
+            .with_jitter(0.10);
+        let mut cfg = mv.sim_config(9);
+        let rr = run(&cfg).unwrap().aggregate.mean_r;
+        for t in &mut cfg.threads {
+            t.dest = DestChooser::UniformOther;
+        }
+        let uni = run(&cfg).unwrap().aggregate.mean_r;
+        assert!(
+            (rr - uni).abs() / uni < 0.06,
+            "round-robin {rr} vs uniform {uni}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter")]
+    fn invalid_jitter_rejected() {
+        setup().with_jitter(1.5);
+    }
+}

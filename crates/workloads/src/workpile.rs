@@ -1,0 +1,161 @@
+//! Client-server work-pile workload (§6, Figure 6-2).
+
+use crate::Window;
+use lopc_core::{ClientServer, GeneralModel, Machine};
+use lopc_dist::ServiceTime;
+use lopc_sim::{DestChooser, SimConfig, ThreadSpec};
+
+/// Work-pile: `Ps` server nodes hand out chunks; `P − Ps` clients do `W`
+/// work per chunk and request the next chunk from a random server.
+#[derive(Clone, Debug)]
+pub struct Workpile {
+    /// Architectural parameters (`P` total nodes).
+    pub machine: Machine,
+    /// Mean work per chunk.
+    pub w: f64,
+    /// Server count (`1..=P−1`).
+    pub ps: usize,
+    /// Chunk-size distribution; work-pile chunks are "highly variable" (§6),
+    /// so the default is exponential. Only the mean enters the model.
+    pub chunk_dist: ServiceTime,
+    /// Measurement window.
+    pub window: Window,
+}
+
+impl Workpile {
+    /// Work-pile with exponential chunk sizes of mean `w`.
+    pub fn new(machine: Machine, w: f64, ps: usize) -> Self {
+        Workpile {
+            machine,
+            w,
+            ps,
+            chunk_dist: ServiceTime::exponential(w),
+            window: Window::default(),
+        }
+    }
+
+    /// Override the chunk-size distribution (mean is re-derived from it).
+    pub fn with_chunk_dist(mut self, dist: ServiceTime) -> Self {
+        self.w = lopc_dist::Distribution::mean(&dist);
+        self.chunk_dist = dist;
+        self
+    }
+
+    /// Use a custom measurement window.
+    pub fn with_window(mut self, window: Window) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// The §6 model for this machine and chunk size (server count is chosen
+    /// per query).
+    pub fn model(&self) -> ClientServer {
+        ClientServer::new(self.machine, self.w)
+    }
+
+    /// The equivalent Appendix A general-model instance at this `ps`.
+    pub fn general_model(&self) -> GeneralModel {
+        GeneralModel::client_server(self.machine, self.w, self.ps)
+    }
+
+    /// Simulator configuration: nodes `0..ps` are servers, the rest clients.
+    pub fn sim_config(&self, seed: u64) -> SimConfig {
+        let p = self.machine.p;
+        let handler = ServiceTime::with_cv2(self.machine.s_o, self.machine.c2);
+        let servers: Vec<usize> = (0..self.ps).collect();
+        let mut threads = vec![ThreadSpec::server(); p];
+        for spec in threads.iter_mut().skip(self.ps) {
+            *spec = ThreadSpec {
+                work: Some(self.chunk_dist.clone()),
+                dest: DestChooser::UniformAmong(servers.clone()),
+                hops: 1,
+                fanout: 1,
+            };
+        }
+        let nominal = self.machine.contention_free_response(self.w).max(1.0);
+        SimConfig {
+            p,
+            net_latency: self.machine.s_l,
+            request_handler: handler.clone(),
+            reply_handler: handler,
+            threads,
+            protocol_processor: false,
+            latency_dist: None,
+            stop: self.window.to_stop(nominal),
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopc_sim::run;
+
+    fn fig62(ps: usize) -> Workpile {
+        Workpile::new(Machine::new(16, 50.0, 131.0).with_c2(0.0), 1000.0, ps)
+            .with_window(Window::quick())
+    }
+
+    #[test]
+    fn roles_are_assigned() {
+        let cfg = fig62(4).sim_config(1);
+        assert!(cfg.threads[..4].iter().all(|t| !t.is_active()));
+        assert!(cfg.threads[4..].iter().all(|t| t.is_active()));
+    }
+
+    /// Model throughput tracks simulated throughput across the split, and
+    /// the model is (slightly) conservative as the paper reports (≤3 %
+    /// plus simulation noise).
+    #[test]
+    fn model_tracks_simulated_throughput() {
+        for ps in [2usize, 5, 8] {
+            let wl = fig62(ps);
+            let sim = run(&wl.sim_config(13)).unwrap();
+            let model = wl.model().throughput(ps).unwrap();
+            let x_sim = sim.aggregate.throughput;
+            let err = (model.x - x_sim) / x_sim;
+            assert!(
+                err.abs() < 0.10,
+                "ps={ps}: model X={} vs sim X={x_sim} ({:+.1}%)",
+                model.x,
+                err * 100.0
+            );
+        }
+    }
+
+    /// The simulated optimum is near the eq. 6.8 prediction.
+    #[test]
+    fn simulated_optimum_near_closed_form() {
+        let machine = Machine::new(16, 50.0, 131.0).with_c2(0.0);
+        let model = ClientServer::new(machine, 1000.0);
+        let predicted = model.optimal_servers().unwrap();
+        let mut best = (0usize, 0.0f64);
+        for ps in 1..machine.p {
+            let wl = fig62(ps);
+            let x = run(&wl.sim_config(29)).unwrap().aggregate.throughput;
+            if x > best.1 {
+                best = (ps, x);
+            }
+        }
+        assert!(
+            (best.0 as i64 - predicted as i64).abs() <= 1,
+            "sim optimum {} vs closed form {predicted}",
+            best.0
+        );
+    }
+
+    /// Chunk-size variability does not shift throughput materially (only the
+    /// mean enters the model).
+    #[test]
+    fn chunk_variability_is_second_order() {
+        let exp = fig62(4);
+        let cst = fig62(4).with_chunk_dist(ServiceTime::constant(1000.0));
+        let x_exp = run(&exp.sim_config(17)).unwrap().aggregate.throughput;
+        let x_cst = run(&cst.sim_config(17)).unwrap().aggregate.throughput;
+        assert!(
+            (x_exp - x_cst).abs() / x_cst < 0.05,
+            "exponential {x_exp} vs constant {x_cst}"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! The §3 worked example end-to-end: characterise a cyclically-distributed
+//! matrix–vector multiply, predict its runtime with LoPC, and validate by
+//! simulating the whole multiply — including the synchronisation effect the
+//! thesis's introduction discusses (Brewer & Kuszmaul's CM-5 observation).
+//!
+//! ```text
+//! cargo run --release --example matvec
+//! ```
+
+use lopc::prelude::*;
+use lopc::report::Table;
+
+fn main() {
+    println!("Matrix-vector multiply (Section 3 of the thesis)\n");
+
+    let mut table = Table::new([
+        "instance", "W", "n", "LogP n*Rcf", "LoPC n*R", "sim makespan", "LoPC err %",
+    ]);
+
+    for (n_dim, p) in [(256usize, 8usize), (512, 16), (1024, 32)] {
+        let machine = Machine::new(p, 25.0, 200.0).with_c2(0.0);
+        let mv = MatVec::new(n_dim, machine, 4.0); // 4-cycle multiply-add
+        let predicted = mv.predicted_runtime().expect("model solves");
+        let report = lopc::sim::run(&mv.sim_config(7)).expect("valid config");
+        table.row([
+            format!("N={n_dim} P={p}"),
+            format!("{:.1}", mv.w()),
+            format!("{}", mv.n_msgs()),
+            format!("{:.0}", mv.logp_runtime()),
+            format!("{predicted:.0}"),
+            format!("{:.0}", report.makespan),
+            format!("{:+.1}", (predicted - report.makespan) / report.makespan * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // The Brewer-Kuszmaul synchronisation effect: a perfectly deterministic
+    // schedule is a sequence of contention-free permutations; a few percent
+    // of work jitter decays it into the random regime LoPC models.
+    println!("Synchronisation ablation (N=256, P=8):");
+    let machine = Machine::new(8, 25.0, 200.0).with_c2(0.0);
+    for jitter in [0.0, 0.02, 0.10, 0.20] {
+        let mv = MatVec::new(256, machine, 4.0).with_jitter(jitter);
+        let report = lopc::sim::run(&mv.sim_config(7)).expect("valid config");
+        println!(
+            "  jitter {jitter:>4.2}: makespan {:>9.0}   (LogP floor {:.0}, LoPC {:.0})",
+            report.makespan,
+            mv.logp_runtime(),
+            mv.predicted_runtime().unwrap()
+        );
+    }
+    println!("\nLockstep runs sit on the LogP floor; any realistic jitter climbs to LoPC.");
+}

@@ -1,0 +1,48 @@
+//! The §7 future-work extension in action: overlap `k` requests per cycle
+//! (fork-join) instead of blocking on each one, and see how much of the
+//! round-trip latency can be hidden — model vs simulator.
+//!
+//! ```text
+//! cargo run --release --example pipelining
+//! ```
+
+use lopc::prelude::*;
+use lopc::report::Table;
+
+fn main() {
+    let machine = Machine::new(32, 25.0, 200.0).with_c2(0.0);
+    let w = 2000.0;
+
+    println!("Fork-join fan-out (Section 7 extension), P=32, St=25, So=200, W=2000\n");
+    let mut table = Table::new([
+        "k", "model R", "sim R", "err %", "serial R", "speedup", "Uq",
+    ]);
+
+    for k in [1u32, 2, 4, 8] {
+        let model = ForkJoin::new(machine, w, k);
+        let sol = model.solve().expect("model solves");
+
+        let wl = BulkSync::new(machine, w, k);
+        let sim = lopc::sim::run(&wl.sim_config(5)).unwrap().aggregate.mean_r;
+
+        // Serial baseline: the same k requests issued as blocking cycles.
+        let serial_wl = AllToAllWorkload::new(machine, w / k as f64);
+        let serial =
+            lopc::sim::run(&serial_wl.sim_config(5)).unwrap().aggregate.mean_r * k as f64;
+
+        table.row([
+            format!("{k}"),
+            format!("{:.0}", sol.r),
+            format!("{sim:.0}"),
+            format!("{:+.1}", (sol.r - sim) / sim * 100.0),
+            format!("{serial:.0}"),
+            format!("{:.2}x", serial / sim),
+            format!("{:.2}", sol.uq),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Overlapping hides request round-trips (speedup grows with k) until the");
+    println!("home node saturates on serialised reply handling (watch Uq climb).");
+    println!("The fork-join model is an explicit approximation — the thesis left");
+    println!("non-blocking communication to future work; err % shows its envelope.");
+}

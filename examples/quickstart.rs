@@ -1,0 +1,47 @@
+//! Quickstart: parameterise an algorithm LogP-style, let LoPC add the
+//! contention cost `C`, and validate against the bundled simulator.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lopc::prelude::*;
+
+fn main() {
+    // 1. Architectural characterisation (Table 3.1): a 32-node machine with
+    //    25-cycle wire latency and 200-cycle handlers that are nearly
+    //    branch-free, so C^2 = 0 (constant service).
+    let machine = Machine::new(32, 25.0, 200.0).with_c2(0.0);
+
+    // 2. Algorithmic characterisation (§3): each thread computes for 1000
+    //    cycles between blocking requests and makes 500 requests in total.
+    let algorithm = Algorithm::new(1000.0, 500);
+
+    // 3. The naive LogP prediction ignores contention entirely.
+    let logp = LogPParams::from(&machine);
+    let cycle_logp = logp.contention_free_cycle(algorithm.w);
+
+    // 4. LoPC solves the same parameters for the contended response time.
+    let model = AllToAll::new(machine, algorithm.w);
+    let sol = model.solve().expect("model solves");
+
+    println!("LoPC quickstart — homogeneous all-to-all, P=32, St=25, So=200, C^2=0, W=1000\n");
+    println!("LogP (contention-free) cycle: {cycle_logp:>8.1} cycles");
+    println!("LoPC predicted cycle:         {:>8.1} cycles", sol.r);
+    println!("  = Rw {:.1} + 2*St {:.1} + Rq {:.1} + Ry {:.1}", sol.rw, 50.0, sol.rq, sol.ry);
+    println!("contention cost C:            {:>8.1} cycles (~{:.2} handlers)",
+        sol.contention, sol.contention / machine.s_o);
+    println!("bounds (eq. 5.12):            ({:.1}, {:.1})",
+        model.contention_free(), model.upper_bound());
+    println!("rule of thumb W+2St+3So:      {:>8.1} cycles", model.rule_of_thumb());
+    println!("total runtime n*R:            {:>8.0} cycles\n", algorithm.total_runtime(sol.r));
+
+    // 5. Validate against the event-driven simulator on the same parameters.
+    let workload = AllToAllWorkload::new(machine, algorithm.w);
+    let report = lopc::sim::run(&workload.sim_config(42)).expect("valid config");
+    let measured = report.aggregate.mean_r;
+    println!("simulator measured cycle:     {measured:>8.1} cycles  ({} cycles observed)",
+        report.aggregate.total_cycles);
+    println!("LoPC error:                   {:>+8.2}%", (sol.r - measured) / measured * 100.0);
+    println!("LogP error:                   {:>+8.2}%", (cycle_logp - measured) / measured * 100.0);
+}

@@ -1,0 +1,63 @@
+//! Work-pile server allocation (§6): use LoPC to choose how many of a
+//! machine's nodes should serve work instead of doing it, and check the
+//! choice against simulation.
+//!
+//! ```text
+//! cargo run --release --example workpile
+//! ```
+
+use lopc::prelude::*;
+use lopc::report::{render_chart, ChartOptions, Figure, Series};
+
+fn main() {
+    // A 32-node machine handing out chunks that take ~1000 cycles, with
+    // 131-cycle handlers (the Figure 6-2 configuration).
+    let machine = Machine::new(32, 50.0, 131.0).with_c2(0.0);
+    let w = 1000.0;
+    let model = ClientServer::new(machine, w);
+
+    // Closed-form answer (eq. 6.8).
+    let ps_cont = model.optimal_servers_continuous();
+    let ps_star = model.optimal_servers().expect("model solves");
+    println!("Work-pile on P=32, So=131, St=50, W=1000, C^2=0");
+    println!("eq. 6.8 optimal servers: {ps_cont:.2} (continuous) -> Ps* = {ps_star}\n");
+
+    // Sweep the whole split, model vs simulator.
+    let mut model_pts = Vec::new();
+    let mut sim_pts = Vec::new();
+    for ps in 1..machine.p {
+        let m = model.throughput(ps).unwrap();
+        let wl = Workpile::new(machine, w, ps);
+        let x_sim = lopc::sim::run(&wl.sim_config(100 + ps as u64))
+            .unwrap()
+            .aggregate
+            .throughput;
+        model_pts.push((ps as f64, m.x));
+        sim_pts.push((ps as f64, x_sim));
+        let marker = if ps == ps_star { "  <= eq. 6.8 optimum" } else { "" };
+        println!(
+            "  Ps={ps:>2}: model X={:.5}  sim X={:.5}  (Qs={:.2}, Us={:.2}){marker}",
+            m.x, x_sim, m.qs, m.us
+        );
+    }
+
+    let fig = Figure::new(
+        "Work-pile throughput vs server count",
+        "servers Ps",
+        "throughput X (chunks/cycle)",
+    )
+    .with_series(Series::new("LoPC", model_pts))
+    .with_series(Series::new("simulator", sim_pts));
+    println!("\n{}", render_chart(&fig, &ChartOptions::default()));
+
+    let sim_best = sim_pts_argmax(&fig.series[1].points);
+    println!("simulated optimum: Ps = {sim_best}; LoPC picked {ps_star}.");
+}
+
+fn sim_pts_argmax(points: &[(f64, f64)]) -> usize {
+    points
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|&(x, _)| x as usize)
+        .unwrap_or(0)
+}

@@ -1,0 +1,64 @@
+//! **LoPC** — *LogP + Contention*: an analytical performance model for
+//! fine-grain message-passing parallel programs, with the event-driven
+//! simulator used to validate it.
+//!
+//! This is a from-scratch reproduction of
+//! *LoPC: Modeling Contention in Parallel Algorithms* (Matthew Frank, MIT,
+//! 1997; PPoPP 1997 with Agarwal and Vernon). The crate is an umbrella that
+//! re-exports the workspace:
+//!
+//! * [`model`] (`lopc-core`) — the LoPC model: [`model::AllToAll`] (§5
+//!   closed form with the eq. 5.12 bounds), [`model::ClientServer`] (§6
+//!   optimal server allocation), [`model::GeneralModel`] (Appendix A AMVA),
+//!   and the [`model::LogPParams`] contention-free baseline;
+//! * [`sim`] (`lopc-sim`) — the Active-Message multiprocessor simulator
+//!   (atomic handlers, interrupt priority, FIFO queues, contention-free
+//!   network, protocol-processor variant);
+//! * [`workloads`] (`lopc-workloads`) — parameterisations that drive model
+//!   and simulator identically (matrix–vector multiply, all-to-all,
+//!   work-pile, multi-hop, hotspot);
+//! * [`dist`] (`lopc-dist`) — service-time distributions by `(mean, C²)`;
+//! * [`solver`] (`lopc-solver`) — bisection / damped fixed-point iteration;
+//! * [`report`] (`lopc-report`) — figures, tables, CSV, comparisons.
+//!
+//! # Example: predict and validate in five lines
+//!
+//! ```
+//! use lopc::prelude::*;
+//!
+//! let machine = Machine::new(32, 25.0, 200.0).with_c2(0.0);
+//! let workload = AllToAllWorkload::new(machine, 1000.0);
+//! let predicted = workload.model().solve().unwrap().r;
+//! let measured = lopc::sim::run(&workload.sim_config(42)).unwrap().aggregate.mean_r;
+//! assert!((predicted - measured).abs() / measured < 0.08);
+//! ```
+
+pub use lopc_core as model;
+pub use lopc_dist as dist;
+pub use lopc_report as report;
+pub use lopc_sim as sim;
+pub use lopc_solver as solver;
+pub use lopc_workloads as workloads;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use lopc_core::{
+        Algorithm, AllToAll, ClientServer, ForkJoin, GeneralModel, LogPParams, Machine,
+        ModelError,
+    };
+    pub use lopc_dist::{from_mean_cv2, Distribution, ServiceTime};
+    pub use lopc_report::{ComparisonTable, Figure, Series};
+    pub use lopc_sim::{run, run_replications, DestChooser, SimConfig, StopCondition, ThreadSpec};
+    pub use lopc_workloads::{AllToAllWorkload, BulkSync, Forwarding, Hotspot, MatVec, Window, Workpile};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reexports_compile() {
+        use crate::prelude::*;
+        let m = Machine::new(4, 1.0, 1.0);
+        let _ = AllToAll::new(m, 1.0);
+        let _ = ServiceTime::constant(1.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! The analytical guarantees of §5.3: the eq. 5.12 bounds, the κ constants,
+//! and the one-extra-handler rule of thumb — checked for the model and
+//! against simulation.
+
+use lopc::model::all_to_all::upper_bound_constant;
+use lopc::prelude::*;
+
+#[test]
+fn kappa_constants_match_paper() {
+    // κ(0) rounds to the paper's 3.46 and is a strict upper bound.
+    let k0 = upper_bound_constant(0.0);
+    assert!((3.40..=3.46).contains(&k0), "κ(0) = {k0}");
+    // Monotone in C².
+    let k1 = upper_bound_constant(1.0);
+    let k2 = upper_bound_constant(2.0);
+    assert!(k0 < k1 && k1 < k2);
+}
+
+#[test]
+fn bounds_hold_for_model_across_grid() {
+    for &p in &[4usize, 32, 256] {
+        for &st in &[0.0, 25.0, 500.0] {
+            for &so in &[1.0, 200.0] {
+                for &w in &[0.0, 100.0, 10_000.0] {
+                    let model = AllToAll::new(Machine::new(p, st, so).with_c2(0.0), w);
+                    let sol = model.solve().unwrap();
+                    assert!(
+                        sol.r > model.contention_free() && sol.r <= model.upper_bound() + 1e-9,
+                        "bounds violated at P={p} St={st} So={so} W={w}: R={}",
+                        sol.r
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bounds_hold_for_simulator() {
+    let machine = Machine::new(32, 25.0, 200.0).with_c2(0.0);
+    for &w in &[2.0, 32.0, 512.0] {
+        let model = AllToAll::new(machine, w);
+        let wl = AllToAllWorkload::new(machine, w).with_window(Window::quick());
+        let r = lopc::sim::run(&wl.sim_config(3)).unwrap().aggregate.mean_r;
+        assert!(r > model.contention_free() * 0.995, "W={w}: sim {r} below lower bound");
+        assert!(r < model.upper_bound() * 1.03, "W={w}: sim {r} above upper bound");
+    }
+}
+
+#[test]
+fn rule_of_thumb_contention_is_one_handler() {
+    // "On average every message either interrupts an active job or causes
+    // another request to queue" — contention ≈ So across the W range, in
+    // both model and simulation.
+    let machine = Machine::new(32, 25.0, 200.0).with_c2(0.0);
+    for &w in &[16.0, 256.0, 2048.0] {
+        let sol = AllToAll::new(machine, w).solve().unwrap();
+        assert!(
+            sol.contention > 0.4 * 200.0 && sol.contention < 1.5 * 200.0,
+            "W={w}: model contention {}",
+            sol.contention
+        );
+        let wl = AllToAllWorkload::new(machine, w).with_window(Window::quick());
+        let sim_r = lopc::sim::run(&wl.sim_config(7)).unwrap().aggregate.mean_r;
+        let sim_c = sim_r - machine.contention_free_response(w);
+        assert!(
+            sim_c > 0.2 * 200.0 && sim_c < 1.5 * 200.0,
+            "W={w}: sim contention {sim_c}"
+        );
+    }
+}
+
+#[test]
+fn contention_free_fraction_vanishes_with_work() {
+    // Relative contention goes to zero as W grows; absolute stays ~one
+    // handler (the reason LogP's absolute error persists, §5.3).
+    let machine = Machine::new(32, 25.0, 200.0).with_c2(0.0);
+    let small = AllToAll::new(machine, 16.0).solve().unwrap();
+    let large = AllToAll::new(machine, 8192.0).solve().unwrap();
+    assert!(small.contention / small.r > 0.2);
+    assert!(large.contention / large.r < 0.05);
+    assert!((large.contention - small.contention).abs() < 200.0);
+}
+
+#[test]
+fn fig5_1_six_percent_claim() {
+    // Constant vs exponential handlers differ by ~6 % of response time at
+    // W = 1000 (Figure 5-1's reading).
+    let m = Machine::new(32, 25.0, 1024.0);
+    let r0 = AllToAll::new(m.with_c2(0.0), 1000.0).solve().unwrap().r;
+    let r1 = AllToAll::new(m.with_c2(1.0), 1000.0).solve().unwrap().r;
+    let gap = (r1 - r0) / r1;
+    assert!((0.02..=0.10).contains(&gap), "gap {:.1}%", gap * 100.0);
+}

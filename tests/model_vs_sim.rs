@@ -1,0 +1,136 @@
+//! Cross-crate validation: the LoPC model against the event-driven simulator
+//! on every workload family — the reproduction's core claim (§5.3/§6: errors
+//! within ~6 %; we allow slightly wider bands because test windows are
+//! shorter than the harness's).
+
+use lopc::prelude::*;
+
+fn quick(machine: Machine, w: f64) -> AllToAllWorkload {
+    AllToAllWorkload::new(machine, w).with_window(Window::quick())
+}
+
+#[test]
+fn all_to_all_across_machines() {
+    for &(p, st, so, c2) in &[
+        (8usize, 10.0, 100.0, 0.0),
+        (16, 25.0, 200.0, 0.0),
+        (32, 25.0, 200.0, 1.0),
+        (32, 50.0, 131.0, 2.0),
+    ] {
+        let machine = Machine::new(p, st, so).with_c2(c2);
+        for &w in &[0.0, 4.0 * so, 16.0 * so] {
+            let wl = quick(machine, w);
+            let sim = lopc::sim::run(&wl.sim_config(91)).unwrap().aggregate.mean_r;
+            let model = wl.model().solve().unwrap().r;
+            let err = (model - sim).abs() / sim;
+            assert!(
+                err < 0.10,
+                "P={p} St={st} So={so} C2={c2} W={w}: model {model} vs sim {sim} ({:.1}%)",
+                err * 100.0
+            );
+        }
+    }
+}
+
+#[test]
+fn general_model_matches_sim_on_client_server() {
+    let machine = Machine::new(16, 50.0, 131.0).with_c2(0.0);
+    for ps in [2usize, 4, 8] {
+        let wl = Workpile::new(machine, 800.0, ps).with_window(Window::quick());
+        let x_sim = lopc::sim::run(&wl.sim_config(17)).unwrap().aggregate.throughput;
+        let x_general = wl.general_model().solve().unwrap().system_throughput();
+        let x_scalar = wl.model().throughput(ps).unwrap().x;
+        // Scalar §6 recursion and Appendix A system agree with each other...
+        assert!(
+            (x_general - x_scalar).abs() / x_scalar < 1e-6,
+            "ps={ps}: general {x_general} vs scalar {x_scalar}"
+        );
+        // ... and with the machine.
+        let err = (x_scalar - x_sim).abs() / x_sim;
+        assert!(
+            err < 0.10,
+            "ps={ps}: model {x_scalar} vs sim {x_sim} ({:.1}%)",
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn response_decomposition_matches_between_model_and_sim() {
+    // Not just the total: each component (Rw, Rq, Ry) must track.
+    let machine = Machine::new(32, 25.0, 200.0).with_c2(0.0);
+    let wl = quick(machine, 400.0);
+    let sim = lopc::sim::run(&wl.sim_config(5)).unwrap();
+    let sol = wl.model().solve().unwrap();
+    let a = &sim.aggregate;
+    for (name, model, sim_v) in [
+        ("Rw", sol.rw, a.mean_rw),
+        ("Rq", sol.rq, a.mean_rq),
+        ("Ry", sol.ry, a.mean_ry),
+    ] {
+        let err = (model - sim_v).abs() / sim_v;
+        assert!(
+            err < 0.15,
+            "{name}: model {model:.1} vs sim {sim_v:.1} ({:.1}%)",
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn queueing_quantities_match() {
+    // Little's-law quantities: utilisations and populations.
+    let machine = Machine::new(16, 25.0, 200.0).with_c2(0.0);
+    let wl = quick(machine, 200.0);
+    let sim = lopc::sim::run(&wl.sim_config(23)).unwrap();
+    let sol = wl.model().solve().unwrap();
+    let uq_sim = sim.aggregate.mean_uq;
+    let qq_sim = sim.aggregate.mean_qq;
+    assert!(
+        (sol.uq - uq_sim).abs() < 0.05,
+        "Uq: model {} vs sim {uq_sim}",
+        sol.uq
+    );
+    assert!(
+        (sol.qq - qq_sim).abs() < 0.12,
+        "Qq: model {} vs sim {qq_sim}",
+        sol.qq
+    );
+}
+
+#[test]
+fn protocol_processor_model_matches_sim() {
+    let machine = Machine::new(16, 25.0, 300.0).with_c2(1.0);
+    let wl = quick(machine, 900.0);
+    let sim = lopc::sim::run(&wl.sim_config_protocol_processor(3)).unwrap();
+    let sol = lopc::model::GeneralModel::homogeneous_all_to_all(machine, 900.0)
+        .with_protocol_processor()
+        .solve()
+        .unwrap();
+    let err = (sol.r[0] - sim.aggregate.mean_r).abs() / sim.aggregate.mean_r;
+    assert!(
+        err < 0.10,
+        "PP: model {} vs sim {} ({:.1}%)",
+        sol.r[0],
+        sim.aggregate.mean_r,
+        err * 100.0
+    );
+    // Rw is exactly W in both.
+    assert!((sim.aggregate.mean_rw - 900.0).abs() < 1e-9);
+    assert!((sol.rw[8] - 900.0).abs() < 1e-9);
+}
+
+#[test]
+fn c2_correction_improves_accuracy_on_constant_handlers() {
+    // Ablation: with constant handlers, the C²=0 model should beat the
+    // exponential-default model against the simulator.
+    let machine = Machine::new(32, 25.0, 200.0).with_c2(0.0);
+    let wl = quick(machine, 64.0);
+    let sim = lopc::sim::run(&wl.sim_config(37)).unwrap().aggregate.mean_r;
+    let with_corr = AllToAll::new(machine, 64.0).solve().unwrap().r;
+    let without = AllToAll::new(machine.with_c2(1.0), 64.0).solve().unwrap().r;
+    assert!(
+        (with_corr - sim).abs() < (without - sim).abs(),
+        "C² correction must help: corrected {with_corr:.1}, naive {without:.1}, sim {sim:.1}"
+    );
+}

@@ -1,0 +1,139 @@
+//! Property-based cross-crate tests: model-internal consistency and
+//! model/simulator contracts over randomly drawn parameters.
+
+use lopc::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The general Appendix A model collapses to the §5 closed form on
+    /// homogeneous inputs, for any machine.
+    #[test]
+    fn general_equals_closed_form(
+        p in 2usize..64,
+        st in 0.0..500.0f64,
+        so in 1.0..500.0f64,
+        c2 in 0.0..3.0f64,
+        w in 0.0..5000.0f64,
+    ) {
+        let machine = Machine::new(p, st, so).with_c2(c2);
+        let closed = AllToAll::new(machine, w).solve().unwrap();
+        let general = GeneralModel::homogeneous_all_to_all(machine, w).solve().unwrap();
+        prop_assert!(
+            (general.r[0] - closed.r).abs() / closed.r < 1e-5,
+            "general {} vs closed {}", general.r[0], closed.r
+        );
+    }
+
+    /// eq. 5.12 bounds hold for any valid machine.
+    #[test]
+    fn bounds_always_hold(
+        st in 0.0..500.0f64,
+        so in 0.1..1000.0f64,
+        c2 in 0.0..4.0f64,
+        w in 0.0..20_000.0f64,
+    ) {
+        let model = AllToAll::new(Machine::new(32, st, so).with_c2(c2), w);
+        let sol = model.solve().unwrap();
+        prop_assert!(sol.r > model.contention_free());
+        prop_assert!(sol.r <= model.upper_bound() + 1e-6 * sol.r);
+    }
+
+    /// Response time is monotone in each parameter.
+    #[test]
+    fn model_monotonicity(
+        st in 0.0..200.0f64,
+        so in 1.0..400.0f64,
+        w in 0.0..4000.0f64,
+        bump in 1.0..100.0f64,
+    ) {
+        let m = Machine::new(32, st, so).with_c2(0.0);
+        let base = AllToAll::new(m, w).solve().unwrap().r;
+        let w_up = AllToAll::new(m, w + bump).solve().unwrap().r;
+        let so_up = AllToAll::new(Machine::new(32, st, so + bump).with_c2(0.0), w)
+            .solve().unwrap().r;
+        let st_up = AllToAll::new(Machine::new(32, st + bump, so).with_c2(0.0), w)
+            .solve().unwrap().r;
+        prop_assert!(w_up > base);
+        prop_assert!(so_up > base);
+        prop_assert!(st_up > base);
+    }
+
+    /// The client-server fixed point satisfies eq. 6.7 and Little's law for
+    /// any split.
+    #[test]
+    fn client_server_self_consistency(
+        p in 3usize..64,
+        st in 0.0..200.0f64,
+        so in 1.0..400.0f64,
+        c2 in 0.0..2.0f64,
+        w in 0.0..5000.0f64,
+        ps_frac in 0.01..0.99f64,
+    ) {
+        let machine = Machine::new(p, st, so).with_c2(c2);
+        let ps = ((p as f64 * ps_frac) as usize).clamp(1, p - 1);
+        let model = ClientServer::new(machine, w);
+        let pt = model.throughput(ps).unwrap();
+        prop_assert!((pt.r - (w + 2.0 * st + pt.rq + so)).abs() < 1e-6 * pt.r.max(1.0));
+        prop_assert!((pt.x - pt.pc as f64 / pt.r).abs() < 1e-9 * pt.x.max(1.0));
+        prop_assert!(pt.us < 1.0 + 1e-9);
+    }
+
+    /// The work-pile optimum from eq. 6.8 is within one server of the model
+    /// sweep's argmax.
+    #[test]
+    fn optimum_matches_sweep(
+        p in 4usize..48,
+        so in 10.0..400.0f64,
+        w in 10.0..8000.0f64,
+        c2 in 0.0..2.0f64,
+    ) {
+        let machine = Machine::new(p, 25.0, so).with_c2(c2);
+        let model = ClientServer::new(machine, w);
+        let sweep = model.sweep().unwrap();
+        let argmax = sweep.iter().max_by(|a, b| a.x.total_cmp(&b.x)).unwrap().ps;
+        let closed = model.optimal_servers().unwrap();
+        prop_assert!(
+            (argmax as i64 - closed as i64).abs() <= 1,
+            "argmax {argmax} vs closed {closed} (P={p} So={so} W={w} C2={c2})"
+        );
+    }
+}
+
+proptest! {
+    // Simulator properties are costlier: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Per-run identity: pooled means satisfy R = Rw + 2St + Rq + Ry, and
+    /// conservation holds (each node completes > 0 cycles).
+    #[test]
+    fn sim_decomposition_and_conservation(
+        p in 2usize..12,
+        seed in 0u64..1000,
+    ) {
+        let st = 20.0;
+        let machine = Machine::new(p, st, 100.0).with_c2(1.0);
+        let wl = AllToAllWorkload::new(machine, 300.0).with_window(Window::quick());
+        let report = lopc::sim::run(&wl.sim_config(seed)).unwrap();
+        let a = &report.aggregate;
+        prop_assert!((a.mean_r - (a.mean_rw + 2.0 * st + a.mean_rq + a.mean_ry)).abs() < 1e-6);
+        for (i, n) in report.nodes.iter().enumerate() {
+            prop_assert!(n.cycles > 0, "node {i} starved");
+            prop_assert!(n.uq >= 0.0 && n.uq <= 1.0);
+            prop_assert!(n.uq + n.uy + n.u_compute <= 1.0 + 1e-9);
+        }
+    }
+
+    /// Bit-identical reruns under the same seed.
+    #[test]
+    fn sim_determinism(seed in 0u64..10_000) {
+        let machine = Machine::new(6, 10.0, 80.0).with_c2(1.0);
+        let wl = AllToAllWorkload::new(machine, 200.0).with_window(Window::quick());
+        let a = lopc::sim::run(&wl.sim_config(seed)).unwrap();
+        let b = lopc::sim::run(&wl.sim_config(seed)).unwrap();
+        prop_assert_eq!(a.aggregate.mean_r, b.aggregate.mean_r);
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.aggregate.total_cycles, b.aggregate.total_cycles);
+    }
+}
