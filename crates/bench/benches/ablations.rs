@@ -9,8 +9,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use lopc_bench::params::fig5_machine;
 use lopc_core::{AllToAll, GeneralModel, Machine};
-use lopc_solver::{solve_damped, FixedPointOptions};
 use lopc_sim::run;
+use lopc_solver::{solve_damped, FixedPointOptions};
 use lopc_workloads::{AllToAllWorkload, Window};
 use std::hint::black_box;
 
@@ -34,9 +34,15 @@ fn shadow_server_r(machine: Machine, w: f64) -> f64 {
         let rw = w / (1.0 - a);
         rw + 2.0 * machine.s_l + rq + ry - r
     };
-    lopc_solver::bisect(g, model.contention_free() - 1.0, model.upper_bound() + so, 1e-9, 200)
-        .map(|root| root.x)
-        .unwrap_or(f64::NAN)
+    lopc_solver::bisect(
+        g,
+        model.contention_free() - 1.0,
+        model.upper_bound() + so,
+        1e-9,
+        200,
+    )
+    .map(|root| root.x)
+    .unwrap_or(f64::NAN)
 }
 
 fn ablation_report() {

@@ -8,7 +8,10 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let result = run_experiment("rule_of_thumb", true).unwrap();
-    println!("\n[rule_of_thumb] {}", result.notes.join("\n[rule_of_thumb] "));
+    println!(
+        "\n[rule_of_thumb] {}",
+        result.notes.join("\n[rule_of_thumb] ")
+    );
 
     let mut g = c.benchmark_group("rule_of_thumb");
     g.bench_function("bounds_grid_45_points", |b| {

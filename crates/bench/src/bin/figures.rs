@@ -22,12 +22,17 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--exp" => {
-                let id = args.next().unwrap_or_else(|| usage("missing id after --exp"));
+                let id = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing id after --exp"));
                 exps.push(id);
             }
             "--quick" => quick = true,
             "--out" => {
-                out = PathBuf::from(args.next().unwrap_or_else(|| usage("missing dir after --out")));
+                out = PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("missing dir after --out")),
+                );
             }
             "--list" => {
                 for e in ALL_EXPERIMENTS {
@@ -74,7 +79,13 @@ fn main() {
 fn slug(title: &str) -> String {
     title
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect::<String>()
         .split('_')
         .filter(|s| !s.is_empty())

@@ -12,8 +12,8 @@ use crate::params::{fig5_machine, W_GRID};
 use crate::ExpResult;
 use lopc_core::AllToAll;
 use lopc_report::{ComparisonTable, Figure, Series};
-use lopc_solver::par_map;
 use lopc_sim::run_replications;
+use lopc_solver::par_map;
 use lopc_workloads::AllToAllWorkload;
 
 /// Regenerate the figure.
@@ -43,11 +43,7 @@ pub fn run(quick: bool) -> ExpResult {
 
     let mut cmp = ComparisonTable::new("all-to-all response time R (LoPC vs simulator)");
     for (i, &w) in ws.iter().enumerate() {
-        cmp.push(
-            format!("W={w:.0}"),
-            model.points[i].1,
-            sim.points[i].1,
-        );
+        cmp.push(format!("W={w:.0}"), model.points[i].1, sim.points[i].1);
     }
     result.note(format!(
         "paper: LoPC within ~6% of simulation, pessimistic; measured: max |err| {:.1}%, \

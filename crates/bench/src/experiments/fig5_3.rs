@@ -12,8 +12,8 @@ use crate::params::{fig5_machine, SO_FIG5, W_GRID};
 use crate::ExpResult;
 use lopc_core::AllToAll;
 use lopc_report::{ComparisonTable, Figure, Series};
-use lopc_solver::par_map;
 use lopc_sim::run_replications;
+use lopc_solver::par_map;
 use lopc_workloads::AllToAllWorkload;
 
 /// Per-W contention components from both model and simulator.

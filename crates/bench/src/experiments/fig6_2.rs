@@ -12,8 +12,8 @@ use crate::params::{fig6_machine, W_FIG6};
 use crate::ExpResult;
 use lopc_core::ClientServer;
 use lopc_report::{ComparisonTable, Figure, Series};
-use lopc_solver::par_map;
 use lopc_sim::run_replications;
+use lopc_solver::par_map;
 use lopc_workloads::Workpile;
 
 /// One throughput curve: `(Ps, X)` points.
@@ -65,11 +65,7 @@ pub fn run(quick: bool) -> ExpResult {
         cmp.push(format!("Ps={:.0}", m.0), m.1, s.1);
     }
 
-    let sim_opt = sim_pts
-        .iter()
-        .max_by(|a, b| a.1.total_cmp(&b.1))
-        .unwrap()
-        .0 as usize;
+    let sim_opt = sim_pts.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0 as usize;
     result.note(format!(
         "paper: LoPC conservative by <=3%; measured: worst under-prediction {:.1}%",
         -cmp.rows
@@ -110,11 +106,7 @@ mod tests {
         let machine = fig6_machine();
         let model = ClientServer::new(machine, W_FIG6);
         let opt = model.optimal_servers().unwrap() as i64;
-        let sim_opt = sim_pts
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap()
-            .0 as i64;
+        let sim_opt = sim_pts.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0 as i64;
         assert!(
             (opt - sim_opt).abs() <= 2,
             "closed form {opt} vs simulated argmax {sim_opt}"
@@ -140,10 +132,16 @@ mod tests {
         let model = ClientServer::new(fig6_machine(), W_FIG6);
         for &(ps, x) in &sim_pts {
             let ps = ps as usize;
-            assert!(x <= model.logp_server_bound(ps) * 1.02, "server bound at {ps}");
+            assert!(
+                x <= model.logp_server_bound(ps) * 1.02,
+                "server bound at {ps}"
+            );
             // Exponential chunk sampling lets short windows drift a few
             // percent above the mean-based bound.
-            assert!(x <= model.logp_client_bound(ps) * 1.05, "client bound at {ps}");
+            assert!(
+                x <= model.logp_client_bound(ps) * 1.05,
+                "client bound at {ps}"
+            );
         }
     }
 }

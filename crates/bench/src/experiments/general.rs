@@ -11,8 +11,8 @@ use crate::params::{P, ST};
 use crate::ExpResult;
 use lopc_core::Machine;
 use lopc_report::{ComparisonTable, Figure, Series};
-use lopc_solver::par_map;
 use lopc_sim::run_replications;
+use lopc_solver::par_map;
 use lopc_workloads::{Forwarding, Hotspot};
 
 /// Work between requests.
@@ -48,7 +48,8 @@ pub fn run(quick: bool) -> ExpResult {
     let hot_pts: Vec<(f64, f64, f64, f64, f64)> = par_map(&hot_grid, |&hot| {
         let wl = Hotspot::new(machine, 2.0 * W, hot).with_window(window(quick));
         let sol = wl.model().solve().unwrap();
-        let sim = run_replications(&wl.sim_config(8000 + (hot * 100.0) as u64), reps(quick)).unwrap();
+        let sim =
+            run_replications(&wl.sim_config(8000 + (hot * 100.0) as u64), reps(quick)).unwrap();
         // Thread-weighted mean response (the model averages per-thread R
         // equally; the pooled cycle mean would be harmonically weighted
         // toward fast threads).

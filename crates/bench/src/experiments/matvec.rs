@@ -9,8 +9,8 @@
 use crate::ExpResult;
 use lopc_core::Machine;
 use lopc_report::{ComparisonTable, Figure, Series};
-use lopc_solver::par_map;
 use lopc_sim::run as run_sim;
+use lopc_solver::par_map;
 use lopc_workloads::MatVec;
 
 /// Problem instances swept: `(N, P)`.
@@ -20,7 +20,8 @@ pub const INSTANCES: [(usize, usize); 4] = [(256, 8), (512, 16), (512, 32), (102
 pub fn run_exp(quick: bool) -> ExpResult {
     let mut result = ExpResult::new("matvec");
     let mut cmp = ComparisonTable::new("matvec total runtime: LoPC n*R vs simulated makespan");
-    let mut logp_cmp = ComparisonTable::new("matvec total runtime: naive LogP vs simulated makespan");
+    let mut logp_cmp =
+        ComparisonTable::new("matvec total runtime: naive LogP vs simulated makespan");
 
     let rows: Vec<(String, f64, f64, f64)> = par_map(&INSTANCES, |&(n_dim, p)| {
         let n_dim = if quick { n_dim / 2 } else { n_dim };

@@ -11,8 +11,8 @@ use crate::experiments::{reps, window};
 use crate::ExpResult;
 use lopc_core::{ForkJoin, Machine};
 use lopc_report::{ComparisonTable, Figure, Series};
-use lopc_solver::par_map;
 use lopc_sim::run_replications;
+use lopc_solver::par_map;
 use lopc_workloads::BulkSync;
 
 /// Fan-outs swept.
@@ -32,8 +32,8 @@ pub fn sweep(quick: bool) -> Vec<(u32, f64, f64, f64)> {
             .mean_r()
             .mean;
         // Serial baseline: k blocking cycles of W/k work each.
-        let serial_wl = lopc_workloads::AllToAllWorkload::new(machine, W / k as f64)
-            .with_window(window(quick));
+        let serial_wl =
+            lopc_workloads::AllToAllWorkload::new(machine, W / k as f64).with_window(window(quick));
         let serial = run_replications(&serial_wl.sim_config(9100 + k as u64), reps(quick))
             .unwrap()
             .mean_r()

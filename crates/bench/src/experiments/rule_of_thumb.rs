@@ -70,7 +70,10 @@ pub fn run(_quick: bool) -> ExpResult {
 
     let all_bounds = pts.iter().all(|p| p.bounds_hold);
     let (cmin, cmax) = pts.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), p| {
-        (lo.min(p.contention_in_handlers), hi.max(p.contention_in_handlers))
+        (
+            lo.min(p.contention_in_handlers),
+            hi.max(p.contention_in_handlers),
+        )
     });
     result.note(format!(
         "paper: contention ~= one extra handler, bounded in (0, 1.46]*So; measured range \

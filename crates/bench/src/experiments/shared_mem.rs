@@ -12,8 +12,8 @@ use crate::params::{P, ST};
 use crate::ExpResult;
 use lopc_core::{GeneralModel, Machine};
 use lopc_report::{ComparisonTable, Figure, Series};
-use lopc_solver::par_map;
 use lopc_sim::run_replications;
+use lopc_solver::par_map;
 use lopc_workloads::AllToAllWorkload;
 
 /// Occupancies swept.

@@ -13,8 +13,8 @@ use crate::params::{fig5_machine, SO_FIG5};
 use crate::ExpResult;
 use lopc_core::AllToAll;
 use lopc_report::{pct_err, ComparisonTable};
-use lopc_solver::par_map;
 use lopc_sim::run_replications;
+use lopc_solver::par_map;
 use lopc_workloads::AllToAllWorkload;
 
 /// Error measurements at one W point.
@@ -117,11 +117,7 @@ mod tests {
                 p.w
             );
             // LogP always under-predicts.
-            assert!(
-                p.logp_r_err < 0.0,
-                "LogP should under-predict at W={}",
-                p.w
-            );
+            assert!(p.logp_r_err < 0.0, "LogP should under-predict at W={}", p.w);
         }
         // Worst LogP error at W=0 in the tens of percent.
         assert!(

@@ -396,7 +396,9 @@ mod tests {
     /// Invalid parameters rejected.
     #[test]
     fn validation() {
-        assert!(AllToAll::new(Machine::new(1, 0.0, 1.0), 1.0).solve().is_err());
+        assert!(AllToAll::new(Machine::new(1, 0.0, 1.0), 1.0)
+            .solve()
+            .is_err());
         assert!(AllToAll::new(fig52_machine(), -1.0).solve().is_err());
         assert!(AllToAll::new(fig52_machine(), f64::NAN).solve().is_err());
     }

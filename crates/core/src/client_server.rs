@@ -172,9 +172,7 @@ impl ClientServer {
 
     /// Model throughput at every split `ps = 1..=P−1` (Figure 6-2's curve).
     pub fn sweep(&self) -> Result<Vec<CsPoint>, ModelError> {
-        (1..self.machine.p)
-            .map(|ps| self.throughput(ps))
-            .collect()
+        (1..self.machine.p).map(|ps| self.throughput(ps)).collect()
     }
 
     /// LogP optimistic bound: server saturation, `X ≤ Ps/So`.
@@ -235,11 +233,7 @@ mod tests {
             for &c2 in &[0.0, 1.0] {
                 let model = ClientServer::new(fig62_machine().with_c2(c2), w);
                 let sweep = model.sweep().unwrap();
-                let argmax = sweep
-                    .iter()
-                    .max_by(|a, b| a.x.total_cmp(&b.x))
-                    .unwrap()
-                    .ps;
+                let argmax = sweep.iter().max_by(|a, b| a.x.total_cmp(&b.x)).unwrap().ps;
                 let closed = model.optimal_servers().unwrap();
                 assert!(
                     (argmax as i64 - closed as i64).abs() <= 1,

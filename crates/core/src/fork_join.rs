@@ -256,11 +256,16 @@ mod tests {
         let work_bound = ForkJoin::new(machine(), 20_000.0, 4)
             .speedup_vs_serial()
             .unwrap();
-        assert!(comm_bound > 1.15, "communication-bound speedup {comm_bound}");
+        assert!(
+            comm_bound > 1.15,
+            "communication-bound speedup {comm_bound}"
+        );
         assert!(work_bound < comm_bound);
         assert!(work_bound > 0.95, "work-bound speedup {work_bound}");
         // k = 1 is the identity.
-        let k1 = ForkJoin::new(machine(), 500.0, 1).speedup_vs_serial().unwrap();
+        let k1 = ForkJoin::new(machine(), 500.0, 1)
+            .speedup_vs_serial()
+            .unwrap();
         assert!((k1 - 1.0).abs() < 1e-9);
     }
 

@@ -362,9 +362,7 @@ mod tests {
         for &w in &[0.0, 100.0, 1000.0] {
             for &c2 in &[0.0, 1.0, 2.0] {
                 let m = machine().with_c2(c2);
-                let general = GeneralModel::homogeneous_all_to_all(m, w)
-                    .solve()
-                    .unwrap();
+                let general = GeneralModel::homogeneous_all_to_all(m, w).solve().unwrap();
                 let closed = AllToAll::new(m, w).solve().unwrap();
                 let r_general = general.r[0];
                 assert!(
@@ -449,11 +447,7 @@ mod tests {
         for c in 1..p {
             for k in 0..p {
                 if k != c {
-                    model.v[c][k] = if k == 0 {
-                        0.5
-                    } else {
-                        0.5 / (p - 2) as f64
-                    };
+                    model.v[c][k] = if k == 0 { 0.5 } else { 0.5 / (p - 2) as f64 };
                 }
             }
         }

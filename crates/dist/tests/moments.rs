@@ -1,0 +1,130 @@
+//! Property tests for the `(mean, C²)` two-moment fit: round-trip from the
+//! requested moments through [`from_mean_cv2`] back out of both the closed
+//! forms and the sample stream.
+
+use lopc_dist::{from_mean_cv2, Distribution, ServiceTime};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Sample mean and sample C² over `n` draws.
+fn sample_moments(d: &ServiceTime, n: usize, seed: u64) -> (f64, f64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let (mut sum, mut sum2) = (0.0, 0.0);
+    for _ in 0..n {
+        let x = d.sample(&mut rng);
+        sum += x;
+        sum2 += x * x;
+    }
+    let mean = sum / n as f64;
+    let var = (sum2 / n as f64 - mean * mean).max(0.0);
+    (
+        mean,
+        if mean == 0.0 {
+            0.0
+        } else {
+            var / (mean * mean)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Closed-form round trip: the fitted distribution reports exactly the
+    /// requested `(mean, C²)` for any representative pair.
+    #[test]
+    fn closed_form_moments_round_trip(
+        mean in 0.1..5000.0f64,
+        cv2 in 0.0..6.0f64,
+    ) {
+        let d = from_mean_cv2(mean, cv2);
+        prop_assert!(
+            (d.mean() - mean).abs() <= 1e-9 * mean.max(1.0),
+            "mean {} != requested {mean} (cv2 {cv2})", d.mean()
+        );
+        prop_assert!(
+            (d.cv2() - cv2).abs() <= 1e-9,
+            "cv2 {} != requested {cv2} (mean {mean})", d.cv2()
+        );
+        // Samples are always non-negative and finite.
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..32 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x.is_finite() && x >= 0.0, "bad sample {x}");
+        }
+    }
+}
+
+proptest! {
+    // Sample-convergence cases draw hundreds of thousands of variates each:
+    // fewer cases, deterministic seeds.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sampling round trip: the sample moments converge to the requested
+    /// `(mean, C²)` within statistical tolerance.
+    #[test]
+    fn sample_moments_round_trip(
+        mean in 1.0..1000.0f64,
+        cv2 in 0.0..4.0f64,
+        seed in 0u64..1000,
+    ) {
+        let d = from_mean_cv2(mean, cv2);
+        let n = 300_000;
+        let (m, c2) = sample_moments(&d, n, seed);
+        // Standard error of the mean scales with sqrt(cv2/n); 6 sigma plus
+        // a small absolute floor keeps this deterministic-failure-free.
+        let mean_tol = 6.0 * mean * (cv2 / n as f64).sqrt() + 1e-9 * mean;
+        prop_assert!(
+            (m - mean).abs() <= mean_tol,
+            "sample mean {m} vs {mean} (cv2 {cv2}, tol {mean_tol})"
+        );
+        // C² of the sample stream: loose multiplicative band (heavy-tailed
+        // H2 fourth moments make tight bands flaky).
+        let c2_tol = 0.15 * cv2.max(0.05) + 0.02;
+        prop_assert!(
+            (c2 - cv2).abs() <= c2_tol,
+            "sample cv2 {c2} vs {cv2} (mean {mean}, tol {c2_tol})"
+        );
+    }
+}
+
+#[test]
+fn exact_moments_constant() {
+    let d = ServiceTime::constant(131.0);
+    assert_eq!(d.mean(), 131.0);
+    assert_eq!(d.cv2(), 0.0);
+    assert_eq!(d.variance(), 0.0);
+    // Every draw is the mean, exactly.
+    let (m, c2) = sample_moments(&d, 1000, 3);
+    assert_eq!(m, 131.0);
+    assert_eq!(c2, 0.0);
+}
+
+#[test]
+fn exact_moments_exponential() {
+    let d = ServiceTime::exponential(200.0);
+    assert_eq!(d.mean(), 200.0);
+    assert_eq!(d.cv2(), 1.0);
+    assert!((d.variance() - 200.0 * 200.0).abs() < 1e-9);
+    let (m, c2) = sample_moments(&d, 500_000, 17);
+    assert!((m - 200.0).abs() / 200.0 < 0.01, "sample mean {m}");
+    assert!((c2 - 1.0).abs() < 0.03, "sample cv2 {c2}");
+}
+
+#[test]
+fn paper_configurations_fit_exactly() {
+    // The (mean, C²) pairs the reproduction actually uses: Figure 5-2
+    // handlers (200, 0), Figure 6-2 handlers (131, 0), exponential defaults,
+    // and the Figure 5-1 C² sweep.
+    for &(mean, cv2) in &[(200.0, 0.0), (131.0, 0.0), (200.0, 1.0), (512.0, 2.0)] {
+        let d = from_mean_cv2(mean, cv2);
+        assert!((d.mean() - mean).abs() < 1e-9);
+        assert!((d.cv2() - cv2).abs() < 1e-9);
+    }
+    for i in 0..=40 {
+        let cv2 = i as f64 * 0.05;
+        let d = from_mean_cv2(1024.0, cv2);
+        assert!((d.cv2() - cv2).abs() < 1e-9, "sweep point {cv2}");
+    }
+}

@@ -71,7 +71,11 @@ pub fn render_chart(fig: &Figure, opts: &ChartOptions) -> String {
             return None;
         }
         // Row 0 is the top.
-        Some(opts.height - 1 - ((t * (opts.height - 1) as f64).round() as usize).min(opts.height - 1))
+        Some(
+            opts.height
+                - 1
+                - ((t * (opts.height - 1) as f64).round() as usize).min(opts.height - 1),
+        )
     };
 
     let mut grid = vec![vec![' '; opts.width]; opts.height];
@@ -164,8 +168,8 @@ mod tests {
 
     #[test]
     fn constant_series_padded() {
-        let f = Figure::new("C", "x", "y")
-            .with_series(Series::new("s", vec![(1.0, 5.0), (2.0, 5.0)]));
+        let f =
+            Figure::new("C", "x", "y").with_series(Series::new("s", vec![(1.0, 5.0), (2.0, 5.0)]));
         let s = render_chart(&f, &ChartOptions::default());
         assert!(s.contains('*'));
     }

@@ -63,10 +63,7 @@ impl ComparisonTable {
 
     /// Maximum absolute relative error.
     pub fn max_abs_err(&self) -> f64 {
-        self.rows
-            .iter()
-            .map(|r| r.err().abs())
-            .fold(0.0, f64::max)
+        self.rows.iter().map(|r| r.err().abs()).fold(0.0, f64::max)
     }
 
     /// Mean absolute relative error.

@@ -85,8 +85,7 @@ mod tests {
         let dir = std::env::temp_dir().join("lopc_csv_test");
         let _ = std::fs::remove_dir_all(&dir);
         let path = dir.join("nested").join("fig.csv");
-        let fig = Figure::new("t", "x", "y")
-            .with_series(Series::new("s", vec![(1.0, 2.0)]));
+        let fig = Figure::new("t", "x", "y").with_series(Series::new("s", vec![(1.0, 2.0)]));
         write_csv(&fig, &path).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.starts_with("x,s"));

@@ -130,7 +130,7 @@ mod tests {
     #[test]
     fn fmt_num_ranges() {
         assert_eq!(fmt_num(0.0), "0");
-        assert_eq!(fmt_num(3.14159), "3.142");
+        assert_eq!(fmt_num(1.23456), "1.235");
         assert_eq!(fmt_num(123.456), "123.5");
         assert!(fmt_num(123_456.0).contains('e'));
         assert!(fmt_num(0.000_01).contains('e'));

@@ -141,9 +141,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::BadLatency => "net_latency must be finite and >= 0",
             ConfigError::ZeroHops => "hops must be >= 1",
             ConfigError::ZeroFanout => "fanout must be >= 1",
-            ConfigError::LatencyMeanMismatch => {
-                "latency_dist mean must equal net_latency"
-            }
+            ConfigError::LatencyMeanMismatch => "latency_dist mean must equal net_latency",
             ConfigError::BadDestination => "destination chooser invalid or out of range",
             ConfigError::NoActiveThreads => "at least one thread must issue requests",
             ConfigError::BadWindow => "horizon requires 0 <= warmup < end",

@@ -56,7 +56,9 @@ enum Cpu {
     Handler,
     /// Running the computation thread; completion is the event carrying
     /// `token`, invalidated by bumping the node's token on preemption.
-    Compute { end: Time },
+    Compute {
+        end: Time,
+    },
 }
 
 /// Computation-thread state.
@@ -913,7 +915,10 @@ mod tests {
         }
         // All requests land on the two servers.
         assert_eq!(
-            report.nodes[2..].iter().map(|n| n.requests_served).sum::<u64>(),
+            report.nodes[2..]
+                .iter()
+                .map(|n| n.requests_served)
+                .sum::<u64>(),
             0
         );
         assert!(report.nodes[0].requests_served > 0);

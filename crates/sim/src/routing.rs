@@ -2,7 +2,7 @@
 //! `V[c][k]` of the general model (Appendix A).
 
 use crate::config::NodeId;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// How a thread (or a forwarding handler) picks the next destination.
 #[derive(Clone, Debug)]
@@ -42,7 +42,13 @@ impl DestChooser {
 
     /// Pick the next destination. `rr` is the caller-owned round-robin
     /// cursor (ignored by the random choosers).
-    pub fn pick<R: Rng + ?Sized>(&self, me: NodeId, p: usize, rng: &mut R, rr: &mut usize) -> NodeId {
+    pub fn pick<R: Rng + ?Sized>(
+        &self,
+        me: NodeId,
+        p: usize,
+        rng: &mut R,
+        rr: &mut usize,
+    ) -> NodeId {
         match self {
             DestChooser::UniformOther => {
                 debug_assert!(p >= 2);
@@ -190,7 +196,10 @@ mod tests {
         assert!(!DestChooser::Fixed(0).is_valid(0, 4), "self loop");
         assert!(!DestChooser::Fixed(9).is_valid(0, 4), "out of range");
         assert!(!DestChooser::UniformAmong(vec![]).is_valid(0, 4), "empty");
-        assert!(!DestChooser::Weighted(vec![(1, 0.0)]).is_valid(0, 4), "zero weight");
+        assert!(
+            !DestChooser::Weighted(vec![(1, 0.0)]).is_valid(0, 4),
+            "zero weight"
+        );
     }
 
     #[test]

@@ -74,8 +74,8 @@ impl Replications {
     }
 }
 
-/// Run `reps` independent replications in parallel (crossbeam scoped
-/// threads), varying only the seed.
+/// Run `reps` independent replications in parallel (std scoped threads),
+/// varying only the seed.
 pub fn run_replications(cfg: &SimConfig, reps: usize) -> Result<Replications, ConfigError> {
     cfg.validate()?;
     if reps == 0 {
@@ -97,11 +97,11 @@ pub fn run_replications(cfg: &SimConfig, reps: usize) -> Result<Replications, Co
         }
     } else {
         let chunk = reps.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (ti, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
                 let base = ti * chunk;
                 let cfg = &*cfg;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (j, slot) in slot_chunk.iter_mut().enumerate() {
                         let mut c = cfg.clone();
                         c.seed = cfg.seed.wrapping_add((base + j) as u64);
@@ -115,8 +115,7 @@ pub fn run_replications(cfg: &SimConfig, reps: usize) -> Result<Replications, Co
                     }
                 });
             }
-        })
-        .expect("replication worker panicked");
+        });
     }
 
     Ok(Replications {

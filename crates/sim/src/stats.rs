@@ -359,7 +359,7 @@ mod tests {
         tw.set(0.0, 1.0);
         tw.set(5.0, 0.0); // level 1 for 5 units
         tw.set(10.0, 2.0); // level 0 for 5 units
-        // level 2 for 10 units -> integral = 5 + 0 + 20 = 25 over 20 units.
+                           // level 2 for 10 units -> integral = 5 + 0 + 20 = 25 over 20 units.
         assert!((tw.average(20.0) - 1.25).abs() < 1e-12);
     }
 

@@ -13,7 +13,11 @@ pub struct ArgmaxResult {
 ///
 /// Ties resolve to the smallest argument. NaN values are skipped; if every
 /// value is NaN the result is `None`.
-pub fn argmax_usize<F: FnMut(usize) -> f64>(lo: usize, hi: usize, mut f: F) -> Option<ArgmaxResult> {
+pub fn argmax_usize<F: FnMut(usize) -> f64>(
+    lo: usize,
+    hi: usize,
+    mut f: F,
+) -> Option<ArgmaxResult> {
     if lo > hi {
         return None;
     }

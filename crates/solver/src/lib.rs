@@ -15,7 +15,7 @@
 //!   scalar.
 //! * [`argmax_usize`] — integer grid argmax used for the optimal-server
 //!   search in §6.
-//! * [`par_map`] — embarrassingly-parallel parameter sweeps (crossbeam scoped
+//! * [`par_map`] — embarrassingly-parallel parameter sweeps (std scoped
 //!   threads) used by the benchmark harness to regenerate figures quickly.
 
 pub mod bisection;

@@ -2,8 +2,8 @@
 //!
 //! Regenerating a figure means evaluating the model or the simulator at many
 //! independent parameter points; this is an embarrassingly-parallel map. We
-//! use crossbeam scoped threads so the closure can borrow from the caller
-//! (no `'static` bound), chunking the index space evenly across the available
+//! use std scoped threads so the closure can borrow from the caller (no
+//! `'static` bound), chunking the index space evenly across the available
 //! cores.
 
 /// Parallel map over a slice of inputs, preserving order.
@@ -31,19 +31,18 @@ where
 
     // Split the output into contiguous chunks, one set of chunks per thread.
     let chunk = items.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (ti, out_chunk) in out.chunks_mut(chunk).enumerate() {
             let start = ti * chunk;
             let f = &f;
             let items = &items[start..start + out_chunk.len()];
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (slot, item) in out_chunk.iter_mut().zip(items) {
                     *slot = Some(f(item));
                 }
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     out.into_iter().map(|r| r.expect("slot filled")).collect()
 }

@@ -80,7 +80,8 @@ mod tests {
     use lopc_sim::run;
 
     fn setup(fanout: u32, w: f64) -> BulkSync {
-        BulkSync::new(Machine::new(32, 25.0, 200.0).with_c2(0.0), w, fanout).with_window(Window::quick())
+        BulkSync::new(Machine::new(32, 25.0, 200.0).with_c2(0.0), w, fanout)
+            .with_window(Window::quick())
     }
 
     /// fanout = 1 in the simulator matches the plain blocking workload.
@@ -116,8 +117,8 @@ mod tests {
         let k = 4u32;
         let w = 1000.0;
         let bulk = setup(k, w);
-        let serial = crate::AllToAllWorkload::new(bulk.machine, w / k as f64)
-            .with_window(Window::quick());
+        let serial =
+            crate::AllToAllWorkload::new(bulk.machine, w / k as f64).with_window(Window::quick());
         let r_bulk = run(&bulk.sim_config(7)).unwrap().aggregate.mean_r;
         let r_serial = run(&serial.sim_config(7)).unwrap().aggregate.mean_r * k as f64;
         assert!(

@@ -111,7 +111,10 @@ mod tests {
     fn single_hop_equals_all_to_all() {
         let wl = setup(1);
         let general = wl.model().solve().unwrap().r[0];
-        let closed = lopc_core::AllToAll::new(wl.machine, wl.w).solve().unwrap().r;
+        let closed = lopc_core::AllToAll::new(wl.machine, wl.w)
+            .solve()
+            .unwrap()
+            .r;
         assert!((general - closed).abs() / closed < 1e-6);
     }
 

@@ -122,7 +122,8 @@ mod tests {
     use lopc_sim::run;
 
     fn setup(hot: f64) -> Hotspot {
-        Hotspot::new(Machine::new(16, 25.0, 150.0).with_c2(0.0), 1500.0, hot).with_window(Window::quick())
+        Hotspot::new(Machine::new(16, 25.0, 150.0).with_c2(0.0), 1500.0, hot)
+            .with_window(Window::quick())
     }
 
     #[test]

@@ -180,8 +180,7 @@ mod tests {
     /// makespan equals the naive LogP bound exactly.
     #[test]
     fn lockstep_permutation_is_contention_free() {
-        let mv = MatVec::new(256, Machine::new(8, 25.0, 200.0).with_c2(0.0), 4.0)
-            .with_jitter(0.0);
+        let mv = MatVec::new(256, Machine::new(8, 25.0, 200.0).with_c2(0.0), 4.0).with_jitter(0.0);
         let report = run(&mv.sim_config(5)).unwrap();
         let logp = mv.logp_runtime();
         assert!(
@@ -195,8 +194,7 @@ mod tests {
     /// climbs to the LoPC prediction n·R (the realistic regime).
     #[test]
     fn jittered_makespan_matches_prediction() {
-        let mv = MatVec::new(256, Machine::new(8, 25.0, 200.0).with_c2(0.0), 4.0)
-            .with_jitter(0.10);
+        let mv = MatVec::new(256, Machine::new(8, 25.0, 200.0).with_c2(0.0), 4.0).with_jitter(0.10);
         let report = run(&mv.sim_config(5)).unwrap();
         let predicted = mv.predicted_runtime().unwrap();
         let err = (predicted - report.makespan).abs() / report.makespan;
@@ -216,8 +214,7 @@ mod tests {
     /// response times (homogeneity is what matters once desynchronised).
     #[test]
     fn desynchronised_round_robin_is_homogeneous() {
-        let mv = MatVec::new(256, Machine::new(8, 25.0, 200.0).with_c2(0.0), 4.0)
-            .with_jitter(0.10);
+        let mv = MatVec::new(256, Machine::new(8, 25.0, 200.0).with_c2(0.0), 4.0).with_jitter(0.10);
         let mut cfg = mv.sim_config(9);
         let rr = run(&cfg).unwrap().aggregate.mean_r;
         for t in &mut cfg.threads {

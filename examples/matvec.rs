@@ -14,7 +14,13 @@ fn main() {
     println!("Matrix-vector multiply (Section 3 of the thesis)\n");
 
     let mut table = Table::new([
-        "instance", "W", "n", "LogP n*Rcf", "LoPC n*R", "sim makespan", "LoPC err %",
+        "instance",
+        "W",
+        "n",
+        "LogP n*Rcf",
+        "LoPC n*R",
+        "sim makespan",
+        "LoPC err %",
     ]);
 
     for (n_dim, p) in [(256usize, 8usize), (512, 16), (1024, 32)] {
@@ -29,7 +35,10 @@ fn main() {
             format!("{:.0}", mv.logp_runtime()),
             format!("{predicted:.0}"),
             format!("{:.0}", report.makespan),
-            format!("{:+.1}", (predicted - report.makespan) / report.makespan * 100.0),
+            format!(
+                "{:+.1}",
+                (predicted - report.makespan) / report.makespan * 100.0
+            ),
         ]);
     }
     println!("{}", table.render());

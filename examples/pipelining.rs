@@ -27,8 +27,11 @@ fn main() {
 
         // Serial baseline: the same k requests issued as blocking cycles.
         let serial_wl = AllToAllWorkload::new(machine, w / k as f64);
-        let serial =
-            lopc::sim::run(&serial_wl.sim_config(5)).unwrap().aggregate.mean_r * k as f64;
+        let serial = lopc::sim::run(&serial_wl.sim_config(5))
+            .unwrap()
+            .aggregate
+            .mean_r
+            * k as f64;
 
         table.row([
             format!("{k}"),

@@ -28,20 +28,46 @@ fn main() {
     println!("LoPC quickstart — homogeneous all-to-all, P=32, St=25, So=200, C^2=0, W=1000\n");
     println!("LogP (contention-free) cycle: {cycle_logp:>8.1} cycles");
     println!("LoPC predicted cycle:         {:>8.1} cycles", sol.r);
-    println!("  = Rw {:.1} + 2*St {:.1} + Rq {:.1} + Ry {:.1}", sol.rw, 50.0, sol.rq, sol.ry);
-    println!("contention cost C:            {:>8.1} cycles (~{:.2} handlers)",
-        sol.contention, sol.contention / machine.s_o);
-    println!("bounds (eq. 5.12):            ({:.1}, {:.1})",
-        model.contention_free(), model.upper_bound());
-    println!("rule of thumb W+2St+3So:      {:>8.1} cycles", model.rule_of_thumb());
-    println!("total runtime n*R:            {:>8.0} cycles\n", algorithm.total_runtime(sol.r));
+    println!(
+        "  = Rw {:.1} + 2*St {:.1} + Rq {:.1} + Ry {:.1}",
+        sol.rw,
+        2.0 * machine.s_l,
+        sol.rq,
+        sol.ry
+    );
+    println!(
+        "contention cost C:            {:>8.1} cycles (~{:.2} handlers)",
+        sol.contention,
+        sol.contention / machine.s_o
+    );
+    println!(
+        "bounds (eq. 5.12):            ({:.1}, {:.1})",
+        model.contention_free(),
+        model.upper_bound()
+    );
+    println!(
+        "rule of thumb W+2St+3So:      {:>8.1} cycles",
+        model.rule_of_thumb()
+    );
+    println!(
+        "total runtime n*R:            {:>8.0} cycles\n",
+        algorithm.total_runtime(sol.r)
+    );
 
     // 5. Validate against the event-driven simulator on the same parameters.
     let workload = AllToAllWorkload::new(machine, algorithm.w);
     let report = lopc::sim::run(&workload.sim_config(42)).expect("valid config");
     let measured = report.aggregate.mean_r;
-    println!("simulator measured cycle:     {measured:>8.1} cycles  ({} cycles observed)",
-        report.aggregate.total_cycles);
-    println!("LoPC error:                   {:>+8.2}%", (sol.r - measured) / measured * 100.0);
-    println!("LogP error:                   {:>+8.2}%", (cycle_logp - measured) / measured * 100.0);
+    println!(
+        "simulator measured cycle:     {measured:>8.1} cycles  ({} cycles observed)",
+        report.aggregate.total_cycles
+    );
+    println!(
+        "LoPC error:                   {:>+8.2}%",
+        (sol.r - measured) / measured * 100.0
+    );
+    println!(
+        "LogP error:                   {:>+8.2}%",
+        (cycle_logp - measured) / measured * 100.0
+    );
 }

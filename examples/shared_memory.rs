@@ -14,7 +14,12 @@ fn main() {
     println!("Protocol-processor study (Section 5.1), P=32, St=25, W=800, C^2=0\n");
 
     let mut table = Table::new([
-        "So", "MP model R", "MP sim R", "PP model R", "PP sim R", "PP speedup",
+        "So",
+        "MP model R",
+        "MP sim R",
+        "PP model R",
+        "PP sim R",
+        "PP speedup",
     ]);
 
     for so in [50.0, 100.0, 200.0, 400.0] {

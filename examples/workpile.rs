@@ -34,7 +34,11 @@ fn main() {
             .throughput;
         model_pts.push((ps as f64, m.x));
         sim_pts.push((ps as f64, x_sim));
-        let marker = if ps == ps_star { "  <= eq. 6.8 optimum" } else { "" };
+        let marker = if ps == ps_star {
+            "  <= eq. 6.8 optimum"
+        } else {
+            ""
+        };
         println!(
             "  Ps={ps:>2}: model X={:.5}  sim X={:.5}  (Qs={:.2}, Us={:.2}){marker}",
             m.x, x_sim, m.qs, m.us

@@ -43,13 +43,14 @@ pub use lopc_workloads as workloads;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use lopc_core::{
-        Algorithm, AllToAll, ClientServer, ForkJoin, GeneralModel, LogPParams, Machine,
-        ModelError,
+        Algorithm, AllToAll, ClientServer, ForkJoin, GeneralModel, LogPParams, Machine, ModelError,
     };
     pub use lopc_dist::{from_mean_cv2, Distribution, ServiceTime};
     pub use lopc_report::{ComparisonTable, Figure, Series};
     pub use lopc_sim::{run, run_replications, DestChooser, SimConfig, StopCondition, ThreadSpec};
-    pub use lopc_workloads::{AllToAllWorkload, BulkSync, Forwarding, Hotspot, MatVec, Window, Workpile};
+    pub use lopc_workloads::{
+        AllToAllWorkload, BulkSync, Forwarding, Hotspot, MatVec, Window, Workpile,
+    };
 }
 
 #[cfg(test)]

@@ -42,8 +42,14 @@ fn bounds_hold_for_simulator() {
         let model = AllToAll::new(machine, w);
         let wl = AllToAllWorkload::new(machine, w).with_window(Window::quick());
         let r = lopc::sim::run(&wl.sim_config(3)).unwrap().aggregate.mean_r;
-        assert!(r > model.contention_free() * 0.995, "W={w}: sim {r} below lower bound");
-        assert!(r < model.upper_bound() * 1.03, "W={w}: sim {r} above upper bound");
+        assert!(
+            r > model.contention_free() * 0.995,
+            "W={w}: sim {r} below lower bound"
+        );
+        assert!(
+            r < model.upper_bound() * 1.03,
+            "W={w}: sim {r} above upper bound"
+        );
     }
 }
 

@@ -11,7 +11,10 @@ fn machine() -> Machine {
 
 fn sim_throughput(ps: usize, w: f64, seed: u64) -> f64 {
     let wl = Workpile::new(machine(), w, ps).with_window(Window::quick());
-    lopc::sim::run(&wl.sim_config(seed)).unwrap().aggregate.throughput
+    lopc::sim::run(&wl.sim_config(seed))
+        .unwrap()
+        .aggregate
+        .throughput
 }
 
 #[test]
@@ -77,8 +80,7 @@ fn queue_length_one_at_simulated_optimum() {
 #[test]
 fn optimum_moves_as_the_model_predicts() {
     // Heavier chunks -> fewer servers; costlier handlers -> more servers.
-    let base = ClientServer::new(machine(), 1000.0)
-        .optimal_servers_continuous();
+    let base = ClientServer::new(machine(), 1000.0).optimal_servers_continuous();
     let heavy_chunks = ClientServer::new(machine(), 4000.0).optimal_servers_continuous();
     let heavy_handlers =
         ClientServer::new(Machine::new(MACHINE_P, 50.0, 400.0).with_c2(0.0), 1000.0)
@@ -93,8 +95,14 @@ fn logp_bounds_envelope_simulation() {
     let model = ClientServer::new(machine(), w);
     for ps in [1usize, 4, 10, 14] {
         let x = sim_throughput(ps, w, 101);
-        assert!(x <= model.logp_server_bound(ps) * 1.02, "server bound, ps={ps}");
-        assert!(x <= model.logp_client_bound(ps) * 1.05, "client bound, ps={ps}");
+        assert!(
+            x <= model.logp_server_bound(ps) * 1.02,
+            "server bound, ps={ps}"
+        );
+        assert!(
+            x <= model.logp_client_bound(ps) * 1.05,
+            "client bound, ps={ps}"
+        );
     }
 }
 
@@ -114,6 +122,12 @@ fn exponential_handlers_need_more_servers() {
     let ps = p0.round() as usize;
     let x0 = sim_throughput(ps, w, 33);
     let wl1 = Workpile::new(m1, w, ps).with_window(Window::quick());
-    let x1 = lopc::sim::run(&wl1.sim_config(33)).unwrap().aggregate.throughput;
-    assert!(x1 < x0 * 1.02, "more variable handlers cannot help: {x1} vs {x0}");
+    let x1 = lopc::sim::run(&wl1.sim_config(33))
+        .unwrap()
+        .aggregate
+        .throughput;
+    assert!(
+        x1 < x0 * 1.02,
+        "more variable handlers cannot help: {x1} vs {x0}"
+    );
 }

@@ -9,7 +9,10 @@ use lopc::prelude::*;
 
 fn measure(machine: Machine, w: f64, seed: u64) -> f64 {
     let wl = AllToAllWorkload::new(machine, w).with_window(Window::quick());
-    lopc::sim::run(&wl.sim_config(seed)).unwrap().aggregate.mean_r
+    lopc::sim::run(&wl.sim_config(seed))
+        .unwrap()
+        .aggregate
+        .mean_r
 }
 
 #[test]
@@ -26,11 +29,7 @@ fn lopc_error_small_and_shrinking() {
         assert!(*e < 0.09, "point {i}: err {:.1}%", e * 100.0);
     }
     // ...and the W=2048 error is below the W=0 error (asymptotic exactness).
-    assert!(
-        errs[2] < errs[0],
-        "error should shrink with W: {:?}",
-        errs
-    );
+    assert!(errs[2] < errs[0], "error should shrink with W: {:?}", errs);
 }
 
 #[test]
@@ -113,5 +112,9 @@ fn reply_contention_is_the_worst_predicted_component() {
         ry_err * 100.0,
         rq_err * 100.0
     );
-    assert!(ry_err > 0.2, "reply over-prediction is large: {:.0}%", ry_err * 100.0);
+    assert!(
+        ry_err > 0.2,
+        "reply over-prediction is large: {:.0}%",
+        ry_err * 100.0
+    );
 }

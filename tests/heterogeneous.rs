@@ -11,7 +11,11 @@ fn mixed_sim(p: usize, st: f64, so: f64, w_fast: f64, w_slow: f64, seed: u64) ->
     let handler = ServiceTime::constant(so);
     let threads = (0..p)
         .map(|k| ThreadSpec {
-            work: Some(ServiceTime::constant(if k % 2 == 0 { w_fast } else { w_slow })),
+            work: Some(ServiceTime::constant(if k % 2 == 0 {
+                w_fast
+            } else {
+                w_slow
+            })),
             dest: DestChooser::UniformOther,
             hops: 1,
             fanout: 1,

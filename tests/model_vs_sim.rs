@@ -37,7 +37,10 @@ fn general_model_matches_sim_on_client_server() {
     let machine = Machine::new(16, 50.0, 131.0).with_c2(0.0);
     for ps in [2usize, 4, 8] {
         let wl = Workpile::new(machine, 800.0, ps).with_window(Window::quick());
-        let x_sim = lopc::sim::run(&wl.sim_config(17)).unwrap().aggregate.throughput;
+        let x_sim = lopc::sim::run(&wl.sim_config(17))
+            .unwrap()
+            .aggregate
+            .throughput;
         let x_general = wl.general_model().solve().unwrap().system_throughput();
         let x_scalar = wl.model().throughput(ps).unwrap().x;
         // Scalar §6 recursion and Appendix A system agree with each other...
