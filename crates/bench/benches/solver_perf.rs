@@ -1,7 +1,11 @@
 //! Solver strategy bench: bisection vs secant vs damped fixed-point on the
 //! §5.3 `F[R] = R` equation (the quartic the thesis solves numerically).
+//!
+//! Results are persisted as the `solver_perf` section of `BENCH_sim.json`
+//! at the repository root (format documented in the README).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use lopc_bench::baseline::{self, Section};
 use lopc_bench::params::fig5_machine;
 use lopc_core::AllToAll;
 use lopc_solver::{bisect, secant, solve_damped, FixedPointOptions};
@@ -70,6 +74,19 @@ fn bench(c: &mut Criterion) {
         })
     });
     g.finish();
+
+    let mut section = Section::new("solver_perf");
+    for r in criterion::take_results() {
+        section.entry(
+            format!("{}/{}", r.group, r.id),
+            r.ns_per_iter,
+            r.elements_per_iter,
+        );
+    }
+    match baseline::update(&baseline::default_path(), section) {
+        Ok(path) => println!("[solver_perf] baseline written to {}", path.display()),
+        Err(e) => eprintln!("[solver_perf] could not write baseline: {e}"),
+    }
 }
 
 criterion_group!(benches, bench);

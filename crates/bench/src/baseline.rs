@@ -1,0 +1,551 @@
+//! Persistent, machine-readable bench baselines (`BENCH_sim.json`).
+//!
+//! `cargo bench` output used to be plain text that scrolled away; nothing
+//! recorded a baseline to compare the next PR against. This module gives the
+//! perf-tracking benches (`sim_perf`, `solver_perf`) a tiny persistence
+//! layer: each bench writes its measurements as one *section* of a single
+//! JSON document at the repository root, leaving other sections untouched,
+//! so the file accumulates the full baseline of the perf trajectory.
+//!
+//! The file format is documented in the repository README ("Bench baselines"
+//! section). Since the build container has no serde, the module carries its
+//! own emitter and a minimal recursive-descent JSON parser for the subset it
+//! emits (objects, arrays, strings, finite numbers, booleans, null).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use lopc_bench::baseline::{default_path, update, Section};
+//!
+//! let mut sec = Section::new("sim_perf");
+//! sec.entry("sim_full/calendar_p128", 1.25e6, Some(61_000));
+//! sec.derived("speedup_large_p", 1.8);
+//! update(&default_path(), sec).unwrap();
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// One measured benchmark in a section.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entry {
+    /// Fully-qualified bench name (`group/id`).
+    pub name: String,
+    /// Best observed nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Elements processed per iteration (events, solves, …), if known.
+    pub elements_per_iter: Option<u64>,
+}
+
+impl Entry {
+    /// Elements per second implied by the measurement, if known.
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        self.elements_per_iter
+            .filter(|_| self.ns_per_iter > 0.0)
+            .map(|n| n as f64 / self.ns_per_iter * 1e9)
+    }
+}
+
+/// One bench binary's contribution to the baseline file.
+#[derive(Clone, Debug, Default)]
+pub struct Section {
+    /// Section key (the bench binary name, e.g. `"sim_perf"`).
+    pub name: String,
+    /// Measurements, in bench execution order.
+    pub entries: Vec<Entry>,
+    /// Derived headline metrics (speedups, ratios), keyed by name.
+    pub derived: BTreeMap<String, f64>,
+}
+
+impl Section {
+    /// New empty section.
+    pub fn new(name: impl Into<String>) -> Self {
+        Section {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Record one measurement.
+    pub fn entry(&mut self, name: impl Into<String>, ns_per_iter: f64, elements: Option<u64>) {
+        self.entries.push(Entry {
+            name: name.into(),
+            ns_per_iter,
+            elements_per_iter: elements,
+        });
+    }
+
+    /// Record a derived headline metric.
+    pub fn derived(&mut self, name: impl Into<String>, value: f64) {
+        self.derived.insert(name.into(), value);
+    }
+}
+
+/// Default baseline location: `BENCH_sim.json` at the repository root
+/// (overridable with the `LOPC_BENCH_BASELINE` environment variable).
+pub fn default_path() -> PathBuf {
+    if let Ok(p) = std::env::var("LOPC_BENCH_BASELINE") {
+        return PathBuf::from(p);
+    }
+    // CARGO_MANIFEST_DIR = <repo>/crates/bench at compile time.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_sim.json")
+}
+
+/// Merge `section` into the baseline file at `path`, preserving every other
+/// section, and rewrite it. Returns the canonicalized path written.
+pub fn update(path: &Path, section: Section) -> io::Result<PathBuf> {
+    let mut sections: BTreeMap<String, Json> = match std::fs::read_to_string(path) {
+        Ok(text) => match parse(&text) {
+            Ok(Json::Object(top)) => match top.into_iter().find(|(k, _)| k == "sections") {
+                Some((_, Json::Object(secs))) => secs.into_iter().collect(),
+                _ => BTreeMap::new(),
+            },
+            // Unparseable or non-object baselines are rebuilt from scratch
+            // rather than erroring out a bench run.
+            _ => BTreeMap::new(),
+        },
+        Err(_) => BTreeMap::new(),
+    };
+
+    let stamp = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut sec_obj: Vec<(String, Json)> = vec![("unix_time".into(), Json::Num(stamp as f64))];
+    let entries: Vec<Json> = section
+        .entries
+        .iter()
+        .map(|e| {
+            let mut obj: Vec<(String, Json)> = vec![
+                ("name".into(), Json::Str(e.name.clone())),
+                ("ns_per_iter".into(), Json::Num(e.ns_per_iter)),
+            ];
+            if let Some(n) = e.elements_per_iter {
+                obj.push(("elements_per_iter".into(), Json::Num(n as f64)));
+            }
+            if let Some(rate) = e.elements_per_sec() {
+                obj.push(("elements_per_sec".into(), Json::Num(rate)));
+            }
+            Json::Object(obj)
+        })
+        .collect();
+    sec_obj.push(("entries".into(), Json::Array(entries)));
+    if !section.derived.is_empty() {
+        sec_obj.push((
+            "derived".into(),
+            Json::Object(
+                section
+                    .derived
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                    .collect(),
+            ),
+        ));
+    }
+    sections.insert(section.name.clone(), Json::Object(sec_obj));
+
+    let top = Json::Object(vec![
+        ("schema".into(), Json::Str("lopc-bench-baseline/1".into())),
+        (
+            "sections".into(),
+            Json::Object(sections.into_iter().collect()),
+        ),
+    ]);
+    let mut out = String::new();
+    top.render(&mut out, 0);
+    out.push('\n');
+    std::fs::write(path, out)?;
+    Ok(path.canonicalize().unwrap_or_else(|_| path.to_path_buf()))
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value type, emitter, and parser
+// ---------------------------------------------------------------------------
+
+/// JSON value subset used by the baseline file.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Finite number (emitted with enough precision to round-trip).
+    Num(f64),
+    /// String (only `"` and `\` are escaped by the emitter).
+    Str(String),
+    /// Array.
+    Array(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn render(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(x) => {
+                if x.fract() == 0.0 && x.abs() < 9e15 {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    let _ = write!(out, "{x:?}");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        // RFC 8259: all other control characters must be
+                        // \u-escaped or the document is invalid JSON.
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    let _ = write!(out, "{pad}  ");
+                    item.render(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}]");
+            }
+            Json::Object(kv) => {
+                if kv.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in kv.iter().enumerate() {
+                    let _ = write!(out, "{pad}  ");
+                    Json::Str(k.clone()).render(out, indent + 1);
+                    out.push_str(": ");
+                    v.render(out, indent + 1);
+                    out.push_str(if i + 1 < kv.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}}}");
+            }
+        }
+    }
+}
+
+/// Parse a JSON document (the subset emitted by this module).
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut kv = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(kv));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                kv.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(kv));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'u') => {
+                                let hex = b
+                                    .get(*pos + 1..*pos + 5)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|e| format!("bad \\u escape {hex:?}: {e}"))?;
+                                // BMP scalars only — the emitter never
+                                // writes surrogate pairs.
+                                s.push(
+                                    char::from_u32(code)
+                                        .ok_or(format!("invalid \\u code point {code:#x}"))?,
+                                );
+                                *pos += 4;
+                            }
+                            other => return Err(format!("unsupported escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        // Multi-byte UTF-8 passes through byte by byte; the
+                        // input came from a &str so it is valid UTF-8.
+                        let start = *pos;
+                        let mut end = *pos + 1;
+                        if c >= 0x80 {
+                            while end < b.len() && b[end] & 0xC0 == 0x80 {
+                                end += 1;
+                            }
+                        }
+                        s.push_str(std::str::from_utf8(&b[start..end]).map_err(|e| e.to_string())?);
+                        *pos = end;
+                    }
+                }
+            }
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            s.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|e| format!("bad number {s:?}: {e}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let v = Json::Object(vec![
+            ("a".into(), Json::Num(1.5)),
+            ("b".into(), Json::Str("x \"y\" \\z \t \r \n \u{1} é".into())),
+            (
+                "c".into(),
+                Json::Array(vec![Json::Bool(true), Json::Null, Json::Num(-3.0)]),
+            ),
+            ("d".into(), Json::Object(vec![])),
+            ("e".into(), Json::Array(vec![])),
+        ]);
+        let mut text = String::new();
+        v.render(&mut text, 0);
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("\"open").is_err());
+    }
+
+    #[test]
+    fn numbers_round_trip_precisely() {
+        for x in [0.0, 1.0, -1.0, 123456789.0, 1.25e-9, 6.02e23, 0.1 + 0.2] {
+            let mut s = String::new();
+            Json::Num(x).render(&mut s, 0);
+            assert_eq!(parse(&s).unwrap().as_num().unwrap(), x, "{s}");
+        }
+    }
+
+    #[test]
+    fn update_merges_sections() {
+        let dir = std::env::temp_dir().join("lopc_baseline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("merge_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let mut a = Section::new("sim_perf");
+        a.entry("g/one", 100.0, Some(1000));
+        a.derived("speedup", 2.0);
+        update(&path, a).unwrap();
+
+        let mut b = Section::new("solver_perf");
+        b.entry("g/two", 50.0, None);
+        update(&path, b).unwrap();
+
+        let doc = parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema"),
+            Some(&Json::Str("lopc-bench-baseline/1".into()))
+        );
+        let sections = doc.get("sections").unwrap();
+        let sim = sections.get("sim_perf").expect("first section preserved");
+        let solver = sections.get("solver_perf").expect("second section added");
+        assert_eq!(
+            sim.get("derived").unwrap().get("speedup").unwrap().as_num(),
+            Some(2.0)
+        );
+        match solver.get("entries").unwrap() {
+            Json::Array(items) => {
+                assert_eq!(items.len(), 1);
+                assert_eq!(items[0].get("name"), Some(&Json::Str("g/two".into())),);
+                assert!(items[0].get("elements_per_iter").is_none());
+            }
+            other => panic!("entries must be an array, got {other:?}"),
+        }
+
+        // Re-running a section replaces it rather than duplicating.
+        let mut a2 = Section::new("sim_perf");
+        a2.entry("g/one", 90.0, Some(1000));
+        update(&path, a2).unwrap();
+        let doc = parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let sim = doc.get("sections").unwrap().get("sim_perf").unwrap();
+        match sim.get("entries").unwrap() {
+            Json::Array(items) => {
+                assert_eq!(items.len(), 1);
+                assert_eq!(items[0].get("ns_per_iter").unwrap().as_num(), Some(90.0));
+            }
+            _ => unreachable!(),
+        }
+        assert!(doc.get("sections").unwrap().get("solver_perf").is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn entry_rate_math() {
+        let e = Entry {
+            name: "x".into(),
+            ns_per_iter: 1000.0,
+            elements_per_iter: Some(5),
+        };
+        assert_eq!(e.elements_per_sec(), Some(5e6));
+        let none = Entry {
+            name: "y".into(),
+            ns_per_iter: 1000.0,
+            elements_per_iter: None,
+        };
+        assert_eq!(none.elements_per_sec(), None);
+    }
+
+    #[test]
+    fn corrupt_baseline_is_rebuilt() {
+        let dir = std::env::temp_dir().join("lopc_baseline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("corrupt_{}.json", std::process::id()));
+        std::fs::write(&path, "not json at all {{{").unwrap();
+        let mut s = Section::new("sim_perf");
+        s.entry("g/x", 1.0, None);
+        update(&path, s).unwrap();
+        assert!(parse(&std::fs::read_to_string(&path).unwrap()).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -10,6 +10,7 @@
 //! values for W and St) are centralised in [`params`] and documented in
 //! DESIGN.md §3 (substitutions).
 
+pub mod baseline;
 pub mod experiments;
 pub mod params;
 

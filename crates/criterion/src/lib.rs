@@ -8,8 +8,46 @@
 //! element throughput when configured). No statistics, baselines, or HTML
 //! reports; the point is that `cargo bench` runs and prints comparable
 //! numbers without network access to the real crate.
+//!
+//! One extension over the real crate's API: every completed measurement is
+//! also recorded in a process-global registry that the bench binary can
+//! drain with [`take_results`] — this is how the workspace benches persist
+//! machine-readable baselines (`BENCH_sim.json`, see the repo README)
+//! without criterion's JSON output machinery.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One completed measurement, as recorded in the global results registry.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Benchmark group name (or `"criterion"` for ungrouped benches).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Best observed nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Elements processed per iteration, when a throughput hint was set.
+    pub elements_per_iter: Option<u64>,
+    /// Bytes processed per iteration, when a throughput hint was set.
+    pub bytes_per_iter: Option<u64>,
+}
+
+impl BenchRecord {
+    /// Elements per second implied by the measurement, if known.
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        self.elements_per_iter
+            .filter(|_| self.ns_per_iter > 0.0)
+            .map(|n| n as f64 / self.ns_per_iter * 1e9)
+    }
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Drain every measurement recorded since the last call (process-global).
+pub fn take_results() -> Vec<BenchRecord> {
+    std::mem::take(&mut RESULTS.lock().expect("results registry poisoned"))
+}
 
 /// Top-level benchmark driver, passed to every `criterion_group!` target.
 #[derive(Debug, Default)]
@@ -113,12 +151,16 @@ impl Bencher {
             iters = iters.saturating_mul(4);
         };
 
-        // A couple of measured samples within a small total budget.
+        // Measured samples within a bounded total budget; the budget scales
+        // with the configured sample count so slow benchmarks still get
+        // enough samples for a stable best-of-N.
         let samples = self.samples.clamp(1, 10);
+        let budget_limit = Duration::from_millis(200)
+            .max(Duration::from_nanos((per_iter_estimate * iters as f64) as u64) * samples as u32);
         let mut best = per_iter_estimate;
         let budget = Instant::now();
         for _ in 0..samples {
-            if budget.elapsed() > Duration::from_millis(200) {
+            if budget.elapsed() > budget_limit {
                 break;
             }
             let t = Instant::now();
@@ -147,6 +189,22 @@ fn run_one<F: FnMut(&mut Bencher)>(
     };
     f(&mut b);
     let ns = b.best_ns_per_iter;
+    RESULTS
+        .lock()
+        .expect("results registry poisoned")
+        .push(BenchRecord {
+            group: group.to_string(),
+            id: id.to_string(),
+            ns_per_iter: ns,
+            elements_per_iter: match throughput {
+                Some(Throughput::Elements(n)) => Some(n),
+                _ => None,
+            },
+            bytes_per_iter: match throughput {
+                Some(Throughput::Bytes(n)) => Some(n),
+                _ => None,
+            },
+        });
     let rate = match throughput {
         Some(Throughput::Elements(n)) if ns > 0.0 => {
             format!("  ({:.2} Melem/s)", n as f64 / ns * 1e3)
@@ -239,5 +297,26 @@ mod tests {
     #[test]
     fn group_macro_compiles_and_runs() {
         self_group();
+    }
+
+    #[test]
+    fn results_registry_records_measurements() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("registry_test_group");
+        g.throughput(Throughput::Elements(1000));
+        g.sample_size(1);
+        g.bench_function("recorded", |b| b.iter(|| std::hint::black_box(3 * 7)));
+        g.finish();
+        // Other tests may interleave records; only the one pushed above is
+        // asserted on (take_results is drained by this test alone).
+        let results = take_results();
+        let rec = results
+            .iter()
+            .find(|r| r.group == "registry_test_group" && r.id == "recorded")
+            .expect("measurement recorded");
+        assert!(rec.ns_per_iter > 0.0);
+        assert_eq!(rec.elements_per_iter, Some(1000));
+        assert!(rec.elements_per_sec().unwrap() > 0.0);
+        assert!(rec.bytes_per_iter.is_none());
     }
 }

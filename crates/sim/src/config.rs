@@ -104,7 +104,9 @@ pub struct SimConfig {
     pub latency_dist: Option<ServiceTime>,
     /// Stop condition / measurement mode.
     pub stop: StopCondition,
-    /// RNG seed; equal seeds give bit-identical runs.
+    /// RNG seed; equal seeds give bit-identical runs — independent of the
+    /// pending-event [`Scheduler`](crate::sched::Scheduler) and of how many
+    /// threads [`run_replications`](crate::runner::run_replications) uses.
     pub seed: u64,
 }
 

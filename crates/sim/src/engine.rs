@@ -16,10 +16,10 @@
 //! * With `protocol_processor = true`, handlers run on a per-node coprocessor
 //!   and never interrupt computation (§5.1 "Modeling Shared Memory").
 
-use std::cmp::{Ordering, Reverse};
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::config::{ConfigError, NodeId, SimConfig, StopCondition, Time};
+use crate::sched::{BinaryHeapQueue, CalendarQueue, EventQueue, Keyed, Scheduler};
 use crate::stats::{Aggregate, NodeStats, NodeSummary, SimReport, Welford};
 use lopc_dist::Distribution;
 use rand::rngs::SmallRng;
@@ -147,22 +147,44 @@ struct Ev {
     kind: EvKind,
 }
 
-impl PartialEq for Ev {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
-}
-impl Eq for Ev {}
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Ev {
-    fn cmp(&self, other: &Self) -> Ordering {
+impl Keyed for Ev {
+    fn time(&self) -> Time {
         self.t
-            .total_cmp(&other.t)
-            .then_with(|| self.seq.cmp(&other.seq))
+    }
+    fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// The engine's pending-event set: one of the [`Scheduler`] implementations,
+/// dispatched by match so the hot loop pays no virtual-call cost.
+enum PendingEvents {
+    Calendar(CalendarQueue<Ev>),
+    Heap(BinaryHeapQueue<Ev>),
+}
+
+impl PendingEvents {
+    fn new(scheduler: Scheduler) -> Self {
+        match scheduler {
+            Scheduler::Calendar => PendingEvents::Calendar(CalendarQueue::new()),
+            Scheduler::BinaryHeap => PendingEvents::Heap(BinaryHeapQueue::new()),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, ev: Ev) {
+        match self {
+            PendingEvents::Calendar(q) => q.push(ev),
+            PendingEvents::Heap(q) => q.push(ev),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Ev> {
+        match self {
+            PendingEvents::Calendar(q) => q.pop(),
+            PendingEvents::Heap(q) => q.pop(),
+        }
     }
 }
 
@@ -172,7 +194,7 @@ pub struct Engine {
     cfg: SimConfig,
     now: Time,
     seq: u64,
-    heap: BinaryHeap<Reverse<Ev>>,
+    queue: PendingEvents,
     nodes: Vec<Node>,
     rng: SmallRng,
     events: u64,
@@ -188,8 +210,18 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Build an engine for a validated configuration.
+    /// Build an engine for a validated configuration, using the default
+    /// scheduler ([`Scheduler::Calendar`]).
     pub fn new(cfg: SimConfig) -> Result<Self, ConfigError> {
+        Self::with_scheduler(cfg, Scheduler::default())
+    }
+
+    /// Build an engine with an explicit pending-event [`Scheduler`].
+    ///
+    /// Both schedulers produce bit-identical simulations (the differential
+    /// tests in `tests/differential.rs` enforce this); the binary heap is
+    /// kept selectable as the reference for such cross-checks.
+    pub fn with_scheduler(cfg: SimConfig, scheduler: Scheduler) -> Result<Self, ConfigError> {
         cfg.validate()?;
         let (warmup, horizon_end, max_cycles) = match cfg.stop {
             StopCondition::Horizon { warmup, end } => (warmup, Some(end), None),
@@ -200,7 +232,7 @@ impl Engine {
             nodes: (0..cfg.p).map(|_| Node::new()).collect(),
             now: 0.0,
             seq: 0,
-            heap: BinaryHeap::new(),
+            queue: PendingEvents::new(scheduler),
             rng,
             events: 0,
             warmup,
@@ -217,7 +249,7 @@ impl Engine {
     /// Prime every active thread with its first work quantum.
     fn bootstrap(&mut self) {
         for k in 0..self.cfg.p {
-            if let Some(work) = self.cfg.threads[k].work.clone() {
+            if let Some(work) = &self.cfg.threads[k].work {
                 let w = work.sample(&mut self.rng);
                 self.nodes[k].t_cycle_start = 0.0;
                 self.nodes[k].thread = ThreadState::Ready { remaining: w };
@@ -242,12 +274,12 @@ impl Engine {
     #[inline]
     fn schedule(&mut self, t: Time, node: NodeId, kind: EvKind) {
         self.seq += 1;
-        self.heap.push(Reverse(Ev {
+        self.queue.push(Ev {
             t,
             seq: self.seq,
             node,
             kind,
-        }));
+        });
     }
 
     /// Current simulated time.
@@ -262,7 +294,7 @@ impl Engine {
 
     /// Run until the stop condition is reached and produce the report.
     pub fn run_to_completion(mut self) -> SimReport {
-        while let Some(Reverse(ev)) = self.heap.pop() {
+        while let Some(ev) = self.queue.pop() {
             if let Some(end) = self.horizon_end {
                 if ev.t > end {
                     break;
@@ -503,11 +535,11 @@ impl Engine {
                     .max_cycles
                     .is_none_or(|n| self.nodes[k].cycles_done < n);
                 if quota_left {
-                    let work = self.cfg.threads[k]
+                    let w = self.cfg.threads[k]
                         .work
-                        .clone()
-                        .expect("reply arrived at a server node");
-                    let w = work.sample(&mut self.rng);
+                        .as_ref()
+                        .expect("reply arrived at a server node")
+                        .sample(&mut self.rng);
                     let node = &mut self.nodes[k];
                     node.t_cycle_start = self.now;
                     node.thread = ThreadState::Ready { remaining: w };
@@ -556,7 +588,6 @@ impl Engine {
         let spec = &self.cfg.threads[k];
         let hops = spec.hops;
         let fanout = spec.fanout;
-        let dest = spec.dest.clone();
         {
             let node = &mut self.nodes[k];
             node.t_sent = self.now;
@@ -565,7 +596,10 @@ impl Engine {
             node.cyc_ry = 0.0;
         }
         for _ in 0..fanout {
-            let dst = dest.pick(k, self.cfg.p, &mut self.rng, &mut self.nodes[k].rr);
+            let dst =
+                self.cfg.threads[k]
+                    .dest
+                    .pick(k, self.cfg.p, &mut self.rng, &mut self.nodes[k].rr);
             debug_assert_ne!(dst, k, "requests must target another node");
             let msg = Msg {
                 kind: MsgKind::Request,

@@ -23,6 +23,13 @@
 //! Alewife machine to within ~1 %; here the simulator plays the role of the
 //! hardware (see DESIGN.md, substitutions).
 //!
+//! The pending-event set behind the loop is pluggable ([`sched`]): an
+//! `O(1)`-amortized calendar queue by default, with the binary heap kept
+//! selectable ([`Scheduler`], [`runner::run_with_scheduler`]) as the
+//! reference for differential tests — both produce bit-identical runs.
+//! Independent replications run in parallel with work stealing
+//! ([`run_replications`]).
+//!
 //! # Example
 //!
 //! ```
@@ -59,10 +66,12 @@ pub mod config;
 pub mod engine;
 pub mod routing;
 pub mod runner;
+pub mod sched;
 pub mod stats;
 
 pub use config::{ConfigError, SimConfig, StopCondition, ThreadSpec};
 pub use engine::Engine;
 pub use routing::DestChooser;
-pub use runner::{run, run_replications, MeanCi, Replications};
+pub use runner::{run, run_replications, run_with_scheduler, MeanCi, Replications};
+pub use sched::{BinaryHeapQueue, CalendarQueue, EventQueue, Keyed, Scheduler};
 pub use stats::{NodeSummary, SimReport, TimeWeighted, Welford};

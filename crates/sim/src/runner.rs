@@ -2,11 +2,21 @@
 
 use crate::config::{ConfigError, SimConfig};
 use crate::engine::Engine;
+use crate::sched::Scheduler;
 use crate::stats::SimReport;
 
-/// Run one simulation to completion.
+/// Run one simulation to completion with the default scheduler.
 pub fn run(cfg: &SimConfig) -> Result<SimReport, ConfigError> {
     Ok(Engine::new(cfg.clone())?.run_to_completion())
+}
+
+/// Run one simulation with an explicit pending-event [`Scheduler`].
+///
+/// Every scheduler yields a bit-identical [`SimReport`] for the same
+/// configuration and seed; this entry point exists for differential tests
+/// and scheduler benchmarks.
+pub fn run_with_scheduler(cfg: &SimConfig, scheduler: Scheduler) -> Result<SimReport, ConfigError> {
+    Ok(Engine::with_scheduler(cfg.clone(), scheduler)?.run_to_completion())
 }
 
 /// Mean with a normal-approximation confidence half-width across
@@ -74,46 +84,85 @@ impl Replications {
     }
 }
 
-/// Run `reps` independent replications in parallel (std scoped threads),
-/// varying only the seed.
+/// Run `reps` independent replications in parallel, varying only the seed.
+///
+/// Replication `i` runs with seed `cfg.seed + i`, so results are
+/// reproducible and replication 0 matches a plain [`run`]. Replications are
+/// distributed over std scoped threads through a work-stealing claim queue
+/// ([`lopc_solver::steal::WorkQueue`]): an idle core always picks up the
+/// next unclaimed replication, so unequal replication costs (different seeds
+/// can simulate very different event counts) never serialize the batch the
+/// way static chunking did.
+///
+/// # Example
+///
+/// ```
+/// use lopc_sim::{run_replications, SimConfig, StopCondition, ThreadSpec};
+/// use lopc_dist::ServiceTime;
+///
+/// let cfg = SimConfig {
+///     p: 2,
+///     net_latency: 10.0,
+///     request_handler: ServiceTime::constant(50.0),
+///     reply_handler: ServiceTime::constant(50.0),
+///     threads: vec![ThreadSpec::worker(ServiceTime::exponential(200.0)); 2],
+///     protocol_processor: false,
+///     latency_dist: None,
+///     stop: StopCondition::CyclesPerThread { n: 10 },
+///     seed: 7,
+/// };
+/// let reps = run_replications(&cfg, 4).unwrap();
+/// assert_eq!(reps.reports.len(), 4);
+/// let ci = reps.mean_r();
+/// assert!(ci.mean > 0.0 && ci.half_width >= 0.0);
+/// ```
 pub fn run_replications(cfg: &SimConfig, reps: usize) -> Result<Replications, ConfigError> {
     cfg.validate()?;
     if reps == 0 {
         return Ok(Replications { reports: vec![] });
     }
+
+    let run_one = |i: usize| {
+        let mut c = cfg.clone();
+        c.seed = cfg.seed.wrapping_add(i as u64);
+        // Config validated above; the per-replication clone only changes
+        // the seed.
+        Engine::new(c)
+            .expect("validated config")
+            .run_to_completion()
+    };
+
+    let threads = lopc_solver::steal::worker_count(reps);
+
     let mut slots: Vec<Option<SimReport>> = Vec::with_capacity(reps);
     slots.resize_with(reps, || None);
 
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(reps);
-
     if threads <= 1 {
         for (i, slot) in slots.iter_mut().enumerate() {
-            let mut c = cfg.clone();
-            c.seed = cfg.seed.wrapping_add(i as u64);
-            *slot = Some(Engine::new(c)?.run_to_completion());
+            *slot = Some(run_one(i));
         }
     } else {
-        let chunk = reps.div_ceil(threads);
+        let queue = lopc_solver::steal::WorkQueue::new(reps);
         std::thread::scope(|scope| {
-            for (ti, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
-                let base = ti * chunk;
-                let cfg = &*cfg;
-                scope.spawn(move || {
-                    for (j, slot) in slot_chunk.iter_mut().enumerate() {
-                        let mut c = cfg.clone();
-                        c.seed = cfg.seed.wrapping_add((base + j) as u64);
-                        // Config validated above; per-replication clone only
-                        // changes the seed.
-                        *slot = Some(
-                            Engine::new(c)
-                                .expect("validated config")
-                                .run_to_completion(),
-                        );
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let queue = &queue;
+                let run_one = &run_one;
+                handles.push(scope.spawn(move || {
+                    // One claim per replication: each item is a whole
+                    // simulation, so claiming overhead is negligible and
+                    // single-index stealing gives the best balance.
+                    let mut local = Vec::new();
+                    while let Some(i) = queue.claim() {
+                        local.push((i, run_one(i)));
                     }
-                });
+                    local
+                }));
+            }
+            for h in handles {
+                for (i, report) in h.join().expect("replication worker panicked") {
+                    slots[i] = Some(report);
+                }
             }
         });
     }

@@ -1,0 +1,743 @@
+//! Pending-event schedulers: the priority queue at the heart of the engine.
+//!
+//! The event loop pops the globally earliest event on every iteration, so for
+//! large machines the scheduler *is* the hot path. Two implementations sit
+//! behind the [`EventQueue`] trait:
+//!
+//! * [`BinaryHeapQueue`] — `std::collections::BinaryHeap`, `O(log n)` per
+//!   operation. Simple and allocation-friendly; kept selectable (see
+//!   [`Scheduler`]) as the reference implementation for differential tests.
+//! * [`CalendarQueue`] — a bucketed time wheel after Brown's calendar queue
+//!   (CACM 31(10), 1988), `O(1)` amortized per operation. This is the
+//!   default. The design and resize policy are documented in DESIGN.md §4.
+//!
+//! Both orderings are **total and identical**: events pop in ascending
+//! `(time, seq)` order, where `seq` is the engine's monotone insertion
+//! counter. Equal-time events therefore pop in FIFO scheduling order and a
+//! simulation run is bit-reproducible regardless of the scheduler — the
+//! property the differential proptests in `tests/differential.rs` pin down.
+//!
+//! # Example
+//!
+//! ```
+//! use lopc_sim::sched::{CalendarQueue, EventQueue, Keyed};
+//!
+//! /// A minimal scheduled item: fire time plus insertion sequence.
+//! struct Timer {
+//!     at: f64,
+//!     seq: u64,
+//! }
+//! impl Keyed for Timer {
+//!     fn time(&self) -> f64 {
+//!         self.at
+//!     }
+//!     fn seq(&self) -> u64 {
+//!         self.seq
+//!     }
+//! }
+//!
+//! let mut q = CalendarQueue::new();
+//! q.push(Timer { at: 30.0, seq: 1 });
+//! q.push(Timer { at: 10.0, seq: 2 });
+//! q.push(Timer { at: 10.0, seq: 3 }); // same time: FIFO by seq
+//! let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|t| t.seq).collect();
+//! assert_eq!(order, [2, 3, 1]);
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::config::Time;
+
+/// Scheduler selection for an [`Engine`](crate::Engine).
+///
+/// The calendar queue is the default; the binary heap remains selectable so
+/// differential tests (and sceptical users) can cross-check that both produce
+/// identical simulations — see [`crate::runner::run_with_scheduler`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Bucketed calendar queue, `O(1)` amortized (the default).
+    #[default]
+    Calendar,
+    /// `std::collections::BinaryHeap`, `O(log n)` — the reference.
+    BinaryHeap,
+}
+
+/// A schedulable item: a fire time plus a unique, monotone insertion
+/// sequence number used to break ties deterministically.
+///
+/// The engine guarantees `seq` values are unique; queue behaviour is
+/// unspecified (but memory-safe) if two live items share a `seq`.
+pub trait Keyed {
+    /// When the item fires. Must be finite.
+    fn time(&self) -> Time;
+    /// Unique insertion sequence; earlier insertions have smaller values.
+    fn seq(&self) -> u64;
+}
+
+#[inline]
+fn key<T: Keyed>(item: &T) -> (Time, u64) {
+    (item.time(), item.seq())
+}
+
+#[inline]
+fn key_less<T: Keyed>(a: &T, b: &T) -> bool {
+    key(a) < key(b)
+}
+
+/// A pending-event set popping items in ascending `(time, seq)` order.
+///
+/// See the [module docs](self) for the implementations and a usage example.
+pub trait EventQueue<T: Keyed> {
+    /// Insert an item.
+    fn push(&mut self, item: T);
+    /// Remove and return the item with the smallest `(time, seq)` key.
+    fn pop(&mut self) -> Option<T>;
+    /// Number of pending items.
+    fn len(&self) -> usize;
+    /// True when no items are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary heap reference implementation
+// ---------------------------------------------------------------------------
+
+/// Min-wrapper giving `BinaryHeap` (a max-heap) ascending `(time, seq)` pops.
+struct MinEntry<T>(T);
+
+impl<T: Keyed> PartialEq for MinEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        key(&self.0) == key(&other.0)
+    }
+}
+impl<T: Keyed> Eq for MinEntry<T> {}
+impl<T: Keyed> PartialOrd for MinEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T: Keyed> Ord for MinEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: the max-heap's "largest" is our smallest key.
+        key(&other.0).partial_cmp(&key(&self.0)).unwrap()
+    }
+}
+
+/// The `O(log n)` reference scheduler: a thin wrapper over
+/// `std::collections::BinaryHeap`.
+#[derive(Default)]
+pub struct BinaryHeapQueue<T> {
+    heap: BinaryHeap<MinEntry<T>>,
+}
+
+impl<T: Keyed> BinaryHeapQueue<T> {
+    /// New empty queue.
+    pub fn new() -> Self {
+        BinaryHeapQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<T: Keyed> EventQueue<T> for BinaryHeapQueue<T> {
+    fn push(&mut self, item: T) {
+        self.heap.push(MinEntry(item));
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Calendar queue
+// ---------------------------------------------------------------------------
+
+/// Smallest bucket count the wheel will shrink to.
+const MIN_BUCKETS: usize = 8;
+/// Consecutive head gaps sampled when estimating the bucket width.
+const WIDTH_SAMPLE: usize = 256;
+/// Year-empty jumps tolerated before a corrective rebuild (the width is
+/// clearly mis-tuned if whole years keep coming up empty).
+const MAX_JUMPS: u32 = 8;
+/// Target items per bucket. Occupancy ~1 (Brown's original geometry)
+/// maximizes bucket-count memory traffic; packing a few items per bucket
+/// keeps each pop/push touching one short, cache-resident `Vec` instead.
+const OCCUPANCY: usize = 4;
+/// Bucket width in units of the mean head gap. With [`OCCUPANCY`] items per
+/// bucket this keeps one year ≈ 3× the live-event span, so in-order pushes
+/// land on the wheel rather than in the overflow list.
+const WIDTH_GAPS: f64 = 12.0;
+/// Years ahead of the position an item may be parked in the wheel before it
+/// is exiled to the overflow list. Parked items cost nothing until their
+/// year comes up (the slot-match rule skips them), whereas overflow inserts
+/// memmove a sorted `Vec` — so the overflow should only catch genuinely
+/// far-future events (several× the live-event span ahead).
+const FAR_YEARS: u64 = 4;
+
+/// Appended items tolerated before a bucket visit falls back to a full sort
+/// instead of binary-inserting each one into the sorted prefix.
+const SORT_APPENDIX: usize = 8;
+
+/// One wheel bucket: items plus the lazy-sort watermark (kept in the same
+/// struct so a pop touches one cache line for both).
+///
+/// `items[..sorted_len]` is sorted descending by `(time, seq)`;
+/// `items[sorted_len..]` is an unsorted appendix of recent pushes. Pushes
+/// are therefore always `O(1)` appends; the next pop visit folds the
+/// appendix in — binary-inserting a few items, or running one full sort
+/// when a bulk load (rebuild, overflow drain, a freshly refilled bucket)
+/// left a large appendix. This keeps the engine's push-pop interleaving on
+/// the current slot from re-sorting a long bucket on every pop.
+struct Bucket<T> {
+    items: Vec<T>,
+    /// Length of the sorted-descending prefix.
+    sorted_len: usize,
+}
+
+impl<T> Default for Bucket<T> {
+    fn default() -> Self {
+        Bucket {
+            items: Vec::new(),
+            sorted_len: 0,
+        }
+    }
+}
+
+impl<T: Keyed> Bucket<T> {
+    /// Fold the unsorted appendix into the sorted prefix.
+    #[inline]
+    fn ensure_sorted(&mut self) {
+        let n = self.items.len();
+        if self.sorted_len >= n {
+            return;
+        }
+        if self.sorted_len == 0 || n - self.sorted_len > SORT_APPENDIX {
+            self.items
+                .sort_unstable_by(|a, b| key(b).partial_cmp(&key(a)).unwrap());
+        } else {
+            for i in self.sorted_len..n {
+                let pos = self.items[..i].partition_point(|x| key_less(&self.items[i], x));
+                self.items[pos..=i].rotate_right(1);
+            }
+        }
+        self.sorted_len = n;
+    }
+}
+
+/// `O(1)`-amortized calendar queue: a circular bucketed time wheel with
+/// dynamic resize and a sorted overflow list for far-future events
+/// (Brown 1988).
+///
+/// Time is discretized into *slots* of `width` each; slot `s` maps to wheel
+/// bucket `s mod nbuckets`, so the wheel is circular and one "year" is
+/// `nbuckets · width` long. Invariants (full design discussion in
+/// DESIGN.md §4):
+///
+/// * every pending item in the wheel has `slot ≥ cur_slot` (the current
+///   position); buckets are **lazily sorted** via a sorted-prefix watermark
+///   (`Bucket`): pushes append in `O(1)`, and a pop visit folds the
+///   appendix in before popping the bucket minimum from the tail — so
+///   tie-heavy schedules (constant service times produce many simultaneous
+///   events) cost `O(b log b)` per bucket, not `O(b²)`;
+/// * an item only pops when its exact slot comes up (`slot == cur_slot`),
+///   which keeps items from later years parked in their bucket without
+///   breaking the global order;
+/// * items more than `FAR_YEARS` years ahead of `cur_slot` at insertion
+///   time go to `overflow`, kept sorted *ascending* (far-future pushes
+///   append in `O(1)`); the cached `overflow_min_slot` guard drains the
+///   overflow head back into the wheel before the position can pass it;
+/// * if a whole year scans empty, the position *jumps* straight to the
+///   earliest pending slot; `MAX_JUMPS` consecutive jumps trigger a
+///   corrective rebuild (the width no longer matches the event spacing);
+/// * the wheel **rebuilds** — bucket count re-sized to the population
+///   (targeting `OCCUPANCY` items per bucket for cache locality), width
+///   re-estimated from the mean nonzero gap of the up-to-256 earliest items
+///   (Brown's rule, scaled to the occupancy target) — when the population
+///   doubles or quarters relative to the bucket capacity.
+///
+/// Rebuilds cost `O(n log n)` but only occur on population doublings/
+/// quarterings or persistent mis-tuning, so the amortized per-operation cost
+/// stays constant. Pops follow ascending `(time, seq)` exactly, matching
+/// [`BinaryHeapQueue`] item for item; times must be non-negative and finite.
+pub struct CalendarQueue<T> {
+    /// Wheel buckets (`slot & mask`), lazily sorted within a bucket.
+    buckets: Vec<Bucket<T>>,
+    /// `nbuckets − 1` (bucket count is a power of two).
+    mask: usize,
+    /// Bucket width in time units; `inv_width = 1/width` is cached because
+    /// the slot computation is on the hot path.
+    width: Time,
+    inv_width: Time,
+    /// Current position: the slot the next pop scans first.
+    cur_slot: u64,
+    /// Items beyond one year of `cur_slot`, sorted ascending by `(t, seq)`.
+    overflow: Vec<T>,
+    /// Slot of `overflow`'s head (`u64::MAX` when empty), checked every pop.
+    overflow_min_slot: u64,
+    /// Items currently in the wheel (`len - overflow.len()`).
+    wheel_len: usize,
+    /// Total pending items.
+    len: usize,
+    /// Year-empty jumps since the last rebuild (mis-tuning detector).
+    jumps: u32,
+}
+
+impl<T: Keyed> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Keyed> CalendarQueue<T> {
+    /// New empty queue with the minimum wheel size; the wheel re-sizes
+    /// itself as the population grows.
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| Bucket::default()).collect(),
+            mask: MIN_BUCKETS - 1,
+            width: 1.0,
+            inv_width: 1.0,
+            cur_slot: 0,
+            overflow: Vec::new(),
+            overflow_min_slot: u64::MAX,
+            wheel_len: 0,
+            len: 0,
+            jumps: 0,
+        }
+    }
+
+    /// Discrete slot of a timestamp. Saturates on overflow; times are
+    /// non-negative by contract.
+    #[inline]
+    fn slot_of(&self, t: Time) -> u64 {
+        debug_assert!(t >= 0.0, "event times must be non-negative");
+        (t * self.inv_width) as u64
+    }
+
+    /// First slot that is too far in the future to park in the wheel.
+    #[inline]
+    fn far_horizon(&self) -> u64 {
+        self.cur_slot
+            .saturating_add((self.mask as u64 + 1) * FAR_YEARS)
+    }
+
+    /// Move the overflow head run that the wheel can now reach back onto the
+    /// wheel. Called through the `overflow_min_slot` guard.
+    fn drain_overflow(&mut self) {
+        let horizon = self.far_horizon();
+        let take = self
+            .overflow
+            .iter()
+            .take_while(|x| self.slot_of(x.time()) < horizon)
+            .count();
+        let rest = self.overflow.split_off(take);
+        let drained = std::mem::replace(&mut self.overflow, rest);
+        for item in drained {
+            let idx = (self.slot_of(item.time()) & self.mask as u64) as usize;
+            self.buckets[idx].items.push(item);
+            self.wheel_len += 1;
+        }
+        self.overflow_min_slot = self
+            .overflow
+            .first()
+            .map_or(u64::MAX, |x| self.slot_of(x.time()));
+    }
+
+    /// Jump the position straight to the earliest pending slot (wheel tails
+    /// and overflow head). Only called when a whole year scanned empty.
+    fn jump_to_min(&mut self) {
+        self.jumps += 1;
+        if self.jumps > MAX_JUMPS {
+            // Persistent year-empty scans mean the width is far too small
+            // for the actual event spacing (e.g. a dense head sample in an
+            // otherwise sparse schedule). Widen geometrically — the boost
+            // survives the rebuild's re-estimate because the rebuild takes
+            // the max — so pathological schedules converge in O(log) boosts.
+            self.width *= 4.0;
+            self.inv_width = 1.0 / self.width;
+            let items = self.drain_sorted();
+            let boosted = self.width;
+            self.rebuild(items, boosted);
+            return;
+        }
+        let mut min_slot = self.overflow_min_slot;
+        for b in &self.buckets {
+            for item in &b.items {
+                min_slot = min_slot.min(self.slot_of(item.time()));
+            }
+        }
+        debug_assert_ne!(min_slot, u64::MAX, "jump_to_min on an empty queue");
+        self.cur_slot = min_slot;
+        if self.cur_slot >= self.overflow_min_slot {
+            self.drain_overflow();
+        }
+    }
+
+    /// Collect every pending item, ascending by key, and empty the queue.
+    fn drain_sorted(&mut self) -> Vec<T> {
+        let mut all: Vec<T> = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            all.append(&mut b.items);
+            b.sorted_len = 0;
+        }
+        all.append(&mut self.overflow);
+        all.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());
+        self.len = 0;
+        self.wheel_len = 0;
+        self.overflow_min_slot = u64::MAX;
+        all
+    }
+
+    /// Re-anchor the queue around `items` (ascending by key): re-size the
+    /// wheel to the population, re-estimate the width (never below
+    /// `min_width`, which carries `jump_to_min`'s geometric boost), and
+    /// redistribute.
+    fn rebuild(&mut self, items: Vec<T>, min_width: Time) {
+        let n = items.len();
+        let nbuckets = (n / OCCUPANCY).next_power_of_two().max(MIN_BUCKETS);
+        for b in &mut self.buckets {
+            b.items.clear();
+            b.sorted_len = 0;
+        }
+        if nbuckets != self.buckets.len() {
+            self.buckets.resize_with(nbuckets, Bucket::default);
+        }
+        self.mask = nbuckets - 1;
+        self.jumps = 0;
+
+        // Width heuristic: Brown's rule over the *distinct* times of the
+        // earliest items — `WIDTH_GAPS` mean nonzero gaps per bucket.
+        // Counting tied timestamps as gaps would collapse the width toward
+        // zero on lattice-like schedules (constant service times produce
+        // many simultaneous events), spreading the population over millions
+        // of empty slots. All-tied (or singleton) samples keep the previous
+        // width — any positive value works when every item shares one slot.
+        let mut distinct_steps = 0u32;
+        let mut span = 0.0;
+        for w in items.windows(2).take(WIDTH_SAMPLE) {
+            if w[1].time() > w[0].time() {
+                distinct_steps += 1;
+            }
+            span = w[1].time() - items[0].time();
+        }
+        if distinct_steps > 0 && span > 0.0 {
+            let estimate = WIDTH_GAPS * span / distinct_steps as Time;
+            self.width = estimate.max(min_width);
+            self.inv_width = 1.0 / self.width;
+        } else if min_width > self.width {
+            self.width = min_width;
+            self.inv_width = 1.0 / self.width;
+        }
+        debug_assert!(self.width > 0.0 && self.width.is_finite());
+
+        self.len = n;
+        self.wheel_len = 0;
+        self.overflow.clear();
+        self.overflow_min_slot = u64::MAX;
+        self.cur_slot = items.first().map_or(0, |x| self.slot_of(x.time()));
+        let horizon = self.far_horizon();
+        for item in items {
+            let slot = self.slot_of(item.time());
+            if slot >= horizon {
+                // Source order is ascending, so appends keep the overflow
+                // sorted ascending.
+                self.overflow.push(item);
+            } else {
+                let idx = (slot & self.mask as u64) as usize;
+                // Ascending arrival order leaves the bucket sorted the wrong
+                // way round; the first pop visit sorts it.
+                self.buckets[idx].items.push(item);
+                self.wheel_len += 1;
+            }
+        }
+        self.overflow_min_slot = self
+            .overflow
+            .first()
+            .map_or(u64::MAX, |x| self.slot_of(x.time()));
+    }
+
+    /// Grow or shrink the wheel when the population has drifted far from the
+    /// bucket count (amortized-`O(1)` resize policy; DESIGN.md §4).
+    #[inline]
+    fn maybe_resize(&mut self) {
+        let nb = self.mask + 1;
+        if self.len > 2 * OCCUPANCY * nb || (nb > MIN_BUCKETS && self.len < OCCUPANCY * nb / 4) {
+            let items = self.drain_sorted();
+            self.rebuild(items, 0.0);
+        }
+    }
+}
+
+impl<T: Keyed> EventQueue<T> for CalendarQueue<T> {
+    fn push(&mut self, item: T) {
+        let t = item.time();
+        debug_assert!(t.is_finite(), "event time must be finite");
+        let slot = self.slot_of(t);
+        if self.len == 0 {
+            // Empty queue: re-anchor the position so `t` lands on the wheel.
+            self.cur_slot = slot;
+        } else if slot < self.cur_slot {
+            // A push behind the current position (the engine never schedules
+            // into the past, but the queue is usable generically): rewind.
+            // Wheel items pushed beyond one year of the new position stay
+            // parked in their buckets; the slot-match rule keeps them in
+            // order.
+            self.cur_slot = slot;
+        }
+        if slot >= self.far_horizon() {
+            let pos = self.overflow.partition_point(|x| key_less(x, &item));
+            self.overflow.insert(pos, item);
+            self.overflow_min_slot = self.overflow_min_slot.min(slot);
+        } else {
+            let idx = (slot & self.mask as u64) as usize;
+            self.buckets[idx].items.push(item);
+            self.wheel_len += 1;
+        }
+        self.len += 1;
+        self.maybe_resize();
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.wheel_len == 0 {
+            // Everything pending is far-future: jump straight to it.
+            self.cur_slot = self.overflow_min_slot;
+            self.drain_overflow();
+        }
+        let nbuckets = self.mask + 1;
+        let mut scanned = 0usize;
+        loop {
+            // Never let the position pass the overflow head.
+            if self.cur_slot >= self.overflow_min_slot {
+                self.drain_overflow();
+            }
+            let idx = (self.cur_slot & self.mask as u64) as usize;
+            let bucket = &mut self.buckets[idx];
+            // Lazy sort: the first visit after any push orders the bucket
+            // descending, then the bucket minimum is the tail. Items of
+            // later years stay parked above it.
+            bucket.ensure_sorted();
+            if let Some(tail) = bucket.items.last() {
+                if (tail.time() * self.inv_width) as u64 == self.cur_slot {
+                    let item = bucket.items.pop().expect("tail exists");
+                    bucket.sorted_len -= 1;
+                    self.wheel_len -= 1;
+                    self.len -= 1;
+                    self.jumps = 0;
+                    self.maybe_resize();
+                    return Some(item);
+                }
+            }
+            self.cur_slot += 1;
+            scanned += 1;
+            if scanned >= nbuckets {
+                // A whole year was empty: the next event is further out.
+                self.jump_to_min();
+                scanned = 0;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    struct Item {
+        t: f64,
+        seq: u64,
+    }
+    impl Keyed for Item {
+        fn time(&self) -> f64 {
+            self.t
+        }
+        fn seq(&self) -> u64 {
+            self.seq
+        }
+    }
+
+    fn drain<Q: EventQueue<Item>>(q: &mut Q) -> Vec<(f64, u64)> {
+        std::iter::from_fn(|| q.pop())
+            .map(|i| (i.t, i.seq))
+            .collect()
+    }
+
+    fn both_agree(items: Vec<Item>) {
+        let mut heap = BinaryHeapQueue::new();
+        let mut cal = CalendarQueue::new();
+        for &i in &items {
+            heap.push(i);
+            cal.push(i);
+            assert_eq!(heap.len(), cal.len());
+        }
+        let a = drain(&mut heap);
+        let b = drain(&mut cal);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(a, sorted, "pops must come out in ascending key order");
+    }
+
+    #[test]
+    fn empty_pops_none() {
+        let mut q: CalendarQueue<Item> = CalendarQueue::new();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+        let mut h: BinaryHeapQueue<Item> = BinaryHeapQueue::new();
+        assert!(h.pop().is_none());
+    }
+
+    #[test]
+    fn ascending_order_small() {
+        both_agree(vec![
+            Item { t: 30.0, seq: 1 },
+            Item { t: 10.0, seq: 2 },
+            Item { t: 20.0, seq: 3 },
+            Item { t: 10.0, seq: 4 },
+            Item { t: 0.0, seq: 5 },
+        ]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let items: Vec<Item> = (0..100).map(|s| Item { t: 5.0, seq: s }).collect();
+        let mut q = CalendarQueue::new();
+        for &i in &items {
+            q.push(i);
+        }
+        let seqs: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|i| i.seq).collect();
+        assert_eq!(seqs, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn growth_and_shrink_preserve_order() {
+        // Push enough to force several grow rebuilds, then drain through the
+        // shrink path.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let items: Vec<Item> = (0..5000)
+            .map(|s| Item {
+                t: rng.random::<f64>() * 1e6,
+                seq: s,
+            })
+            .collect();
+        both_agree(items);
+    }
+
+    #[test]
+    fn clustered_ties_and_wide_outliers() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut items = Vec::new();
+        let mut seq = 0;
+        for cluster in 0..50 {
+            let base = cluster as f64 * 10.0;
+            for _ in 0..20 {
+                items.push(Item { t: base, seq });
+                seq += 1;
+            }
+        }
+        // Far-future outliers exercise the overflow list.
+        for _ in 0..100 {
+            items.push(Item {
+                t: 1e9 + rng.random::<f64>() * 1e9,
+                seq,
+            });
+            seq += 1;
+        }
+        both_agree(items);
+    }
+
+    #[test]
+    fn interleaved_hold_pattern_matches_heap() {
+        // The classic hold model: pop one, push one at a later time.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut heap = BinaryHeapQueue::new();
+        let mut cal = CalendarQueue::new();
+        let mut seq = 0u64;
+        for _ in 0..256 {
+            let it = Item {
+                t: rng.random::<f64>() * 100.0,
+                seq,
+            };
+            seq += 1;
+            heap.push(it);
+            cal.push(it);
+        }
+        for _ in 0..10_000 {
+            let a = heap.pop().unwrap();
+            let b = cal.pop().unwrap();
+            assert_eq!((a.t, a.seq), (b.t, b.seq));
+            let it = Item {
+                t: a.t + rng.random::<f64>() * 50.0,
+                seq,
+            };
+            seq += 1;
+            heap.push(it);
+            cal.push(it);
+        }
+        assert_eq!(drain(&mut heap), drain(&mut cal));
+    }
+
+    #[test]
+    fn push_behind_window_start_is_handled() {
+        let mut q = CalendarQueue::new();
+        q.push(Item { t: 1000.0, seq: 0 });
+        q.push(Item { t: 2000.0, seq: 1 });
+        assert_eq!(q.pop().unwrap().seq, 0);
+        // Earlier than everything ever seen (generic use; the engine never
+        // schedules into the past).
+        q.push(Item { t: 1.0, seq: 2 });
+        assert_eq!(q.pop().unwrap().seq, 2);
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn len_tracks_push_pop() {
+        let mut q = CalendarQueue::new();
+        for s in 0..1000u64 {
+            q.push(Item {
+                t: (s % 37) as f64,
+                seq: s,
+            });
+            assert_eq!(q.len(), s as usize + 1);
+        }
+        for s in (0..1000usize).rev() {
+            q.pop().unwrap();
+            assert_eq!(q.len(), s);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reuse_after_drain() {
+        let mut q = CalendarQueue::new();
+        q.push(Item { t: 5.0, seq: 0 });
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none());
+        // The window re-anchors on the next push even at a far time.
+        q.push(Item { t: 1e12, seq: 1 });
+        assert_eq!(q.pop().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn scheduler_default_is_calendar() {
+        assert_eq!(Scheduler::default(), Scheduler::Calendar);
+    }
+}

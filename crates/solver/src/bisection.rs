@@ -20,6 +20,18 @@ pub struct Root {
 /// which matters for queueing recursions that blow up at saturation.
 ///
 /// `tol` is an absolute tolerance on the interval width.
+///
+/// # Example
+///
+/// Solving a fixed-point equation `R = F(R)` as the root of `F(R) − R`,
+/// the way the §5.3 response-time equation is solved:
+///
+/// ```
+/// use lopc_solver::bisect;
+///
+/// let root = bisect(|r| 2000.0 / r - r, 1.0, 2000.0, 1e-10, 200).unwrap();
+/// assert!((root.x - 2000f64.sqrt()).abs() < 1e-8);
+/// ```
 #[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(lo < hi)` is NaN-rejecting on purpose
 pub fn bisect<F: FnMut(f64) -> f64>(
     mut f: F,

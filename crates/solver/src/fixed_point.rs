@@ -44,6 +44,27 @@ pub struct Convergence {
 /// `f(x, out)` must write `F(x)` into `out` (same length as `x`). The
 /// iteration stops when `max_i |F(x)_i − x_i| / max(|x_i|, 1)` falls below
 /// `opts.tol`.
+///
+/// # Example
+///
+/// A two-variable coupled system of the shape the Appendix A AMVA model
+/// produces (`x₀ = 1 + x₁/2`, `x₁ = 1 + x₀/2`, fixed point at `(2, 2)`):
+///
+/// ```
+/// use lopc_solver::{solve_damped, FixedPointOptions};
+///
+/// let conv = solve_damped(
+///     vec![0.0, 0.0],
+///     |x, out| {
+///         out[0] = 1.0 + x[1] / 2.0;
+///         out[1] = 1.0 + x[0] / 2.0;
+///     },
+///     &FixedPointOptions::default(),
+/// )
+/// .unwrap();
+/// assert!((conv.x[0] - 2.0).abs() < 1e-8);
+/// assert!((conv.x[1] - 2.0).abs() < 1e-8);
+/// ```
 pub fn solve_damped<F>(
     x0: Vec<f64>,
     mut f: F,

@@ -16,13 +16,17 @@
 //! * [`argmax_usize`] — integer grid argmax used for the optimal-server
 //!   search in §6.
 //! * [`par_map`] — embarrassingly-parallel parameter sweeps (std scoped
-//!   threads) used by the benchmark harness to regenerate figures quickly.
+//!   threads) used by the benchmark harness to regenerate figures quickly;
+//! * [`steal::WorkQueue`] — the work-stealing index distribution underneath
+//!   `par_map` (and the simulator's replication runner), which keeps skewed
+//!   sweeps balanced across cores.
 
 pub mod bisection;
 pub mod error;
 pub mod fixed_point;
 pub mod grid;
 pub mod secant;
+pub mod steal;
 pub mod sweep;
 
 pub use bisection::{bisect, bracket_upward, Root};
@@ -30,6 +34,7 @@ pub use error::SolverError;
 pub use fixed_point::{solve_damped, Convergence, FixedPointOptions};
 pub use grid::{argmax_usize, ArgmaxResult};
 pub use secant::secant;
+pub use steal::WorkQueue;
 pub use sweep::par_map;
 
 #[cfg(test)]

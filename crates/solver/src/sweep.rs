@@ -3,44 +3,64 @@
 //! Regenerating a figure means evaluating the model or the simulator at many
 //! independent parameter points; this is an embarrassingly-parallel map. We
 //! use std scoped threads so the closure can borrow from the caller (no
-//! `'static` bound), chunking the index space evenly across the available
-//! cores.
+//! `'static` bound), and distribute indices through the work-stealing
+//! [`WorkQueue`] rather than static chunks: sweep
+//! points have wildly unequal costs (a small-`P` simulation point can run
+//! 10× longer than a large-`P` one), and static chunking serializes on the
+//! unlucky thread that drew the expensive chunk.
+
+use crate::steal::{worker_count, WorkQueue};
 
 /// Parallel map over a slice of inputs, preserving order.
 ///
-/// `f` is called once per item, potentially from different threads. Falls
-/// back to a sequential map when the input is small or only one core is
-/// available.
+/// `f` is called once per item, potentially from different threads, with
+/// items claimed dynamically in guided-size blocks so skewed workloads stay
+/// balanced. Falls back to a sequential map when the input is small or only
+/// one core is available.
+///
+/// # Example
+///
+/// ```
+/// let xs: Vec<f64> = (0..100).map(f64::from).collect();
+/// let squares = lopc_solver::par_map(&xs, |&x| x * x);
+/// assert_eq!(squares[7], 49.0);
+/// ```
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
-
-    if threads <= 1 || items.len() <= 1 {
+    let workers = worker_count(items.len());
+    if workers <= 1 || items.len() <= 1 {
         return items.iter().map(&f).collect();
     }
 
+    let queue = WorkQueue::new(items.len());
     let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
 
-    // Split the output into contiguous chunks, one set of chunks per thread.
-    let chunk = items.len().div_ceil(threads);
     std::thread::scope(|scope| {
-        for (ti, out_chunk) in out.chunks_mut(chunk).enumerate() {
-            let start = ti * chunk;
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let queue = &queue;
             let f = &f;
-            let items = &items[start..start + out_chunk.len()];
-            scope.spawn(move || {
-                for (slot, item) in out_chunk.iter_mut().zip(items) {
-                    *slot = Some(f(item));
+            handles.push(scope.spawn(move || {
+                // Results come back with their index: claimed blocks are not
+                // contiguous per worker, so slots cannot be split up front.
+                let mut local: Vec<(usize, R)> = Vec::new();
+                while let Some(block) = queue.claim_block(workers) {
+                    for i in block {
+                        local.push((i, f(&items[i])));
+                    }
                 }
-            });
+                local
+            }));
+        }
+        for h in handles {
+            for (i, r) in h.join().expect("sweep worker panicked") {
+                out[i] = Some(r);
+            }
         }
     });
 
@@ -87,5 +107,23 @@ mod tests {
         let par = par_map(&items, |&x| x.sin());
         let seq: Vec<f64> = items.iter().map(|&x| x.sin()).collect();
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn skewed_costs_still_complete_in_order() {
+        // The first items are far more expensive than the rest (the fig6_2
+        // shape); correctness must not depend on the claiming pattern.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, |&x| {
+            let spins = if x < 4 { 2_000_000 } else { 1_000 };
+            let mut acc = x;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
     }
 }

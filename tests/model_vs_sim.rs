@@ -2,6 +2,32 @@
 //! on every workload family — the reproduction's core claim (§5.3/§6: errors
 //! within ~6 %; we allow slightly wider bands because test windows are
 //! shorter than the harness's).
+//!
+//! # Seed-pinned tolerance bands (DESIGN.md §8)
+//!
+//! These tests run the simulator over the shortened `Window::quick()`
+//! measurement window to stay tier-1 fast, so the measured model-vs-sim
+//! error is partly a function of the RNG seed. Every test therefore **pins
+//! its seed**, and the band below was hand-tuned *for that seed*:
+//!
+//! | test | seed | band |
+//! |------|------|------|
+//! | `all_to_all_across_machines` | 91 | rel. error < 10 % |
+//! | `general_model_matches_sim_on_client_server` | 17 | rel. error < 10 % |
+//! | `response_decomposition_matches_between_model_and_sim` | 5 | per-component < 15 % |
+//! | `queueing_quantities_match` | 23 | abs. `Uq` < 0.05, `Qq` < 0.12 |
+//! | `protocol_processor_model_matches_sim` | 3 | rel. error < 10 % |
+//! | `c2_correction_improves_accuracy_on_constant_handlers` | 37 | comparative (corrected beats naive) |
+//!
+//! Diagnosing a failure here: the simulator is bit-reproducible for a fixed
+//! seed and scheduler, and the differential tests
+//! (`crates/sim/tests/differential.rs`) prove the schedulers are
+//! observationally equivalent — so a band failure is **never** scheduler
+//! noise or flake. Either the engine/model behaviour changed (diff the
+//! simulated event count first) or a band is genuinely too tight for a new
+//! seed. Do not loosen a band without recording the new seed here.
+//! Replication-aware confidence intervals (ROADMAP) are the planned
+//! replacement for hand-tuned bands.
 
 use lopc::prelude::*;
 
