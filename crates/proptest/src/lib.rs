@@ -10,8 +10,11 @@
 //!
 //! Differences from real proptest, by design: cases are generated from a
 //! deterministic per-test seed (hash of the test name) so test runs are
-//! reproducible, and there is **no shrinking** — a failure reports the
-//! drawn values of the failing case instead.
+//! reproducible, and shrinking is **minimal**: each argument is shrunk
+//! toward its range start by greedy binary descent ([`Strategy::shrink`]),
+//! round-robin across arguments until a fixpoint, so a failure reports both
+//! the originally drawn case and a near-minimal failing case (exactly
+//! minimal when failure is monotone in each argument separately).
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -56,36 +59,88 @@ impl std::fmt::Display for TestCaseError {
 /// Value generators usable on the left of `in` inside [`proptest!`].
 pub trait Strategy {
     /// The generated type.
-    type Value;
+    type Value: Clone + PartialEq + std::fmt::Debug;
     /// Draw one value.
     fn sample(&self, rng: &mut SmallRng) -> Self::Value;
-}
-
-impl Strategy for std::ops::Range<usize> {
-    type Value = usize;
-    fn sample(&self, rng: &mut SmallRng) -> usize {
-        rng.random_range(self.clone())
+    /// Shrink a failing value toward this strategy's simplest choice,
+    /// keeping it failing.
+    ///
+    /// `still_fails(candidate)` must re-run the property with only this
+    /// argument replaced and report whether it still fails. The default
+    /// implementation does not shrink.
+    fn shrink(
+        &self,
+        value: Self::Value,
+        _still_fails: &mut dyn FnMut(Self::Value) -> bool,
+    ) -> Self::Value {
+        value
     }
 }
 
-impl Strategy for std::ops::Range<u64> {
-    type Value = u64;
-    fn sample(&self, rng: &mut SmallRng) -> u64 {
-        rng.random_range(self.clone())
-    }
+/// Shrinking for integer ranges: greedy binary descent toward the range
+/// start (the "first" — simplest — choice). From a failing `cur`, repeatedly
+/// try `cur − step` (initially the full distance to the start, halved on
+/// every candidate that passes); accept any candidate that still fails.
+/// When failure is monotone in the argument this converges to the exactly
+/// minimal failing value, and in general to a local minimum, in
+/// `O(log range)` property evaluations.
+macro_rules! int_strategy {
+    ($t:ty) => {
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+            fn shrink(&self, mut cur: $t, still_fails: &mut dyn FnMut($t) -> bool) -> $t {
+                let lo = self.start;
+                let mut step = cur - lo;
+                while step > 0 {
+                    let cand = cur - step;
+                    if still_fails(cand) {
+                        cur = cand;
+                        step = cur - lo;
+                    } else {
+                        step /= 2;
+                    }
+                }
+                cur
+            }
+        }
+    };
 }
 
-impl Strategy for std::ops::Range<u32> {
-    type Value = u32;
-    fn sample(&self, rng: &mut SmallRng) -> u32 {
-        rng.random_range(self.clone())
-    }
-}
+int_strategy!(usize);
+int_strategy!(u64);
+int_strategy!(u32);
 
 impl Strategy for std::ops::Range<f64> {
     type Value = f64;
     fn sample(&self, rng: &mut SmallRng) -> f64 {
         rng.random_range(self.clone())
+    }
+    /// Same binary descent as the integer ranges, stopping once the step
+    /// falls below a 1e-9 fraction of the range (floats have no exact
+    /// minimum to land on) — or once the subtraction makes no representable
+    /// progress (`cur - step` rounds back to `cur`, possible at large
+    /// magnitudes where the step is below one ulp), which would otherwise
+    /// loop forever.
+    fn shrink(&self, mut cur: f64, still_fails: &mut dyn FnMut(f64) -> bool) -> f64 {
+        let lo = self.start;
+        let min_step = (self.end - self.start).abs() * 1e-9;
+        let mut step = cur - lo;
+        while step > min_step {
+            let cand = cur - step;
+            if cand == cur {
+                break;
+            }
+            if still_fails(cand) {
+                cur = cand;
+                step = cur - lo;
+            } else {
+                step /= 2.0;
+            }
+        }
+        cur
     }
 }
 
@@ -134,9 +189,71 @@ macro_rules! __proptest_impl {
                     let __result: ::core::result::Result<(), $crate::TestCaseError> =
                         (|| { $body ::core::result::Result::Ok(()) })();
                     if let ::core::result::Result::Err(__e) = __result {
+                        // Shrink: walk each argument toward its range start
+                        // (keeping the case failing), round-robin until no
+                        // argument improves further.
+                        $(let mut $arg = $arg;)+
+                        let mut __progress = true;
+                        while __progress {
+                            __progress = false;
+                            $(
+                                {
+                                    let __cand = $crate::Strategy::shrink(
+                                        &($strat),
+                                        ::core::clone::Clone::clone(&$arg),
+                                        &mut |__shrink_cand| {
+                                            let $arg = __shrink_cand;
+                                            // A candidate that panics (instead of
+                                            // returning a prop_assert Err) counts as
+                                            // failing; the catch keeps the panic from
+                                            // escaping mid-shrink and losing the
+                                            // original failure report.
+                                            ::std::panic::catch_unwind(
+                                                ::std::panic::AssertUnwindSafe(|| {
+                                                    let __r: ::core::result::Result<(), $crate::TestCaseError> =
+                                                        (|| { $body ::core::result::Result::Ok(()) })();
+                                                    __r.is_err()
+                                                }),
+                                            )
+                                            .unwrap_or(true)
+                                        },
+                                    );
+                                    if __cand != $arg {
+                                        $arg = __cand;
+                                        __progress = true;
+                                    }
+                                }
+                            )+
+                        }
+                        let __minimal = format!(
+                            concat!($(stringify!($arg), " = {:?}, ",)+ ""),
+                            $($arg,)+
+                        );
+                        // Re-run at the minimal case for its own message,
+                        // falling back to the original error if the minimal
+                        // case panics instead of failing the assertion (or
+                        // if the property is flaky and no longer fails).
+                        let __min_result = ::std::panic::catch_unwind(
+                            ::std::panic::AssertUnwindSafe(|| {
+                                let __r: ::core::result::Result<(), $crate::TestCaseError> =
+                                    (|| { $body ::core::result::Result::Ok(()) })();
+                                __r
+                            }),
+                        );
+                        let __msg = match __min_result {
+                            ::core::result::Result::Ok(::core::result::Result::Err(e)) => {
+                                e.to_string()
+                            }
+                            ::core::result::Result::Ok(::core::result::Result::Ok(())) => {
+                                __e.to_string()
+                            }
+                            ::core::result::Result::Err(_) => {
+                                format!("{__e} (the minimal case panics rather than failing the assertion)")
+                            }
+                        };
                         panic!(
-                            "proptest case {}/{} failed: {}\n  drawn: {}",
-                            __case + 1, __cfg.cases, __e, __drawn
+                            "proptest case {}/{} failed: {}\n  drawn: {}\n  minimal: {}",
+                            __case + 1, __cfg.cases, __msg, __drawn, __minimal
                         );
                     }
                 }
@@ -233,5 +350,137 @@ mod tests {
             }
         }
         always_fails();
+    }
+
+    // -----------------------------------------------------------------
+    // The shrinker itself
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn int_shrink_finds_exact_boundary_on_monotone_predicate() {
+        // Failure is monotone (fails iff x >= 64): binary descent must land
+        // exactly on the minimal failing value.
+        let strat = 0usize..1000;
+        let mut evals = 0usize;
+        let shrunk = Strategy::shrink(&strat, 999, &mut |x| {
+            evals += 1;
+            x >= 64
+        });
+        assert_eq!(shrunk, 64);
+        assert!(evals < 200, "descent must be logarithmic-ish, took {evals}");
+    }
+
+    #[test]
+    fn int_shrink_respects_range_start() {
+        // Everything fails: the minimum is the range start itself.
+        let shrunk = Strategy::shrink(&(5u64..100), 73, &mut |_| true);
+        assert_eq!(shrunk, 5);
+        // Nothing else fails: the value stays put.
+        let shrunk = Strategy::shrink(&(5u32..100), 73, &mut |x| x == 73);
+        assert_eq!(shrunk, 73);
+    }
+
+    #[test]
+    fn f64_shrink_terminates_on_sub_ulp_steps() {
+        // Narrow range at large magnitude: min_step (1e-9 of the range) is
+        // far below one ulp of the values, so candidate subtraction can
+        // round back to `cur`. The no-representable-progress guard must
+        // terminate the descent instead of looping forever.
+        let strat = 1e9..(1e9 + 1.0f64);
+        let boundary = 1e9 + 0.5;
+        let shrunk = Strategy::shrink(&strat, 1e9 + 0.9, &mut |x| x >= boundary);
+        assert!(shrunk >= boundary, "shrunk value must still fail");
+        assert!(shrunk - boundary < 1e-3, "should approach the boundary");
+    }
+
+    #[test]
+    fn panicking_shrink_candidates_are_contained() {
+        // Drawn case fails via prop_assert; smaller candidates the shrinker
+        // tries panic outright. The panic must count as "still failing" and
+        // stay contained, preserving the drawn/minimal report. (The body
+        // only panics for 0 < x < 64; draws for this test name start at
+        // x >= 64, so the drawn case itself takes the prop_assert path.)
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            fn panics_below_sixty_four(x in 0usize..1000) {
+                if x > 0 && x < 64 {
+                    panic!("inner panic at {x}");
+                }
+                prop_assert!(x == 0, "x = {x} nonzero");
+            }
+        }
+        let payload = std::panic::catch_unwind(panics_below_sixty_four)
+            .expect_err("the drawn case must fail");
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert!(
+            msg.contains("minimal: x = 1,"),
+            "shrinks through the panic region to its edge: {msg}"
+        );
+        assert!(
+            msg.contains("panics rather than failing"),
+            "fallback message expected when the minimal case panics: {msg}"
+        );
+    }
+
+    #[test]
+    fn f64_shrink_converges_to_boundary() {
+        let strat = 0.0..100.0f64;
+        let shrunk = Strategy::shrink(&strat, 90.0, &mut |x| x > 25.0);
+        assert!(
+            (shrunk - 25.0).abs() < 1e-5,
+            "shrunk {shrunk} should approach the 25.0 boundary from above"
+        );
+        assert!(shrunk > 25.0, "the shrunk value must still fail");
+    }
+
+    #[test]
+    fn shrunk_failure_reports_near_minimal_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn fails_above_64(x in 0usize..1000) {
+                prop_assert!(x < 64, "x = {x} too big");
+            }
+        }
+        let payload = std::panic::catch_unwind(fails_above_64)
+            .expect_err("property must fail: every case can shrink to 64");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic payload is a formatted String");
+        assert!(
+            msg.contains("minimal: x = 64,"),
+            "message must report the minimal case, got:\n{msg}"
+        );
+        assert!(msg.contains("drawn: x = "), "original case kept: {msg}");
+    }
+
+    #[test]
+    fn multi_arg_shrink_minimises_each_argument() {
+        // Fails iff a >= 10 && b >= 3: independent minima (10, 3).
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            fn joint_failure(a in 0usize..500, b in 0u64..100) {
+                prop_assert!(a < 10 || b < 3, "a = {a}, b = {b}");
+            }
+        }
+        let payload = std::panic::catch_unwind(joint_failure)
+            .expect_err("64 cases over these ranges always hit a failing one");
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert!(
+            msg.contains("minimal: a = 10, b = 3,"),
+            "both arguments must shrink to their joint minimum: {msg}"
+        );
+    }
+
+    #[test]
+    fn passing_properties_never_invoke_shrinking() {
+        // (Indirect: a property that would panic on re-entry with a smaller
+        // value passes untouched when it never fails.)
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            fn never_fails(x in 50usize..60) {
+                prop_assert!((50..60).contains(&x));
+            }
+        }
+        never_fails();
     }
 }

@@ -23,14 +23,27 @@ pub struct ComparisonRow {
     pub label: String,
     /// Model prediction.
     pub model: f64,
-    /// Measured (simulated) value.
+    /// Measured (simulated) value — a replication mean when `half_width`
+    /// is present.
     pub measured: f64,
+    /// Confidence half-width of the measurement across replications
+    /// (`None` for single-run point measurements).
+    pub half_width: Option<f64>,
 }
 
 impl ComparisonRow {
     /// Signed relative error.
     pub fn err(&self) -> f64 {
         pct_err(self.model, self.measured)
+    }
+
+    /// True when the measurement interval `measured ± half_width` contains
+    /// the model prediction (false without an interval).
+    pub fn ci_contains_model(&self) -> bool {
+        match self.half_width {
+            None => false,
+            Some(hw) => (self.model - self.measured).abs() <= hw,
+        }
     }
 }
 
@@ -52,12 +65,30 @@ impl ComparisonTable {
         }
     }
 
-    /// Add one comparison point.
+    /// Add one comparison point (single-run measurement, no interval).
     pub fn push(&mut self, label: impl Into<String>, model: f64, measured: f64) {
         self.rows.push(ComparisonRow {
             label: label.into(),
             model,
             measured,
+            half_width: None,
+        });
+    }
+
+    /// Add one comparison point with a replication confidence half-width on
+    /// the measurement.
+    pub fn push_ci(
+        &mut self,
+        label: impl Into<String>,
+        model: f64,
+        measured: f64,
+        half_width: f64,
+    ) {
+        self.rows.push(ComparisonRow {
+            label: label.into(),
+            model,
+            measured,
+            half_width: Some(half_width),
         });
     }
 
@@ -80,16 +111,27 @@ impl ComparisonTable {
         self.rows.iter().all(|r| r.err() >= -tol)
     }
 
-    /// Render as text.
+    /// True when any row carries a confidence half-width.
+    fn has_ci(&self) -> bool {
+        self.rows.iter().any(|r| r.half_width.is_some())
+    }
+
+    /// Render as text. When any row carries a replication half-width an
+    /// extra `±95% CI` column appears (blank for point measurements).
     pub fn render(&self) -> String {
-        let mut t = Table::new(["point", "model", "measured", "err %"]);
+        let has_ci = self.has_ci();
+        let mut t = if has_ci {
+            Table::new(["point", "model", "measured", "±95% CI", "err %"])
+        } else {
+            Table::new(["point", "model", "measured", "err %"])
+        };
         for r in &self.rows {
-            t.row([
-                r.label.clone(),
-                fmt_num(r.model),
-                fmt_num(r.measured),
-                format!("{:+.2}", r.err() * 100.0),
-            ]);
+            let mut cells = vec![r.label.clone(), fmt_num(r.model), fmt_num(r.measured)];
+            if has_ci {
+                cells.push(r.half_width.map(fmt_num).unwrap_or_default());
+            }
+            cells.push(format!("{:+.2}", r.err() * 100.0));
+            t.row(cells);
         }
         format!(
             "{} — max |err| {:.2}%, mean |err| {:.2}%\n{}",
@@ -98,6 +140,33 @@ impl ComparisonTable {
             self.mean_abs_err() * 100.0,
             t.render()
         )
+    }
+
+    /// Emit the comparison as CSV, always including the half-width column
+    /// (empty cells where no interval was recorded) so external plots can
+    /// draw error bars.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("point,model,measured,ci_half_width,err_pct\n");
+        for r in &self.rows {
+            let hw = r.half_width.map(|h| h.to_string()).unwrap_or_default();
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                csv_escape(&r.label),
+                r.model,
+                r.measured,
+                hw,
+                r.err() * 100.0
+            ));
+        }
+        out
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
     }
 }
 
@@ -140,5 +209,40 @@ mod tests {
         assert!(s.contains("throughput"));
         assert!(s.contains("ps=4"));
         assert!(s.contains("max |err|"));
+        // Without intervals the CI column stays out of the way.
+        assert!(!s.contains("±95% CI"));
+    }
+
+    #[test]
+    fn ci_rows_render_interval_column() {
+        let mut t = ComparisonTable::new("R");
+        t.push_ci("W=0", 700.0, 690.0, 12.5);
+        t.push("W=64", 800.0, 790.0); // mixed: point row gets a blank cell
+        let s = t.render();
+        assert!(s.contains("±95% CI"), "interval column expected:\n{s}");
+        assert!(s.contains("12.50"), "half-width rendered:\n{s}");
+    }
+
+    #[test]
+    fn ci_contains_model_uses_interval() {
+        let mut t = ComparisonTable::new("R");
+        t.push_ci("in", 100.0, 98.0, 3.0);
+        t.push_ci("out", 100.0, 90.0, 3.0);
+        t.push("none", 100.0, 100.0);
+        assert!(t.rows[0].ci_contains_model());
+        assert!(!t.rows[1].ci_contains_model());
+        assert!(!t.rows[2].ci_contains_model(), "no interval, no claim");
+    }
+
+    #[test]
+    fn csv_has_half_width_column() {
+        let mut t = ComparisonTable::new("R");
+        t.push_ci("W=0", 700.0, 690.0, 12.5);
+        t.push("W,comma", 800.0, 790.0);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "point,model,measured,ci_half_width,err_pct");
+        assert!(lines[1].starts_with("W=0,700,690,12.5,"));
+        assert!(lines[2].starts_with("\"W,comma\",800,790,,"));
     }
 }

@@ -211,6 +211,21 @@ impl SimConfig {
     pub fn active_threads(&self) -> usize {
         self.threads.iter().filter(|t| t.is_active()).count()
     }
+
+    /// Estimate of the steady-state pending-event population, used by the
+    /// adaptive scheduler choice (`P × fanout` in the ROADMAP's shorthand).
+    ///
+    /// Each active thread keeps roughly `fanout` events in flight at any
+    /// moment (its outstanding fork-join requests, or the compute-done event
+    /// between cycles); pure servers add none of their own — their queued
+    /// arrivals are already counted at the origin.
+    pub fn pending_hint(&self) -> usize {
+        self.threads
+            .iter()
+            .filter(|t| t.is_active())
+            .map(|t| t.fanout as usize)
+            .sum()
+    }
 }
 
 #[cfg(test)]

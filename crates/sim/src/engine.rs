@@ -171,6 +171,13 @@ impl PendingEvents {
         }
     }
 
+    fn kind(&self) -> Scheduler {
+        match self {
+            PendingEvents::Calendar(_) => Scheduler::Calendar,
+            PendingEvents::Heap(_) => Scheduler::BinaryHeap,
+        }
+    }
+
     #[inline]
     fn push(&mut self, ev: Ev) {
         match self {
@@ -210,10 +217,21 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Build an engine for a validated configuration, using the default
-    /// scheduler ([`Scheduler::Calendar`]).
+    /// Build an engine for a validated configuration, picking the
+    /// pending-event scheduler adaptively from the configuration's
+    /// steady-state event population ([`Scheduler::auto_for`] over
+    /// [`SimConfig::pending_hint`]): the binary heap for small machines,
+    /// the calendar queue for large ones.
+    ///
+    /// The choice never affects results — schedulers are observationally
+    /// equivalent (enforced by the differential tests) — only speed. The
+    /// `LOPC_TEST_SCHEDULER` environment variable (`calendar` / `heap`)
+    /// overrides the adaptive choice for CI matrix runs; use
+    /// [`Engine::with_scheduler`] to pin one programmatically.
     pub fn new(cfg: SimConfig) -> Result<Self, ConfigError> {
-        Self::with_scheduler(cfg, Scheduler::default())
+        let scheduler = crate::validate::env_scheduler()
+            .unwrap_or_else(|| Scheduler::auto_for(cfg.pending_hint()));
+        Self::with_scheduler(cfg, scheduler)
     }
 
     /// Build an engine with an explicit pending-event [`Scheduler`].
@@ -285,6 +303,13 @@ impl Engine {
     /// Current simulated time.
     pub fn now(&self) -> Time {
         self.now
+    }
+
+    /// Which pending-event scheduler this engine is running on (the adaptive
+    /// choice of [`Engine::new`], or whatever [`Engine::with_scheduler`]
+    /// pinned).
+    pub fn scheduler(&self) -> Scheduler {
+        self.queue.kind()
     }
 
     /// Events processed so far.
@@ -980,5 +1005,49 @@ mod tests {
         assert!(report.aggregate.total_cycles > 100);
         // R >= 2St + 2So even with no work.
         assert!(report.aggregate.mean_r >= 2.0 * 10.0 + 2.0 * 50.0 - 1e-9);
+    }
+
+    /// `Engine::new` resolves the scheduler adaptively from `P × fanout`
+    /// (unless `LOPC_TEST_SCHEDULER` overrides it, which plain `cargo test`
+    /// does not set).
+    #[test]
+    fn engine_new_picks_scheduler_adaptively() {
+        if crate::validate::env_scheduler().is_some() {
+            return; // matrix run: the override wins by design
+        }
+        let worker = ThreadSpec::worker(ServiceTime::constant(100.0));
+        let small = SimConfig {
+            p: 8,
+            net_latency: 10.0,
+            request_handler: ServiceTime::constant(50.0),
+            reply_handler: ServiceTime::constant(50.0),
+            threads: vec![worker.clone(); 8],
+            protocol_processor: false,
+            latency_dist: None,
+            stop: StopCondition::CyclesPerThread { n: 1 },
+            seed: 1,
+        };
+        assert_eq!(small.pending_hint(), 8);
+        assert_eq!(
+            Engine::new(small.clone()).unwrap().scheduler(),
+            Scheduler::BinaryHeap
+        );
+
+        let mut large = small.clone();
+        large.p = 64;
+        large.threads = vec![worker.clone(); 64];
+        assert_eq!(large.pending_hint(), 64);
+        assert_eq!(Engine::new(large).unwrap().scheduler(), Scheduler::Calendar);
+
+        // Fanout counts: 8 nodes × fanout 5 = 40 pending crosses over.
+        let mut fanned = small;
+        for t in &mut fanned.threads {
+            t.fanout = 5;
+        }
+        assert_eq!(fanned.pending_hint(), 40);
+        assert_eq!(
+            Engine::new(fanned).unwrap().scheduler(),
+            Scheduler::Calendar
+        );
     }
 }

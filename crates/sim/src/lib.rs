@@ -23,12 +23,16 @@
 //! Alewife machine to within ~1 %; here the simulator plays the role of the
 //! hardware (see DESIGN.md, substitutions).
 //!
-//! The pending-event set behind the loop is pluggable ([`sched`]): an
-//! `O(1)`-amortized calendar queue by default, with the binary heap kept
-//! selectable ([`Scheduler`], [`runner::run_with_scheduler`]) as the
-//! reference for differential tests — both produce bit-identical runs.
-//! Independent replications run in parallel with work stealing
-//! ([`run_replications`]).
+//! The pending-event set behind the loop is pluggable ([`sched`]): the
+//! engine picks adaptively between an `O(1)`-amortized calendar queue
+//! (large machines) and a binary heap (small ones, ≤ 32 pending events),
+//! with both explicitly selectable ([`Scheduler`],
+//! [`runner::run_with_scheduler`]) — every scheduler produces bit-identical
+//! runs, so the choice is purely a speed matter. Independent replications
+//! run in parallel with work stealing ([`run_replications`]), optionally
+//! under a sequential-precision stopping rule ([`run_until_precision`]),
+//! and the [`validate`] module turns replications plus a model prediction
+//! into an interval-aware pass/fail verdict.
 //!
 //! # Example
 //!
@@ -68,10 +72,15 @@ pub mod routing;
 pub mod runner;
 pub mod sched;
 pub mod stats;
+pub mod validate;
 
 pub use config::{ConfigError, SimConfig, StopCondition, ThreadSpec};
 pub use engine::Engine;
 pub use routing::DestChooser;
-pub use runner::{run, run_replications, run_with_scheduler, MeanCi, Replications};
+pub use runner::{
+    run, run_paired, run_replications, run_replications_with, run_until_precision,
+    run_with_scheduler, MeanCi, Replications,
+};
 pub use sched::{BinaryHeapQueue, CalendarQueue, EventQueue, Keyed, Scheduler};
 pub use stats::{NodeSummary, SimReport, TimeWeighted, Welford};
+pub use validate::{assert_model_matches_sim, Validation};

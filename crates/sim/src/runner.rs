@@ -1,11 +1,15 @@
-//! Run entry points: single runs and parallel independent replications.
+//! Run entry points: single runs, parallel independent replications, the
+//! sequential-precision replication loop, and common-random-numbers paired
+//! runs.
 
 use crate::config::{ConfigError, SimConfig};
 use crate::engine::Engine;
 use crate::sched::Scheduler;
 use crate::stats::SimReport;
+use lopc_stats::{Confidence, StoppingRule, Summary};
 
-/// Run one simulation to completion with the default scheduler.
+/// Run one simulation to completion with the adaptive default scheduler
+/// (see [`Engine::new`]).
 pub fn run(cfg: &SimConfig) -> Result<SimReport, ConfigError> {
     Ok(Engine::new(cfg.clone())?.run_to_completion())
 }
@@ -19,30 +23,26 @@ pub fn run_with_scheduler(cfg: &SimConfig, scheduler: Scheduler) -> Result<SimRe
     Ok(Engine::with_scheduler(cfg.clone(), scheduler)?.run_to_completion())
 }
 
-/// Mean with a normal-approximation confidence half-width across
-/// replications.
+/// Mean with a Student-t 95 % confidence half-width across replications.
+///
+/// Thin convenience view kept for chart/table call sites; the full interval
+/// machinery (confidence levels, stopping rules, acceptance criteria) lives
+/// in [`lopc_stats`] and is reachable through [`Replications::summary`].
 #[derive(Clone, Copy, Debug)]
 pub struct MeanCi {
     /// Mean over replications.
     pub mean: f64,
-    /// ~95 % half-width (1.96 standard errors; 0 with one replication).
+    /// 95 % Student-t half-width (infinite below two replications: one
+    /// sample has no interval).
     pub half_width: f64,
 }
 
 impl MeanCi {
     fn from_samples(xs: &[f64]) -> Self {
-        let n = xs.len() as f64;
-        let mean = xs.iter().sum::<f64>() / n;
-        if xs.len() < 2 {
-            return MeanCi {
-                mean,
-                half_width: 0.0,
-            };
-        }
-        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        let s = Summary::from_samples(xs);
         MeanCi {
-            mean,
-            half_width: 1.96 * (var / n).sqrt(),
+            mean: s.mean,
+            half_width: s.half_width(Confidence::P95),
         }
     }
 }
@@ -56,32 +56,94 @@ pub struct Replications {
 }
 
 impl Replications {
-    /// Mean cycle response time across replications.
+    /// Per-replication samples of an arbitrary statistic, in seed order —
+    /// the raw material for any interval estimate.
+    pub fn samples<F: Fn(&SimReport) -> f64>(&self, f: F) -> Vec<f64> {
+        self.reports.iter().map(f).collect()
+    }
+
+    /// Full [`Summary`] (mean, variance, t-based CIs at any level) of a
+    /// statistic across replications.
+    pub fn summary<F: Fn(&SimReport) -> f64>(&self, f: F) -> Summary {
+        Summary::from_samples(&self.samples(f))
+    }
+
+    /// Mean cycle response time across replications, with a 95 % CI.
     pub fn mean_r(&self) -> MeanCi {
-        MeanCi::from_samples(
-            &self
-                .reports
-                .iter()
-                .map(|r| r.aggregate.mean_r)
-                .collect::<Vec<_>>(),
-        )
+        MeanCi::from_samples(&self.samples(|r| r.aggregate.mean_r))
     }
 
-    /// System throughput across replications.
+    /// System throughput across replications, with a 95 % CI.
     pub fn throughput(&self) -> MeanCi {
-        MeanCi::from_samples(
-            &self
-                .reports
-                .iter()
-                .map(|r| r.aggregate.throughput)
-                .collect::<Vec<_>>(),
-        )
+        MeanCi::from_samples(&self.samples(|r| r.aggregate.throughput))
     }
 
-    /// Mean of an arbitrary per-report statistic.
+    /// Mean of an arbitrary per-report statistic, with a 95 % CI.
     pub fn stat<F: Fn(&SimReport) -> f64>(&self, f: F) -> MeanCi {
-        MeanCi::from_samples(&self.reports.iter().map(f).collect::<Vec<_>>())
+        MeanCi::from_samples(&self.samples(f))
     }
+}
+
+/// Run replications for the index range `range` (seed `cfg.seed + i`),
+/// distributed over scoped threads through the work-stealing claim queue.
+///
+/// The scheduler selection (`None` = adaptive/env default) never affects
+/// results, only speed.
+fn run_index_range(
+    cfg: &SimConfig,
+    range: std::ops::Range<usize>,
+    scheduler: Option<Scheduler>,
+) -> Vec<SimReport> {
+    let count = range.len();
+    let base = range.start;
+    let run_one = |i: usize| {
+        let mut c = cfg.clone();
+        c.seed = cfg.seed.wrapping_add((base + i) as u64);
+        // Config validated by the caller; the per-replication clone only
+        // changes the seed.
+        match scheduler {
+            None => Engine::new(c),
+            Some(s) => Engine::with_scheduler(c, s),
+        }
+        .expect("validated config")
+        .run_to_completion()
+    };
+
+    let threads = lopc_solver::steal::worker_count(count);
+    let mut slots: Vec<Option<SimReport>> = Vec::with_capacity(count);
+    slots.resize_with(count, || None);
+
+    if threads <= 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(run_one(i));
+        }
+    } else {
+        let queue = lopc_solver::steal::WorkQueue::new(count);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let queue = &queue;
+                let run_one = &run_one;
+                handles.push(scope.spawn(move || {
+                    // One claim per replication: each item is a whole
+                    // simulation, so claiming overhead is negligible and
+                    // single-index stealing gives the best balance.
+                    let mut local = Vec::new();
+                    while let Some(i) = queue.claim() {
+                        local.push((i, run_one(i)));
+                    }
+                    local
+                }));
+            }
+            for h in handles {
+                for (i, report) in h.join().expect("replication worker panicked") {
+                    slots[i] = Some(report);
+                }
+            }
+        });
+    }
+
+    slots.into_iter().map(|s| s.expect("slot filled")).collect()
 }
 
 /// Run `reps` independent replications in parallel, varying only the seed.
@@ -117,59 +179,79 @@ impl Replications {
 /// assert!(ci.mean > 0.0 && ci.half_width >= 0.0);
 /// ```
 pub fn run_replications(cfg: &SimConfig, reps: usize) -> Result<Replications, ConfigError> {
+    run_replications_opt(cfg, reps, None)
+}
+
+/// [`run_replications`] with an explicit pending-event [`Scheduler`] — the
+/// ROADMAP's "`Scheduler` knob": identical results (schedulers are
+/// observationally equivalent), different speed.
+pub fn run_replications_with(
+    cfg: &SimConfig,
+    reps: usize,
+    scheduler: Scheduler,
+) -> Result<Replications, ConfigError> {
+    run_replications_opt(cfg, reps, Some(scheduler))
+}
+
+fn run_replications_opt(
+    cfg: &SimConfig,
+    reps: usize,
+    scheduler: Option<Scheduler>,
+) -> Result<Replications, ConfigError> {
     cfg.validate()?;
-    if reps == 0 {
-        return Ok(Replications { reports: vec![] });
-    }
-
-    let run_one = |i: usize| {
-        let mut c = cfg.clone();
-        c.seed = cfg.seed.wrapping_add(i as u64);
-        // Config validated above; the per-replication clone only changes
-        // the seed.
-        Engine::new(c)
-            .expect("validated config")
-            .run_to_completion()
-    };
-
-    let threads = lopc_solver::steal::worker_count(reps);
-
-    let mut slots: Vec<Option<SimReport>> = Vec::with_capacity(reps);
-    slots.resize_with(reps, || None);
-
-    if threads <= 1 {
-        for (i, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(run_one(i));
-        }
-    } else {
-        let queue = lopc_solver::steal::WorkQueue::new(reps);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for _ in 0..threads {
-                let queue = &queue;
-                let run_one = &run_one;
-                handles.push(scope.spawn(move || {
-                    // One claim per replication: each item is a whole
-                    // simulation, so claiming overhead is negligible and
-                    // single-index stealing gives the best balance.
-                    let mut local = Vec::new();
-                    while let Some(i) = queue.claim() {
-                        local.push((i, run_one(i)));
-                    }
-                    local
-                }));
-            }
-            for h in handles {
-                for (i, report) in h.join().expect("replication worker panicked") {
-                    slots[i] = Some(report);
-                }
-            }
-        });
-    }
-
     Ok(Replications {
-        reports: slots.into_iter().map(|s| s.expect("slot filled")).collect(),
+        reports: run_index_range(cfg, 0..reps, scheduler),
     })
+}
+
+/// Replicate until the confidence interval of `stat` satisfies the
+/// sequential [`StoppingRule`], or its replication cap is reached.
+///
+/// Replication `i` always runs seed `cfg.seed + i` regardless of how the
+/// sequential procedure batches its draws, so the set of simulations is a
+/// deterministic function of `(cfg, rule)` — re-running reproduces it
+/// bit-for-bit. All reports are kept: further statistics can be summarised
+/// from the same runs via [`Replications::summary`].
+///
+/// Whether the precision target was actually reached (vs. the cap striking
+/// first) can be recovered as `rule.satisfied_by(&reps.summary(stat))`;
+/// interval-aware acceptance checks (`lopc_stats::check_match`) remain
+/// honest either way, because an under-resolved interval is *wide*, never
+/// misleadingly tight.
+pub fn run_until_precision(
+    cfg: &SimConfig,
+    rule: &StoppingRule,
+    stat: impl Fn(&SimReport) -> f64,
+) -> Result<Replications, ConfigError> {
+    cfg.validate()?;
+    let mut reports: Vec<SimReport> = Vec::with_capacity(rule.min_reps);
+    let outcome = lopc_stats::run_to_precision(rule, |range| {
+        let batch = run_index_range(cfg, range, None);
+        let samples: Vec<f64> = batch.iter().map(&stat).collect();
+        reports.extend(batch);
+        samples
+    });
+    debug_assert_eq!(outcome.samples.len(), reports.len());
+    Ok(Replications { reports })
+}
+
+/// Run two configurations under **common random numbers**: `reps`
+/// replications each, with replication `i` of both systems using the *same*
+/// seed (`cfg_a.seed + i` and `cfg_b.seed + i`, which the caller should set
+/// equal for full CRN effect).
+///
+/// Returns both replication sets in seed order, ready for
+/// [`lopc_stats::paired_diff_summary`] on any pair of extracted statistics —
+/// the variance-reduced way to compare two systems.
+pub fn run_paired(
+    cfg_a: &SimConfig,
+    cfg_b: &SimConfig,
+    reps: usize,
+) -> Result<(Replications, Replications), ConfigError> {
+    Ok((
+        run_replications_opt(cfg_a, reps, None)?,
+        run_replications_opt(cfg_b, reps, None)?,
+    ))
 }
 
 #[cfg(test)]
@@ -225,12 +307,36 @@ mod tests {
     }
 
     #[test]
+    fn scheduler_knob_changes_nothing_but_runs_both() {
+        let cal = run_replications_with(&cfg(), 3, Scheduler::Calendar).unwrap();
+        let heap = run_replications_with(&cfg(), 3, Scheduler::BinaryHeap).unwrap();
+        for (x, y) in cal.reports.iter().zip(&heap.reports) {
+            assert_eq!(x.aggregate.mean_r, y.aggregate.mean_r);
+            assert_eq!(x.events, y.events);
+        }
+    }
+
+    #[test]
     fn mean_ci_reduces_with_replications() {
         let reps = run_replications(&cfg(), 8).unwrap();
         let ci = reps.mean_r();
         assert!(ci.mean > 0.0);
         assert!(ci.half_width >= 0.0);
         assert!(ci.half_width < ci.mean, "CI should be informative");
+    }
+
+    #[test]
+    fn samples_and_summary_are_consistent() {
+        let reps = run_replications(&cfg(), 5).unwrap();
+        let xs = reps.samples(|r| r.aggregate.mean_r);
+        assert_eq!(xs.len(), 5);
+        let s = reps.summary(|r| r.aggregate.mean_r);
+        assert_eq!(s.n, 5);
+        assert!((s.mean - xs.iter().sum::<f64>() / 5.0).abs() < 1e-12);
+        // The MeanCi view is the P95 slice of the summary.
+        let ci = reps.mean_r();
+        assert_eq!(ci.mean, s.mean);
+        assert_eq!(ci.half_width, s.half_width(Confidence::P95));
     }
 
     #[test]
@@ -246,6 +352,7 @@ mod tests {
         c.threads.truncate(1);
         assert!(run(&c).is_err());
         assert!(run_replications(&c, 2).is_err());
+        assert!(run_until_precision(&c, &StoppingRule::default(), |r| r.aggregate.mean_r).is_err());
     }
 
     #[test]
@@ -254,5 +361,52 @@ mod tests {
         let x = reps.throughput();
         let manual = reps.stat(|r| r.aggregate.throughput);
         assert_eq!(x.mean, manual.mean);
+    }
+
+    #[test]
+    fn until_precision_is_prefix_of_fixed_replications() {
+        // The sequential procedure must run seeds base, base+1, … — i.e. its
+        // report list is a prefix of what a fixed-count run produces.
+        let rule = StoppingRule::default()
+            .with_rel_precision(0.20)
+            .with_reps(3, 8);
+        let seq = run_until_precision(&cfg(), &rule, |r| r.aggregate.mean_r).unwrap();
+        assert!(seq.reports.len() >= 3 && seq.reports.len() <= 8);
+        let fixed = run_replications(&cfg(), seq.reports.len()).unwrap();
+        for (a, b) in seq.reports.iter().zip(&fixed.reports) {
+            assert_eq!(a.aggregate.mean_r, b.aggregate.mean_r);
+        }
+    }
+
+    #[test]
+    fn until_precision_respects_cap() {
+        // An impossible target stops at the cap instead of looping.
+        let rule = StoppingRule::default()
+            .with_rel_precision(1e-9)
+            .with_reps(3, 6);
+        let seq = run_until_precision(&cfg(), &rule, |r| r.aggregate.mean_r).unwrap();
+        assert_eq!(seq.reports.len(), 6);
+        assert!(!rule.satisfied_by(&seq.summary(|r| r.aggregate.mean_r)));
+    }
+
+    #[test]
+    fn paired_runs_share_seeds() {
+        let a = cfg();
+        let mut b = cfg();
+        b.request_handler = ServiceTime::exponential(60.0);
+        let (ra, rb) = run_paired(&a, &b, 3).unwrap();
+        assert_eq!(ra.reports.len(), 3);
+        assert_eq!(rb.reports.len(), 3);
+        // System A's replications are the plain ones.
+        let plain = run_replications(&a, 3).unwrap();
+        for (x, y) in ra.reports.iter().zip(&plain.reports) {
+            assert_eq!(x.aggregate.mean_r, y.aggregate.mean_r);
+        }
+        // CRN makes the diff variance smaller than the raw variance.
+        let d = lopc_stats::paired_diff_summary(
+            &rb.samples(|r| r.aggregate.mean_r),
+            &ra.samples(|r| r.aggregate.mean_r),
+        );
+        assert!(d.mean > 0.0, "slower handlers must raise R");
     }
 }

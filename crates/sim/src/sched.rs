@@ -51,9 +51,12 @@ use crate::config::Time;
 
 /// Scheduler selection for an [`Engine`](crate::Engine).
 ///
-/// The calendar queue is the default; the binary heap remains selectable so
-/// differential tests (and sceptical users) can cross-check that both produce
-/// identical simulations — see [`crate::runner::run_with_scheduler`].
+/// `Scheduler::default()` is the calendar queue; `Engine::new` however picks
+/// *adaptively* via [`Scheduler::auto_for`] because the heap wins outright
+/// on small machines (§9 baselines: ~1.5× at ≤ 32 pending events). Both
+/// remain explicitly selectable so differential tests (and sceptical users)
+/// can cross-check that both produce identical simulations — see
+/// [`crate::runner::run_with_scheduler`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Scheduler {
     /// Bucketed calendar queue, `O(1)` amortized (the default).
@@ -61,6 +64,31 @@ pub enum Scheduler {
     Calendar,
     /// `std::collections::BinaryHeap`, `O(log n)` — the reference.
     BinaryHeap,
+}
+
+/// Largest steady-state pending-event population at which the binary heap
+/// still beats the calendar queue end to end (committed `BENCH_sim.json`
+/// baseline: heap ~1.5× faster at `P ≤ 32`, calendar ~2× faster at
+/// `P = 1024`; the break-even sits at a few dozen pending events).
+pub const ADAPTIVE_HEAP_MAX_PENDING: usize = 32;
+
+impl Scheduler {
+    /// Adaptive choice from an estimate of the steady-state pending-event
+    /// population (for the engine: `P × fanout`, see
+    /// [`SimConfig::pending_hint`](crate::config::SimConfig::pending_hint)).
+    ///
+    /// At or below [`ADAPTIVE_HEAP_MAX_PENDING`] pending events the wheel's
+    /// bucket scanning overhead dominates and the heap is faster; above it
+    /// the calendar queue's `O(1)` amortized operations win. The choice
+    /// never affects results — schedulers are observationally equivalent —
+    /// only speed.
+    pub fn auto_for(pending_hint: usize) -> Scheduler {
+        if pending_hint <= ADAPTIVE_HEAP_MAX_PENDING {
+            Scheduler::BinaryHeap
+        } else {
+            Scheduler::Calendar
+        }
+    }
 }
 
 /// A schedulable item: a fire time plus a unique, monotone insertion
@@ -286,7 +314,9 @@ pub struct CalendarQueue<T> {
     wheel_len: usize,
     /// Total pending items.
     len: usize,
-    /// Year-empty jumps since the last rebuild (mis-tuning detector).
+    /// Consecutive pops that needed a year-empty jump (mis-tuning
+    /// detector); reset by a pop that finds its item without jumping and by
+    /// every rebuild.
     jumps: u32,
 }
 
@@ -516,6 +546,11 @@ impl<T: Keyed> EventQueue<T> for CalendarQueue<T> {
         }
         let nbuckets = self.mask + 1;
         let mut scanned = 0usize;
+        // Whether this pop needed a year-empty jump: consecutive *jumping
+        // pops* are what the MAX_JUMPS mis-tuning valve counts, so the
+        // counter only resets on a pop that found its item without jumping
+        // (or on a rebuild).
+        let mut jumped = false;
         loop {
             // Never let the position pass the overflow head.
             if self.cur_slot >= self.overflow_min_slot {
@@ -533,7 +568,9 @@ impl<T: Keyed> EventQueue<T> for CalendarQueue<T> {
                     bucket.sorted_len -= 1;
                     self.wheel_len -= 1;
                     self.len -= 1;
-                    self.jumps = 0;
+                    if !jumped {
+                        self.jumps = 0;
+                    }
                     self.maybe_resize();
                     return Some(item);
                 }
@@ -542,6 +579,7 @@ impl<T: Keyed> EventQueue<T> for CalendarQueue<T> {
             scanned += 1;
             if scanned >= nbuckets {
                 // A whole year was empty: the next event is further out.
+                jumped = true;
                 self.jump_to_min();
                 scanned = 0;
             }
@@ -739,5 +777,169 @@ mod tests {
     #[test]
     fn scheduler_default_is_calendar() {
         assert_eq!(Scheduler::default(), Scheduler::Calendar);
+    }
+
+    /// Pins the adaptive crossover policy: the heap up to (and including)
+    /// `ADAPTIVE_HEAP_MAX_PENDING` pending events, the calendar queue above.
+    #[test]
+    fn adaptive_crossover_policy() {
+        assert_eq!(ADAPTIVE_HEAP_MAX_PENDING, 32);
+        assert_eq!(Scheduler::auto_for(0), Scheduler::BinaryHeap);
+        assert_eq!(Scheduler::auto_for(1), Scheduler::BinaryHeap);
+        assert_eq!(Scheduler::auto_for(32), Scheduler::BinaryHeap);
+        assert_eq!(Scheduler::auto_for(33), Scheduler::Calendar);
+        assert_eq!(Scheduler::auto_for(1024), Scheduler::Calendar);
+    }
+
+    // -----------------------------------------------------------------
+    // Calendar-queue edge cases not reachable through the differential
+    // suite's random interleavings.
+    // -----------------------------------------------------------------
+
+    /// A population-driven rebuild while every pending item sits in the
+    /// overflow list (the wheel itself empty): `drain_sorted` over empty
+    /// buckets plus `rebuild` re-anchoring from overflow-only items.
+    #[test]
+    fn resize_with_all_items_in_overflow() {
+        let mut q = CalendarQueue::new();
+        // Anchor the position at slot 0 (width 1.0, 8 buckets, horizon 32).
+        q.push(Item { t: 0.0, seq: 0 });
+        // Far-future items beyond FAR_YEARS years: all exiled to overflow.
+        for s in 1..=64u64 {
+            q.push(Item {
+                t: 1_000.0 + s as f64,
+                seq: s,
+            });
+            if s < 64 {
+                assert!(
+                    !q.overflow.is_empty(),
+                    "far-future items must sit in overflow before the resize"
+                );
+            }
+        }
+        // The 65th push crossed the grow threshold (len > 2·OCCUPANCY·8):
+        // the rebuild redistributed the overflow onto a larger wheel.
+        assert!(q.buckets.len() > MIN_BUCKETS, "grow rebuild must have run");
+        let popped = drain(&mut q);
+        let mut expected: Vec<(f64, u64)> = (1..=64u64).map(|s| (1_000.0 + s as f64, s)).collect();
+        expected.insert(0, (0.0, 0));
+        assert_eq!(popped, expected);
+    }
+
+    /// Popping when the wheel is empty but the overflow is not: the position
+    /// must jump straight to the overflow head and drain it, not scan years
+    /// of empty buckets.
+    #[test]
+    fn pop_from_overflow_only_queue() {
+        let mut q = CalendarQueue::new();
+        q.push(Item { t: 0.0, seq: 0 });
+        q.push(Item { t: 1e6, seq: 1 });
+        q.push(Item { t: 2e6, seq: 2 });
+        assert_eq!(q.pop().unwrap().seq, 0);
+        assert_eq!(q.wheel_len, 0, "remaining items should all be far-future");
+        assert!(!q.overflow.is_empty());
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert_eq!(q.pop().unwrap().seq, 2);
+        assert!(q.pop().is_none());
+    }
+
+    /// The overflow min-slot guard: a later push *in front of* the existing
+    /// overflow head must update the cached guard slot, or the position
+    /// could sail past the new head and pop out of order.
+    #[test]
+    fn overflow_min_slot_guard_tracks_new_head() {
+        let mut q = CalendarQueue::new();
+        q.push(Item { t: 0.0, seq: 0 });
+        q.push(Item { t: 4e6, seq: 1 }); // overflow head
+        let slot_before = q.overflow_min_slot;
+        q.push(Item { t: 2e6, seq: 2 }); // new, earlier overflow head
+        assert!(
+            q.overflow_min_slot < slot_before,
+            "guard must move with the new head"
+        );
+        // And a push behind the *wheel* horizon but ahead of the position
+        // leaves the guard alone while keeping global order.
+        q.push(Item { t: 1.0, seq: 3 });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|i| i.seq).collect();
+        assert_eq!(order, [0, 3, 2, 1]);
+    }
+
+    /// The jump + width-boost safety valve: a schedule whose every pop needs
+    /// a year-empty jump (events spaced several wheel-years apart at the
+    /// current width) must trigger the corrective `×4` width boost after
+    /// `MAX_JUMPS` consecutive jumping pops, after which pops stop jumping —
+    /// and the order contract holds throughout.
+    #[test]
+    fn jump_width_boost_safety_valve() {
+        let mut q = CalendarQueue::new();
+        let mut heap = BinaryHeapQueue::new();
+        let width0 = q.width;
+        // Hold pattern that never lets the queue empty (an empty queue
+        // re-anchors the position on push, which gives the next pop a free
+        // non-jumping hit and resets the counter): two items stay resident,
+        // each new item ~1.5 wheel-years beyond the last, so every pop after
+        // the first scans an empty year and jumps. The population is far
+        // below any resize threshold, so only the valve can retune the
+        // width.
+        let year = (MIN_BUCKETS as f64) * width0;
+        let mut t = 0.0;
+        let mut seq = 0u64;
+        let mut push_next = |q: &mut CalendarQueue<Item>, heap: &mut BinaryHeapQueue<Item>| {
+            t += 1.5 * year;
+            let it = Item { t, seq };
+            seq += 1;
+            q.push(it);
+            heap.push(it);
+        };
+        push_next(&mut q, &mut heap);
+        push_next(&mut q, &mut heap);
+        let mut max_jumps_seen = 0;
+        let mut boosted = false;
+        for _ in 0..4 * (MAX_JUMPS as usize + 1) {
+            let a = q.pop().unwrap();
+            let b = heap.pop().unwrap();
+            assert_eq!((a.t, a.seq), (b.t, b.seq), "order must survive boosts");
+            push_next(&mut q, &mut heap);
+            max_jumps_seen = max_jumps_seen.max(q.jumps);
+            if q.width > width0 {
+                boosted = true;
+            }
+        }
+        assert!(
+            max_jumps_seen > 0,
+            "the pattern must actually provoke year-empty jumps"
+        );
+        assert!(
+            boosted,
+            "persistent jumping must trigger the width boost (width stayed {})",
+            q.width
+        );
+        // After the boost converges, items land within a year of the
+        // position: the final width spans the 1.5-year-at-width0 gap.
+        assert!(q.width >= 4.0 * width0);
+    }
+
+    /// Consecutive-jump bookkeeping: a pop that finds its item without
+    /// jumping resets the mis-tuning counter.
+    #[test]
+    fn non_jumping_pop_resets_jump_counter() {
+        let mut q = CalendarQueue::new();
+        let year = (MIN_BUCKETS as f64) * q.width;
+        // One far item forces a jumping pop...
+        q.push(Item { t: 0.0, seq: 0 });
+        q.push(Item {
+            t: 2.0 * year,
+            seq: 1,
+        });
+        assert_eq!(q.pop().unwrap().seq, 0);
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert!(q.jumps > 0, "the far pop should have jumped");
+        // ...then two adjacent items pop without scanning a whole year.
+        q.push(Item {
+            t: 2.0 * year + 1.0,
+            seq: 2,
+        });
+        assert_eq!(q.pop().unwrap().seq, 2);
+        assert_eq!(q.jumps, 0, "a clean pop must reset the counter");
     }
 }

@@ -1,0 +1,243 @@
+//! Acceptance criteria for model-vs-measurement claims.
+//!
+//! Two statistically distinct claims appear in the validation suite:
+//!
+//! * **The model is (nearly) unbiased for this quantity** — then the
+//!   replication CI should *contain* the prediction ([`Acceptance::CiContains`]).
+//!   This is a strict test: it fails for an arbitrarily accurate model once
+//!   the CI shrinks below the model's true bias, so it is only appropriate
+//!   where exactness is the claim.
+//! * **The model matches within a stated margin** — the TOST-style
+//!   equivalence test ([`Acceptance::Equivalence`]): accept when the *whole*
+//!   confidence interval lies inside `prediction ± margin`. This is the
+//!   right form for LoPC's "within a few percent" headline, where the §5.3
+//!   error analysis documents a known small bias. [`Acceptance::Band`] is
+//!   the asymmetric generalisation for signed claims ("conservative by at
+//!   most 5 %, under by at most 8 %").
+//!
+//! Both directions are interval-aware: a test passes or fails because of
+//! where the *interval* lies, never because one seed drew lucky noise.
+
+use crate::summary::Summary;
+use crate::tquantile::Confidence;
+
+/// How a prediction and a replicated measurement are compared.
+#[derive(Clone, Copy, Debug)]
+pub enum Acceptance {
+    /// The confidence interval must contain the prediction (unbiasedness
+    /// claim).
+    CiContains,
+    /// TOST-style equivalence: the whole CI must lie within
+    /// `prediction ± (rel·|prediction| + abs)`.
+    Equivalence {
+        /// Relative margin as a fraction of `|prediction|`.
+        rel: f64,
+        /// Absolute margin added on top (use alone for near-zero
+        /// quantities).
+        abs: f64,
+    },
+    /// Asymmetric equivalence: the whole CI must lie within
+    /// `[prediction − below·|prediction|, prediction + above·|prediction|]`.
+    ///
+    /// `below` bounds how far the measurement may fall *below* the
+    /// prediction (the model over-predicting — LoPC's conservative
+    /// direction), `above` how far it may sit above.
+    Band {
+        /// Allowed shortfall of the measurement, as a fraction of
+        /// `|prediction|`.
+        below: f64,
+        /// Allowed excess of the measurement, as a fraction of
+        /// `|prediction|`.
+        above: f64,
+    },
+}
+
+/// The outcome of one acceptance check, with everything a failure message
+/// needs.
+#[derive(Clone, Debug)]
+pub struct MatchReport {
+    /// The model's prediction.
+    pub prediction: f64,
+    /// The replicated measurement.
+    pub summary: Summary,
+    /// Confidence level of the interval used.
+    pub confidence: Confidence,
+    /// The criterion applied.
+    pub acceptance: Acceptance,
+    /// Did the check pass?
+    pub passed: bool,
+}
+
+impl MatchReport {
+    /// Signed relative error of the prediction against the measured mean.
+    pub fn rel_err(&self) -> f64 {
+        if self.summary.mean == 0.0 {
+            if self.prediction == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.prediction - self.summary.mean) / self.summary.mean
+        }
+    }
+}
+
+impl std::fmt::Display for MatchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (lo, hi) = self.summary.ci(self.confidence);
+        write!(
+            f,
+            "prediction {:.6} vs mean {:.6} (rel err {:+.2}%), {} CI [{:.6}, {:.6}] over n={} reps, criterion {:?}: {}",
+            self.prediction,
+            self.summary.mean,
+            self.rel_err() * 100.0,
+            self.confidence,
+            lo,
+            hi,
+            self.summary.n,
+            self.acceptance,
+            if self.passed { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// Apply an acceptance criterion to a prediction and a replicated
+/// measurement.
+pub fn check_match(
+    prediction: f64,
+    summary: &Summary,
+    confidence: Confidence,
+    acceptance: &Acceptance,
+) -> MatchReport {
+    let (lo, hi) = summary.ci(confidence);
+    let passed = match *acceptance {
+        Acceptance::CiContains => lo <= prediction && prediction <= hi,
+        Acceptance::Equivalence { rel, abs } => {
+            let margin = rel * prediction.abs() + abs;
+            prediction - margin <= lo && hi <= prediction + margin
+        }
+        Acceptance::Band { below, above } => {
+            // Margins scale |prediction| so the band stays ordered (and
+            // meaningful) for negative predictions, e.g. signed paired
+            // differences.
+            let scale = prediction.abs();
+            prediction - below * scale <= lo && hi <= prediction + above * scale
+        }
+    };
+    MatchReport {
+        prediction,
+        summary: *summary,
+        confidence,
+        acceptance: *acceptance,
+        passed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(mean: f64, spread: f64, n: usize) -> Summary {
+        // Symmetric two-point mixture: mean exact, sd = spread.
+        let xs: Vec<f64> = (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    mean - spread
+                } else {
+                    mean + spread
+                }
+            })
+            .collect();
+        Summary::from_samples(&xs)
+    }
+
+    #[test]
+    fn ci_contains_accepts_and_rejects() {
+        let s = summary(100.0, 1.0, 10);
+        assert!(check_match(100.5, &s, Confidence::P95, &Acceptance::CiContains).passed);
+        assert!(!check_match(110.0, &s, Confidence::P95, &Acceptance::CiContains).passed);
+    }
+
+    #[test]
+    fn equivalence_needs_whole_ci_inside_margin() {
+        let tight = summary(103.0, 0.5, 10);
+        let crit = Acceptance::Equivalence {
+            rel: 0.05,
+            abs: 0.0,
+        };
+        // Mean 3 % off with a tight CI: inside a 5 % margin.
+        assert!(check_match(100.0, &tight, Confidence::P95, &crit).passed);
+        // Same mean but a wide CI pokes out of the margin.
+        let wide = summary(103.0, 10.0, 4);
+        assert!(!check_match(100.0, &wide, Confidence::P95, &crit).passed);
+        // And a 6 % bias fails however tight the interval.
+        let biased = summary(106.0, 0.01, 10);
+        assert!(!check_match(100.0, &biased, Confidence::P95, &crit).passed);
+    }
+
+    #[test]
+    fn equivalence_abs_margin_for_small_quantities() {
+        let s = summary(0.03, 0.005, 8);
+        let crit = Acceptance::Equivalence {
+            rel: 0.0,
+            abs: 0.05,
+        };
+        assert!(check_match(0.0, &s, Confidence::P95, &crit).passed);
+        let far = summary(0.2, 0.005, 8);
+        assert!(!check_match(0.0, &far, Confidence::P95, &crit).passed);
+    }
+
+    #[test]
+    fn band_is_asymmetric() {
+        // Claim: measurement may fall up to 10 % below the prediction but
+        // only 2 % above it (model conservative).
+        let crit = Acceptance::Band {
+            below: 0.10,
+            above: 0.02,
+        };
+        let under = summary(95.0, 0.5, 10); // 5 % below: fine
+        assert!(check_match(100.0, &under, Confidence::P95, &crit).passed);
+        let over = summary(105.0, 0.5, 10); // 5 % above: out
+        assert!(!check_match(100.0, &over, Confidence::P95, &crit).passed);
+    }
+
+    #[test]
+    fn band_handles_negative_predictions() {
+        // Signed quantities (paired differences, say): the band must stay
+        // ordered around a negative prediction.
+        let crit = Acceptance::Band {
+            below: 0.10,
+            above: 0.10,
+        };
+        let matching = summary(-100.0, 0.5, 10);
+        assert!(check_match(-100.0, &matching, Confidence::P95, &crit).passed);
+        let off = summary(-130.0, 0.5, 10);
+        assert!(!check_match(-100.0, &off, Confidence::P95, &crit).passed);
+    }
+
+    #[test]
+    fn unbounded_interval_never_passes_equivalence() {
+        let s = Summary::from_samples(&[100.0]); // n = 1: infinite hw
+        let crit = Acceptance::Equivalence { rel: 0.5, abs: 0.0 };
+        assert!(!check_match(100.0, &s, Confidence::P95, &crit).passed);
+    }
+
+    #[test]
+    fn report_display_mentions_verdict() {
+        let s = summary(100.0, 1.0, 10);
+        let r = check_match(100.0, &s, Confidence::P95, &Acceptance::CiContains);
+        let msg = format!("{r}");
+        assert!(msg.contains("PASS"));
+        assert!(msg.contains("n=10"));
+        let r = check_match(500.0, &s, Confidence::P95, &Acceptance::CiContains);
+        assert!(format!("{r}").contains("FAIL"));
+    }
+
+    #[test]
+    fn rel_err_sign_convention() {
+        let s = summary(100.0, 1.0, 10);
+        let r = check_match(110.0, &s, Confidence::P95, &Acceptance::CiContains);
+        assert!((r.rel_err() - 0.10).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,58 @@
+//! Statistical validation machinery for model-vs-measurement claims.
+//!
+//! The LoPC reproduction's headline assertion — "the analytic model predicts
+//! the simulator within a few percent" — is a statement about the *mean* of a
+//! stochastic measurement, so validating it properly needs interval
+//! estimates over independent replications, not a point sample against a
+//! hand-tuned tolerance band. This crate provides the machinery, free of any
+//! registry dependency:
+//!
+//! * [`tquantile`] — a Student-t critical-value table (two-sided 90/95/99 %)
+//!   with `1/df` interpolation above 30 degrees of freedom;
+//! * [`summary`] — [`Summary`]: sample mean/variance with t-based confidence
+//!   intervals;
+//! * [`batch`] — batch-means interval estimation for autocorrelated
+//!   *within-run* series (one long run split into near-independent batches);
+//! * [`paired`] — common-random-numbers paired comparison: the
+//!   variance-reduced CI on the mean *difference* of two systems simulated
+//!   with identical seeds;
+//! * [`sequential`] — a relative-precision sequential stopping rule: draw
+//!   replications until the CI half-width falls below a target fraction of
+//!   the mean, with a hard replication cap;
+//! * [`equivalence`] — acceptance criteria for model-vs-measurement claims:
+//!   CI-contains-prediction, TOST-style equivalence at a margin, and
+//!   asymmetric bands for signed claims (e.g. "conservative by at most 5 %").
+//!
+//! The driver that runs a simulator against these criteria lives in
+//! `lopc_sim::validate`; this crate is pure statistics (no simulation
+//! dependency) so the solver/report layers can reuse it.
+//!
+//! # Example: validate a prediction
+//!
+//! ```
+//! use lopc_stats::{check_match, Acceptance, Confidence, Summary};
+//!
+//! // Five replicated measurements of a quantity the model predicts as 100.
+//! let summary = Summary::from_samples(&[98.0, 101.0, 99.5, 100.5, 98.5]);
+//! let report = check_match(
+//!     100.0,
+//!     &summary,
+//!     Confidence::P95,
+//!     &Acceptance::Equivalence { rel: 0.05, abs: 0.0 },
+//! );
+//! assert!(report.passed, "{report}");
+//! ```
+
+pub mod batch;
+pub mod equivalence;
+pub mod paired;
+pub mod sequential;
+pub mod summary;
+pub mod tquantile;
+
+pub use batch::batch_means;
+pub use equivalence::{check_match, Acceptance, MatchReport};
+pub use paired::paired_diff_summary;
+pub use sequential::{run_to_precision, SequentialOutcome, StoppingRule};
+pub use summary::Summary;
+pub use tquantile::{t_quantile, Confidence};

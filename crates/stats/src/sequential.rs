@@ -1,0 +1,213 @@
+//! Relative-precision sequential stopping: replicate until the confidence
+//! interval is tight enough, with a hard cap.
+//!
+//! Fixed replication counts either waste work (low-variance configurations
+//! reach the target precision immediately) or under-resolve (high-variance
+//! configurations stay noisy). The standard sequential procedure (Law &
+//! Kelton §9.4.1) draws a pilot batch, then keeps adding replications until
+//! the t-interval half-width falls below a target fraction of the mean — or
+//! a hard cap is hit, in which case the caller learns the target was not
+//! reached instead of silently looping forever.
+
+use crate::summary::Summary;
+use crate::tquantile::Confidence;
+
+/// Parameters of the sequential stopping rule.
+#[derive(Clone, Copy, Debug)]
+pub struct StoppingRule {
+    /// Confidence level of the half-width test (and of any acceptance check
+    /// built on the resulting summary).
+    pub confidence: Confidence,
+    /// Stop once `half_width <= rel_precision * |mean|`.
+    pub rel_precision: f64,
+    /// Also stop once `half_width <= abs_precision` (useful when the mean
+    /// can be near zero; 0 disables the absolute test).
+    pub abs_precision: f64,
+    /// Pilot batch: never judge precision on fewer replications than this.
+    pub min_reps: usize,
+    /// Hard cap on total replications.
+    pub max_reps: usize,
+}
+
+impl Default for StoppingRule {
+    /// 95 % intervals to ±3 % relative precision, between 5 and 16
+    /// replications — the trade-off the quick-window validation tests use.
+    fn default() -> Self {
+        StoppingRule {
+            confidence: Confidence::P95,
+            rel_precision: 0.03,
+            abs_precision: 0.0,
+            min_reps: 5,
+            max_reps: 16,
+        }
+    }
+}
+
+impl StoppingRule {
+    /// Same rule with a different relative-precision target.
+    pub fn with_rel_precision(mut self, rel: f64) -> Self {
+        self.rel_precision = rel;
+        self
+    }
+
+    /// Same rule with an absolute-precision escape hatch.
+    pub fn with_abs_precision(mut self, abs: f64) -> Self {
+        self.abs_precision = abs;
+        self
+    }
+
+    /// Same rule with different replication bounds.
+    pub fn with_reps(mut self, min: usize, max: usize) -> Self {
+        self.min_reps = min;
+        self.max_reps = max;
+        self
+    }
+
+    /// Does this summary satisfy the precision target?
+    pub fn satisfied_by(&self, s: &Summary) -> bool {
+        if s.n < self.min_reps.max(2) {
+            return false;
+        }
+        let hw = s.half_width(self.confidence);
+        hw <= self.rel_precision * s.mean.abs()
+            || (self.abs_precision > 0.0 && hw <= self.abs_precision)
+    }
+}
+
+/// What the sequential procedure produced.
+#[derive(Clone, Debug)]
+pub struct SequentialOutcome {
+    /// Every sample drawn, in draw (index) order.
+    pub samples: Vec<f64>,
+    /// Summary of all samples.
+    pub summary: Summary,
+    /// True when the precision target was met; false when the cap stopped
+    /// the procedure first.
+    pub reached: bool,
+}
+
+/// Run the sequential procedure.
+///
+/// `draw(range)` must produce one sample per index in `range` — indices are
+/// handed out contiguously from 0, so a simulation caller can map index `i`
+/// to seed `base + i` and results are reproducible regardless of batching.
+/// Batches grow geometrically (pilot of `min_reps`, then +50 % per round)
+/// so the worst case does `O(log)` rounds, and the cap is always respected.
+pub fn run_to_precision(
+    rule: &StoppingRule,
+    mut draw: impl FnMut(std::ops::Range<usize>) -> Vec<f64>,
+) -> SequentialOutcome {
+    let min = rule.min_reps.max(2);
+    let max = rule.max_reps.max(min);
+    let mut samples: Vec<f64> = Vec::with_capacity(min);
+    loop {
+        let have = samples.len();
+        let want = if have == 0 {
+            min
+        } else {
+            (have + have.div_ceil(2)).min(max)
+        };
+        let batch = draw(have..want);
+        assert_eq!(
+            batch.len(),
+            want - have,
+            "draw must return one sample per index"
+        );
+        samples.extend(batch);
+        let summary = Summary::from_samples(&samples);
+        if rule.satisfied_by(&summary) {
+            return SequentialOutcome {
+                samples,
+                summary,
+                reached: true,
+            };
+        }
+        if samples.len() >= max {
+            return SequentialOutcome {
+                samples,
+                summary,
+                reached: false,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy_sampler(
+        seed: u64,
+        mean: f64,
+        spread: f64,
+    ) -> impl FnMut(std::ops::Range<usize>) -> Vec<f64> {
+        move |range| {
+            range
+                .map(|i| {
+                    let mut rng = SmallRng::seed_from_u64(seed + i as u64);
+                    mean + (rng.random::<f64>() - 0.5) * spread
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn low_variance_stops_at_pilot() {
+        let rule = StoppingRule::default();
+        let out = run_to_precision(&rule, noisy_sampler(1, 100.0, 0.1));
+        assert!(out.reached);
+        assert_eq!(out.samples.len(), rule.min_reps);
+        assert!((out.summary.mean - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn high_variance_hits_cap_and_reports_it() {
+        let rule = StoppingRule::default().with_rel_precision(1e-6);
+        let out = run_to_precision(&rule, noisy_sampler(2, 100.0, 50.0));
+        assert!(!out.reached, "impossible precision must report failure");
+        assert_eq!(out.samples.len(), rule.max_reps);
+    }
+
+    #[test]
+    fn medium_variance_grows_beyond_pilot() {
+        // Spread chosen so 5 reps are not enough but 16 are.
+        let rule = StoppingRule::default().with_rel_precision(0.02);
+        let out = run_to_precision(&rule, noisy_sampler(3, 100.0, 20.0));
+        assert!(out.samples.len() > rule.min_reps);
+    }
+
+    #[test]
+    fn draw_indices_are_contiguous_from_zero() {
+        let mut seen = Vec::new();
+        let rule = StoppingRule::default()
+            .with_rel_precision(1e-9)
+            .with_reps(4, 13);
+        let out = run_to_precision(&rule, |range| {
+            seen.extend(range.clone());
+            range.map(|i| i as f64 * 1000.0).collect()
+        });
+        assert_eq!(seen, (0..13).collect::<Vec<_>>());
+        assert_eq!(out.samples.len(), 13);
+    }
+
+    #[test]
+    fn abs_precision_escape_for_near_zero_means() {
+        // Mean ~0: relative precision can never be met, absolute can.
+        let rule = StoppingRule::default()
+            .with_rel_precision(1e-12)
+            .with_abs_precision(1.0);
+        let out = run_to_precision(&rule, noisy_sampler(4, 0.0, 1.0));
+        assert!(out.reached);
+    }
+
+    #[test]
+    fn constant_samples_reach_immediately() {
+        let rule = StoppingRule::default();
+        let out = run_to_precision(&rule, |r| r.map(|_| 7.0).collect());
+        assert!(out.reached);
+        assert_eq!(out.summary.mean, 7.0);
+        assert_eq!(out.summary.half_width(rule.confidence), 0.0);
+    }
+}

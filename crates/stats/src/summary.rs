@@ -1,0 +1,147 @@
+//! Sample summaries with Student-t interval estimates.
+
+use crate::tquantile::{t_quantile, Confidence};
+
+/// Mean and dispersion of a sample of independent replications, with
+/// t-based confidence intervals.
+#[derive(Clone, Copy, Debug)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample variance (`n − 1` denominator; 0 when `n < 2`).
+    pub var: f64,
+}
+
+impl Summary {
+    /// Summarise a sample. An empty sample yields `n = 0, mean = 0`.
+    pub fn from_samples(xs: &[f64]) -> Self {
+        let n = xs.len();
+        if n == 0 {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                var: 0.0,
+            };
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0)
+        };
+        Summary { n, mean, var }
+    }
+
+    /// Sample standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.var.sqrt()
+    }
+
+    /// Standard error of the mean (0 when `n < 2`).
+    pub fn std_err(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.var / self.n as f64).sqrt()
+        }
+    }
+
+    /// Student-t confidence half-width at the given level.
+    ///
+    /// With fewer than two observations there is no interval: returns
+    /// `f64::INFINITY` so downstream precision checks fail safe (never
+    /// "precise" by accident).
+    pub fn half_width(&self, confidence: Confidence) -> f64 {
+        if self.n < 2 {
+            return f64::INFINITY;
+        }
+        t_quantile(confidence, self.n - 1) * self.std_err()
+    }
+
+    /// The confidence interval `(lo, hi)` around the mean.
+    pub fn ci(&self, confidence: Confidence) -> (f64, f64) {
+        let hw = self.half_width(confidence);
+        (self.mean - hw, self.mean + hw)
+    }
+
+    /// Half-width as a fraction of `|mean|` (`INFINITY` when the mean is 0
+    /// or the interval is unbounded).
+    pub fn rel_half_width(&self, confidence: Confidence) -> f64 {
+        let hw = self.half_width(confidence);
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            hw / self.mean.abs()
+        }
+    }
+
+    /// True when the interval at this confidence contains `x`.
+    pub fn ci_contains(&self, x: f64, confidence: Confidence) -> bool {
+        let (lo, hi) = self.ci(confidence);
+        lo <= x && x <= hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_match_direct() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Unbiased variance: population var 4.0 scaled by 8/7.
+        assert!((s.var - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = Summary::from_samples(&[]);
+        assert_eq!(e.n, 0);
+        assert_eq!(e.mean, 0.0);
+        assert!(e.half_width(Confidence::P95).is_infinite());
+
+        let s = Summary::from_samples(&[42.0]);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.std_err(), 0.0);
+        assert!(s.half_width(Confidence::P95).is_infinite());
+        assert!(s.rel_half_width(Confidence::P95).is_infinite());
+    }
+
+    #[test]
+    fn known_ci_hand_computed() {
+        // n = 5, mean = 10, sd = 1  =>  se = 1/sqrt(5), t(4, 95%) = 2.776.
+        let xs = [9.0, 9.5, 10.0, 10.5, 11.0];
+        let s = Summary::from_samples(&xs);
+        assert!((s.mean - 10.0).abs() < 1e-12);
+        let expected_hw = 2.776 * s.std_err();
+        assert!((s.half_width(Confidence::P95) - expected_hw).abs() < 1e-12);
+        let (lo, hi) = s.ci(Confidence::P95);
+        assert!(lo < 10.0 && hi > 10.0);
+        assert!(s.ci_contains(10.0, Confidence::P95));
+        assert!(!s.ci_contains(20.0, Confidence::P95));
+    }
+
+    #[test]
+    fn wider_confidence_gives_wider_interval() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(s.half_width(Confidence::P99) > s.half_width(Confidence::P95));
+        assert!(s.half_width(Confidence::P95) > s.half_width(Confidence::P90));
+    }
+
+    #[test]
+    fn constant_sample_has_zero_width() {
+        let s = Summary::from_samples(&[7.0; 10]);
+        assert_eq!(s.half_width(Confidence::P95), 0.0);
+        assert_eq!(s.rel_half_width(Confidence::P95), 0.0);
+    }
+
+    #[test]
+    fn rel_half_width_zero_mean_is_infinite() {
+        let s = Summary::from_samples(&[-1.0, 1.0]);
+        assert!(s.rel_half_width(Confidence::P95).is_infinite());
+    }
+}

@@ -1,0 +1,176 @@
+//! Student-t critical values, tabulated — no registry dependency.
+//!
+//! Two-sided critical values `t*` such that `P(|T_df| <= t*) = level`. The
+//! table covers every degree of freedom from 1 to 30 exactly (the regime
+//! replication counts actually live in) and the standard anchor rows 40, 60
+//! and 120; between anchors the value is interpolated linearly in `1/df`,
+//! which is accurate to better than 1e-3 there, and beyond 120 it converges
+//! to the normal quantile.
+
+/// Two-sided confidence level of an interval estimate.
+///
+/// Kept as an enum (rather than a free `f64`) so every level maps to an
+/// exactly tabulated t row — there is no interpolation *between levels*.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Confidence {
+    /// 90 % two-sided.
+    P90,
+    /// 95 % two-sided (the conventional default).
+    #[default]
+    P95,
+    /// 99 % two-sided.
+    P99,
+}
+
+impl Confidence {
+    /// The coverage probability as a fraction.
+    pub fn level(self) -> f64 {
+        match self {
+            Confidence::P90 => 0.90,
+            Confidence::P95 => 0.95,
+            Confidence::P99 => 0.99,
+        }
+    }
+}
+
+impl std::fmt::Display for Confidence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.0}%", self.level() * 100.0)
+    }
+}
+
+/// Two-sided t critical values for df = 1..=30 (index `df - 1`).
+const T90: [f64; 30] = [
+    6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812, 1.796, 1.782, 1.771,
+    1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706,
+    1.703, 1.701, 1.699, 1.697,
+];
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+const T99: [f64; 30] = [
+    63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169, 3.106, 3.055, 3.012,
+    2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797, 2.787, 2.779,
+    2.771, 2.763, 2.756, 2.750,
+];
+
+/// Anchor rows above the dense table: `(df, t90, t95, t99)`; the final row is
+/// the normal limit, keyed by `u32::MAX` (treated as `1/df = 0`).
+const ANCHORS: [(u32, f64, f64, f64); 4] = [
+    (40, 1.684, 2.021, 2.704),
+    (60, 1.671, 2.000, 2.660),
+    (120, 1.658, 1.980, 2.617),
+    (u32::MAX, 1.645, 1.960, 2.576),
+];
+
+/// Two-sided Student-t critical value for the given confidence and degrees
+/// of freedom.
+///
+/// `df = 0` (fewer than two samples) has no finite interval: returns
+/// `f64::INFINITY` so a half-width computed from it is conservative rather
+/// than silently wrong.
+pub fn t_quantile(confidence: Confidence, df: usize) -> f64 {
+    if df == 0 {
+        return f64::INFINITY;
+    }
+    let pick = |row: &(u32, f64, f64, f64)| match confidence {
+        Confidence::P90 => row.1,
+        Confidence::P95 => row.2,
+        Confidence::P99 => row.3,
+    };
+    if df <= 30 {
+        return match confidence {
+            Confidence::P90 => T90[df - 1],
+            Confidence::P95 => T95[df - 1],
+            Confidence::P99 => T99[df - 1],
+        };
+    }
+    // Between 30 and the anchors: interpolate linearly in 1/df, the classic
+    // textbook rule (the t quantile is nearly affine in 1/df).
+    let lo_table = (30u32, T90[29], T95[29], T99[29]);
+    let mut prev = lo_table;
+    for a in ANCHORS {
+        let prev_df = prev.0 as f64;
+        let a_inv = if a.0 == u32::MAX {
+            0.0
+        } else {
+            1.0 / a.0 as f64
+        };
+        if df <= a.0 as usize || a.0 == u32::MAX {
+            let x = 1.0 / df as f64;
+            let (x0, x1) = (a_inv, 1.0 / prev_df);
+            let (y0, y1) = (pick(&a), pick(&prev));
+            // x is in [x0, x1]; x1 > x0 always (prev has smaller df).
+            return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+        }
+        prev = a;
+    }
+    unreachable!("final anchor row catches every df")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_rows_match_tables() {
+        assert_eq!(t_quantile(Confidence::P95, 1), 12.706);
+        assert_eq!(t_quantile(Confidence::P95, 4), 2.776);
+        assert_eq!(t_quantile(Confidence::P95, 30), 2.042);
+        assert_eq!(t_quantile(Confidence::P90, 10), 1.812);
+        assert_eq!(t_quantile(Confidence::P99, 2), 9.925);
+    }
+
+    #[test]
+    fn zero_df_is_infinite() {
+        assert!(t_quantile(Confidence::P95, 0).is_infinite());
+    }
+
+    #[test]
+    fn interpolation_is_monotone_decreasing() {
+        let mut prev = t_quantile(Confidence::P95, 30);
+        for df in 31..2000 {
+            let t = t_quantile(Confidence::P95, df);
+            assert!(
+                t <= prev + 1e-12,
+                "t must not increase with df: df={df} t={t} prev={prev}"
+            );
+            assert!(t >= 1.960, "t must stay above the normal limit: df={df}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn interpolation_hits_anchor_rows() {
+        assert!((t_quantile(Confidence::P95, 40) - 2.021).abs() < 1e-9);
+        assert!((t_quantile(Confidence::P95, 60) - 2.000).abs() < 1e-9);
+        assert!((t_quantile(Confidence::P95, 120) - 1.980).abs() < 1e-9);
+        assert!((t_quantile(Confidence::P99, 40) - 2.704).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_df_approaches_normal() {
+        assert!((t_quantile(Confidence::P95, 1_000_000) - 1.960).abs() < 1e-3);
+        assert!((t_quantile(Confidence::P90, 1_000_000) - 1.645).abs() < 1e-3);
+        assert!((t_quantile(Confidence::P99, 1_000_000) - 2.576).abs() < 1e-3);
+    }
+
+    #[test]
+    fn interpolated_midpoints_are_sane() {
+        // df = 50 true value is 2.0086; 1/df interpolation should be close.
+        let t = t_quantile(Confidence::P95, 50);
+        assert!((t - 2.009).abs() < 0.005, "t(50) = {t}");
+        // df = 35 true value is 2.0301.
+        let t = t_quantile(Confidence::P95, 35);
+        assert!((t - 2.030).abs() < 0.005, "t(35) = {t}");
+    }
+
+    #[test]
+    fn confidence_display_and_level() {
+        assert_eq!(Confidence::P95.level(), 0.95);
+        assert_eq!(Confidence::default(), Confidence::P95);
+        assert_eq!(format!("{}", Confidence::P99), "99%");
+    }
+}

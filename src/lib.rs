@@ -38,6 +38,7 @@ pub use lopc_dist as dist;
 pub use lopc_report as report;
 pub use lopc_sim as sim;
 pub use lopc_solver as solver;
+pub use lopc_stats as stats;
 pub use lopc_workloads as workloads;
 
 /// The most commonly used items in one import.
@@ -47,7 +48,14 @@ pub mod prelude {
     };
     pub use lopc_dist::{from_mean_cv2, Distribution, ServiceTime};
     pub use lopc_report::{ComparisonTable, Figure, Series};
-    pub use lopc_sim::{run, run_replications, DestChooser, SimConfig, StopCondition, ThreadSpec};
+    pub use lopc_sim::validate::{assert_model_matches_sim, test_seed, Validation};
+    pub use lopc_sim::{
+        run, run_paired, run_replications, run_until_precision, DestChooser, SimConfig,
+        StopCondition, ThreadSpec,
+    };
+    pub use lopc_stats::{
+        check_match, paired_diff_summary, Acceptance, Confidence, StoppingRule, Summary,
+    };
     pub use lopc_workloads::{
         AllToAllWorkload, BulkSync, Forwarding, Hotspot, MatVec, Window, Workpile,
     };

@@ -1,5 +1,7 @@
 //! §6 end-to-end: the work-pile optimum, the shape of the throughput curve,
-//! and the paper's conservatism claim, simulator-validated.
+//! and the paper's conservatism claim, simulator-validated through the
+//! replication CI harness (DESIGN.md §8). No seed is special: base seeds
+//! are arbitrary and CI rotates them via `LOPC_TEST_SEED_OFFSET`.
 
 use lopc::prelude::*;
 
@@ -9,12 +11,17 @@ fn machine() -> Machine {
     Machine::new(MACHINE_P, 50.0, 131.0).with_c2(0.0)
 }
 
-fn sim_throughput(ps: usize, w: f64, seed: u64) -> f64 {
-    let wl = Workpile::new(machine(), w, ps).with_window(Window::quick());
-    lopc::sim::run(&wl.sim_config(seed))
-        .unwrap()
-        .aggregate
-        .throughput
+fn workpile(ps: usize, w: f64) -> Workpile {
+    Workpile::new(machine(), w, ps).with_window(Window::quick())
+}
+
+/// Replicated throughput summary at one server split.
+fn sim_throughput(ps: usize, w: f64, base_seed: u64) -> Summary {
+    let mut cfg = workpile(ps, w).sim_config(base_seed);
+    cfg.seed = test_seed(cfg.seed);
+    let reps =
+        run_until_precision(&cfg, &StoppingRule::default(), |r| r.aggregate.throughput).unwrap();
+    reps.summary(|r| r.aggregate.throughput)
 }
 
 #[test]
@@ -23,11 +30,11 @@ fn simulated_curve_is_unimodal_and_peaks_at_prediction() {
     let model = ClientServer::new(machine(), w);
     let predicted = model.optimal_servers().unwrap();
 
-    let xs: Vec<f64> = (1..MACHINE_P).map(|ps| sim_throughput(ps, w, 55)).collect();
+    let xs: Vec<Summary> = (1..MACHINE_P).map(|ps| sim_throughput(ps, w, 55)).collect();
     let argmax = xs
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))
+        .max_by(|a, b| a.1.mean.total_cmp(&b.1.mean))
         .unwrap()
         .0
         + 1;
@@ -35,27 +42,39 @@ fn simulated_curve_is_unimodal_and_peaks_at_prediction() {
         (argmax as i64 - predicted as i64).abs() <= 1,
         "sim argmax {argmax} vs eq. 6.8 {predicted}"
     );
-    // Rough unimodality: throughput at the edges below the peak.
-    let peak = xs[argmax - 1];
-    assert!(xs[0] < peak);
-    assert!(xs[xs.len() - 1] < peak);
+    // Rough unimodality, interval-aware: the edge CIs must sit below the
+    // peak's CI.
+    let peak = &xs[argmax - 1];
+    let peak_lo = peak.ci(Confidence::P95).0;
+    assert!(
+        xs[0].ci(Confidence::P95).1 < peak_lo,
+        "left edge must be significantly below the peak"
+    );
+    assert!(
+        xs[xs.len() - 1].ci(Confidence::P95).1 < peak_lo,
+        "right edge must be significantly below the peak"
+    );
 }
 
 #[test]
 fn model_is_conservative_like_the_paper_says() {
     // Paper: "in the worst case LoPC predicts a value that is conservative
-    // by 3%". With short windows we allow 6 % of under-prediction and no
-    // more than ~5 % of over-prediction.
+    // by 3%". With short windows we allow ~8 % of under-prediction
+    // (measurement above the model) and ~5 % of over-prediction — as an
+    // asymmetric band on the replication interval.
     let w = 1000.0;
     let model = ClientServer::new(machine(), w);
     for ps in [2usize, 4, 6, 8, 12] {
         let x_model = model.throughput(ps).unwrap().x;
-        let x_sim = sim_throughput(ps, w, 77);
-        let err = (x_model - x_sim) / x_sim;
-        assert!(
-            (-0.08..=0.05).contains(&err),
-            "ps={ps}: model {x_model} vs sim {x_sim} ({:+.1}%)",
-            err * 100.0
+        assert_model_matches_sim(
+            &format!("work-pile conservatism, ps={ps}"),
+            &workpile(ps, w).sim_config(77),
+            x_model,
+            |r| r.aggregate.throughput,
+            // below: measurement under the prediction (model optimistic) —
+            // the direction the paper bounds tightly; above: measurement
+            // over the prediction (model conservative).
+            &Validation::band(0.05, 0.09),
         );
     }
 }
@@ -67,13 +86,16 @@ fn queue_length_one_at_simulated_optimum() {
     let w = 1000.0;
     let model = ClientServer::new(machine(), w);
     let ps = model.optimal_servers().unwrap();
-    let wl = Workpile::new(machine(), w, ps).with_window(Window::quick());
-    let report = lopc::sim::run(&wl.sim_config(91)).unwrap();
-    // Mean request population over the server nodes.
-    let qs: f64 = report.nodes[..ps].iter().map(|n| n.qq).sum::<f64>() / ps as f64;
+    let mut cfg = workpile(ps, w).sim_config(91);
+    cfg.seed = test_seed(cfg.seed);
+    let reps = run_until_precision(&cfg, &StoppingRule::default(), |r| r.aggregate.mean_r).unwrap();
+    // Mean request population over the server nodes, as a replication CI.
+    let qs = reps.summary(|r| r.nodes[..ps].iter().map(|n| n.qq).sum::<f64>() / ps as f64);
+    let (lo, hi) = qs.ci(Confidence::P95);
     assert!(
-        (0.6..=1.6).contains(&qs),
-        "mean server queue at optimum should be ~1, got {qs}"
+        lo > 0.6 && hi < 1.6,
+        "mean server queue at optimum should be ~1, CI [{lo:.3}, {hi:.3}] over {} reps",
+        qs.n
     );
 }
 
@@ -95,13 +117,20 @@ fn logp_bounds_envelope_simulation() {
     let model = ClientServer::new(machine(), w);
     for ps in [1usize, 4, 10, 14] {
         let x = sim_throughput(ps, w, 101);
+        // One-sided claims: the replicated mean (not one seed's draw) stays
+        // under each LogP bound, with the CI half-width as statistical slack.
+        let hw = x.half_width(Confidence::P95);
         assert!(
-            x <= model.logp_server_bound(ps) * 1.02,
-            "server bound, ps={ps}"
+            x.mean <= model.logp_server_bound(ps) * 1.02 + hw,
+            "server bound, ps={ps}: mean {} vs bound {}",
+            x.mean,
+            model.logp_server_bound(ps)
         );
         assert!(
-            x <= model.logp_client_bound(ps) * 1.05,
-            "client bound, ps={ps}"
+            x.mean <= model.logp_client_bound(ps) * 1.05 + hw,
+            "client bound, ps={ps}: mean {} vs bound {}",
+            x.mean,
+            model.logp_client_bound(ps)
         );
     }
 }
@@ -117,17 +146,28 @@ fn exponential_handlers_need_more_servers() {
     let p1 = ClientServer::new(m1, w).optimal_servers_continuous();
     assert!(p1 > p0);
 
-    // Direct sim comparison at a split between the two optima: the
-    // exponential-handler machine loses more throughput to queueing.
+    // Direct sim comparison at a split between the two optima, under
+    // common random numbers: both systems replicate with identical seeds,
+    // and the paired-t interval on the per-seed throughput difference
+    // decides. Claim: more variable handlers cannot *help* throughput.
     let ps = p0.round() as usize;
-    let x0 = sim_throughput(ps, w, 33);
-    let wl1 = Workpile::new(m1, w, ps).with_window(Window::quick());
-    let x1 = lopc::sim::run(&wl1.sim_config(33))
-        .unwrap()
-        .aggregate
-        .throughput;
+    let mut cfg0 = Workpile::new(m0, w, ps)
+        .with_window(Window::quick())
+        .sim_config(33);
+    cfg0.seed = test_seed(cfg0.seed);
+    let mut cfg1 = Workpile::new(m1, w, ps)
+        .with_window(Window::quick())
+        .sim_config(33);
+    cfg1.seed = cfg0.seed;
+    let (r0, r1) = run_paired(&cfg0, &cfg1, 8).unwrap();
+    let x0 = r0.samples(|r| r.aggregate.throughput);
+    let x1 = r1.samples(|r| r.aggregate.throughput);
+    let diff = paired_diff_summary(&x1, &x0); // exponential minus constant
+    let (_, hi) = diff.ci(Confidence::P95);
+    let x0_mean = Summary::from_samples(&x0).mean;
     assert!(
-        x1 < x0 * 1.02,
-        "more variable handlers cannot help: {x1} vs {x0}"
+        hi < 0.02 * x0_mean,
+        "more variable handlers cannot help: diff CI upper {hi} vs mean {x0_mean} ({} reps)",
+        diff.n
     );
 }
