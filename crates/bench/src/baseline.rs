@@ -2,15 +2,18 @@
 //!
 //! `cargo bench` output used to be plain text that scrolled away; nothing
 //! recorded a baseline to compare the next PR against. This module gives the
-//! perf-tracking benches (`sim_perf`, `solver_perf`) a tiny persistence
-//! layer: each bench writes its measurements as one *section* of a single
-//! JSON document at the repository root, leaving other sections untouched,
-//! so the file accumulates the full baseline of the perf trajectory.
+//! perf-tracking benches (`sim_perf`, `solver_perf`, `serve_perf`) a tiny
+//! persistence layer: each bench writes its measurements as one *section* of
+//! a single JSON document at the repository root, leaving other sections
+//! untouched, so the file accumulates the full baseline of the perf
+//! trajectory.
 //!
 //! The file format is documented in the repository README ("Bench baselines"
-//! section). Since the build container has no serde, the module carries its
-//! own emitter and a minimal recursive-descent JSON parser for the subset it
-//! emits (objects, arrays, strings, finite numbers, booleans, null).
+//! section). JSON support comes from the workspace's shared hand-rolled
+//! implementation in [`lopc_serve::json`] (it originated here and moved
+//! there when the serving layer needed the same machinery); [`Json`] and
+//! [`parse`] are re-exported so existing baseline-reading code keeps
+//! compiling unchanged.
 //!
 //! # Example
 //!
@@ -24,10 +27,11 @@
 //! ```
 
 use std::collections::BTreeMap;
-use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::time::{SystemTime, UNIX_EPOCH};
+
+pub use lopc_serve::json::{parse, Json};
 
 /// One measured benchmark in a section.
 #[derive(Clone, Debug, PartialEq)]
@@ -156,315 +160,15 @@ pub fn update(path: &Path, section: Section) -> io::Result<PathBuf> {
             Json::Object(sections.into_iter().collect()),
         ),
     ]);
-    let mut out = String::new();
-    top.render(&mut out, 0);
+    let mut out = top.to_pretty();
     out.push('\n');
     std::fs::write(path, out)?;
     Ok(path.canonicalize().unwrap_or_else(|_| path.to_path_buf()))
 }
 
-// ---------------------------------------------------------------------------
-// Minimal JSON value type, emitter, and parser
-// ---------------------------------------------------------------------------
-
-/// JSON value subset used by the baseline file.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Finite number (emitted with enough precision to round-trip).
-    Num(f64),
-    /// String (only `"` and `\` are escaped by the emitter).
-    Str(String),
-    /// Array.
-    Array(Vec<Json>),
-    /// Object with insertion-ordered keys.
-    Object(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Look up a key in an object value.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Object(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The numeric value, if this is a number.
-    pub fn as_num(&self) -> Option<f64> {
-        match self {
-            Json::Num(x) => Some(*x),
-            _ => None,
-        }
-    }
-
-    fn render(&self, out: &mut String, indent: usize) {
-        let pad = "  ".repeat(indent);
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => {
-                let _ = write!(out, "{b}");
-            }
-            Json::Num(x) => {
-                if x.fract() == 0.0 && x.abs() < 9e15 {
-                    let _ = write!(out, "{}", *x as i64);
-                } else {
-                    let _ = write!(out, "{x:?}");
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\t' => out.push_str("\\t"),
-                        '\r' => out.push_str("\\r"),
-                        // RFC 8259: all other control characters must be
-                        // \u-escaped or the document is invalid JSON.
-                        c if (c as u32) < 0x20 => {
-                            let _ = write!(out, "\\u{:04x}", c as u32);
-                        }
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::Array(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push_str("[\n");
-                for (i, item) in items.iter().enumerate() {
-                    let _ = write!(out, "{pad}  ");
-                    item.render(out, indent + 1);
-                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
-                }
-                let _ = write!(out, "{pad}]");
-            }
-            Json::Object(kv) => {
-                if kv.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push_str("{\n");
-                for (i, (k, v)) in kv.iter().enumerate() {
-                    let _ = write!(out, "{pad}  ");
-                    Json::Str(k.clone()).render(out, indent + 1);
-                    out.push_str(": ");
-                    v.render(out, indent + 1);
-                    out.push_str(if i + 1 < kv.len() { ",\n" } else { "\n" });
-                }
-                let _ = write!(out, "{pad}}}");
-            }
-        }
-    }
-}
-
-/// Parse a JSON document (the subset emitted by this module).
-pub fn parse(text: &str) -> Result<Json, String> {
-    let bytes = text.as_bytes();
-    let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
-    }
-    Ok(value)
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-    skip_ws(b, pos);
-    if *pos < b.len() && b[*pos] == c {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!("expected '{}' at byte {}", c as char, pos))
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        None => Err("unexpected end of input".into()),
-        Some(b'{') => {
-            *pos += 1;
-            let mut kv = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Object(kv));
-            }
-            loop {
-                skip_ws(b, pos);
-                let key = match parse_value(b, pos)? {
-                    Json::Str(s) => s,
-                    other => return Err(format!("object key must be a string, got {other:?}")),
-                };
-                expect(b, pos, b':')?;
-                let val = parse_value(b, pos)?;
-                kv.push((key, val));
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Object(kv));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-                }
-            }
-        }
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Array(items));
-            }
-            loop {
-                items.push(parse_value(b, pos)?);
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Array(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-                }
-            }
-        }
-        Some(b'"') => {
-            *pos += 1;
-            let mut s = String::new();
-            loop {
-                match b.get(*pos) {
-                    None => return Err("unterminated string".into()),
-                    Some(b'"') => {
-                        *pos += 1;
-                        return Ok(Json::Str(s));
-                    }
-                    Some(b'\\') => {
-                        *pos += 1;
-                        match b.get(*pos) {
-                            Some(b'"') => s.push('"'),
-                            Some(b'\\') => s.push('\\'),
-                            Some(b'n') => s.push('\n'),
-                            Some(b't') => s.push('\t'),
-                            Some(b'r') => s.push('\r'),
-                            Some(b'/') => s.push('/'),
-                            Some(b'u') => {
-                                let hex = b
-                                    .get(*pos + 1..*pos + 5)
-                                    .and_then(|h| std::str::from_utf8(h).ok())
-                                    .ok_or("truncated \\u escape")?;
-                                let code = u32::from_str_radix(hex, 16)
-                                    .map_err(|e| format!("bad \\u escape {hex:?}: {e}"))?;
-                                // BMP scalars only — the emitter never
-                                // writes surrogate pairs.
-                                s.push(
-                                    char::from_u32(code)
-                                        .ok_or(format!("invalid \\u code point {code:#x}"))?,
-                                );
-                                *pos += 4;
-                            }
-                            other => return Err(format!("unsupported escape {other:?}")),
-                        }
-                        *pos += 1;
-                    }
-                    Some(&c) => {
-                        // Multi-byte UTF-8 passes through byte by byte; the
-                        // input came from a &str so it is valid UTF-8.
-                        let start = *pos;
-                        let mut end = *pos + 1;
-                        if c >= 0x80 {
-                            while end < b.len() && b[end] & 0xC0 == 0x80 {
-                                end += 1;
-                            }
-                        }
-                        s.push_str(std::str::from_utf8(&b[start..end]).map_err(|e| e.to_string())?);
-                        *pos = end;
-                    }
-                }
-            }
-        }
-        Some(b't') if b[*pos..].starts_with(b"true") => {
-            *pos += 4;
-            Ok(Json::Bool(true))
-        }
-        Some(b'f') if b[*pos..].starts_with(b"false") => {
-            *pos += 5;
-            Ok(Json::Bool(false))
-        }
-        Some(b'n') if b[*pos..].starts_with(b"null") => {
-            *pos += 4;
-            Ok(Json::Null)
-        }
-        Some(_) => {
-            let start = *pos;
-            while *pos < b.len()
-                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-            {
-                *pos += 1;
-            }
-            let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
-            s.parse::<f64>()
-                .map(Json::Num)
-                .map_err(|e| format!("bad number {s:?}: {e}"))
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn emit_parse_round_trip() {
-        let v = Json::Object(vec![
-            ("a".into(), Json::Num(1.5)),
-            ("b".into(), Json::Str("x \"y\" \\z \t \r \n \u{1} é".into())),
-            (
-                "c".into(),
-                Json::Array(vec![Json::Bool(true), Json::Null, Json::Num(-3.0)]),
-            ),
-            ("d".into(), Json::Object(vec![])),
-            ("e".into(), Json::Array(vec![])),
-        ]);
-        let mut text = String::new();
-        v.render(&mut text, 0);
-        assert_eq!(parse(&text).unwrap(), v);
-    }
-
-    #[test]
-    fn parse_rejects_garbage() {
-        assert!(parse("{").is_err());
-        assert!(parse("[1, 2,]").is_err());
-        assert!(parse("12 34").is_err());
-        assert!(parse("\"open").is_err());
-    }
-
-    #[test]
-    fn numbers_round_trip_precisely() {
-        for x in [0.0, 1.0, -1.0, 123456789.0, 1.25e-9, 6.02e23, 0.1 + 0.2] {
-            let mut s = String::new();
-            Json::Num(x).render(&mut s, 0);
-            assert_eq!(parse(&s).unwrap().as_num().unwrap(), x, "{s}");
-        }
-    }
 
     #[test]
     fn update_merges_sections() {

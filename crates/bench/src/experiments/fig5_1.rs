@@ -9,14 +9,15 @@
 
 use crate::params::{fig5_machine, SO_FIG5_1, W_FIG5_1};
 use crate::ExpResult;
-use lopc_core::{AllToAll, Machine};
+use lopc_core::{scenario, AllToAll, Machine, Scenario};
 use lopc_report::{Figure, Series};
 use lopc_solver::par_map;
 
-/// Contention fraction predicted by LoPC at one `(So, C²)` point.
+/// Contention fraction predicted by LoPC at one `(So, C²)` point, through
+/// the unified scenario dispatch.
 pub fn contention_fraction(machine: Machine, w: f64) -> f64 {
-    let sol = AllToAll::new(machine, w).solve().expect("solvable");
-    sol.contention / sol.r
+    let pred = scenario::solve(&Scenario::AllToAll { machine, w }).expect("solvable");
+    pred.contention / pred.r
 }
 
 /// Regenerate the figure. The figure is a pure model prediction (the thesis

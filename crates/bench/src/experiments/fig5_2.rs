@@ -7,12 +7,11 @@
 //! claim: measurements sit between the bounds and within ~6 % of the LoPC
 //! curve.
 
-use crate::experiments::{reps, window};
+use crate::experiments::{mean_ci, measure, window};
 use crate::params::{fig5_machine, W_GRID};
 use crate::ExpResult;
-use lopc_core::AllToAll;
+use lopc_core::{scenario, AllToAll, Scenario};
 use lopc_report::{ComparisonTable, Figure, Series};
-use lopc_sim::run_replications;
 use lopc_solver::par_map;
 use lopc_workloads::AllToAllWorkload;
 
@@ -22,8 +21,12 @@ pub fn run(quick: bool) -> ExpResult {
     let machine = fig5_machine();
     let ws: Vec<f64> = W_GRID.to_vec();
 
+    // Model curve through the unified scenario dispatch (identical to
+    // AllToAll::solve — the scenario tests pin that).
     let model = Series::from_fn("LoPC", &ws, |w| {
-        AllToAll::new(machine, w).solve().unwrap().r
+        scenario::solve(&Scenario::AllToAll { machine, w })
+            .unwrap()
+            .r
     });
     let lower = Series::from_fn("lower bound (W+2St+2So)", &ws, |w| {
         AllToAll::new(machine, w).contention_free()
@@ -32,18 +35,29 @@ pub fn run(quick: bool) -> ExpResult {
         AllToAll::new(machine, w).upper_bound()
     });
 
-    let sim_points: Vec<(f64, f64)> = par_map(&ws, |&w| {
+    // Simulator measurements under the sequential stopping rule, with the
+    // 95 % half-width kept for the table's error-bar column.
+    let sim_points: Vec<(f64, f64, f64)> = par_map(&ws, |&w| {
         let wl = AllToAllWorkload::new(machine, w).with_window(window(quick));
-        let r = run_replications(&wl.sim_config(1000 + w as u64), reps(quick))
-            .expect("valid config")
-            .mean_r();
-        (w, r.mean)
+        let reps = measure(&wl.sim_config(1000 + w as u64), quick, |r| {
+            r.aggregate.mean_r
+        });
+        let (mean, hw) = mean_ci(&reps, |r| r.aggregate.mean_r);
+        (w, mean, hw)
     });
-    let sim = Series::new("simulator", sim_points);
+    let sim = Series::new(
+        "simulator",
+        sim_points.iter().map(|&(w, r, _)| (w, r)).collect(),
+    );
 
     let mut cmp = ComparisonTable::new("all-to-all response time R (LoPC vs simulator)");
     for (i, &w) in ws.iter().enumerate() {
-        cmp.push(format!("W={w:.0}"), model.points[i].1, sim.points[i].1);
+        cmp.push_ci(
+            format!("W={w:.0}"),
+            model.points[i].1,
+            sim_points[i].1,
+            sim_points[i].2,
+        );
     }
     result.note(format!(
         "paper: LoPC within ~6% of simulation, pessimistic; measured: max |err| {:.1}%, \
@@ -105,5 +119,14 @@ mod tests {
             "max err {:.1}%",
             r.tables[0].max_abs_err() * 100.0
         );
+    }
+
+    #[test]
+    fn every_measurement_carries_an_error_bar() {
+        let r = run(true);
+        for row in &r.tables[0].rows {
+            let hw = row.half_width.expect("replication CI recorded");
+            assert!(hw.is_finite() && hw >= 0.0, "{}: hw {hw}", row.label);
+        }
     }
 }

@@ -7,12 +7,11 @@
 //! (`Ry − So`), for both the model and the simulator. The §5.3 headline: to
 //! a first approximation the total is one extra handler time (~200 cycles).
 
-use crate::experiments::{reps, window};
+use crate::experiments::{mean_ci, measure, window};
 use crate::params::{fig5_machine, SO_FIG5, W_GRID};
 use crate::ExpResult;
 use lopc_core::AllToAll;
 use lopc_report::{ComparisonTable, Figure, Series};
-use lopc_sim::run_replications;
 use lopc_solver::par_map;
 use lopc_workloads::AllToAllWorkload;
 
@@ -33,6 +32,8 @@ pub struct Components {
     pub sim_rq: f64,
     /// Simulated `Ry − So`.
     pub sim_ry: f64,
+    /// 95 % half-width of the simulated *total* contention.
+    pub sim_total_hw: f64,
 }
 
 impl Components {
@@ -53,10 +54,17 @@ pub fn components(quick: bool) -> Vec<Components> {
     par_map(&W_GRID, |&w| {
         let sol = AllToAll::new(machine, w).solve().unwrap();
         let wl = AllToAllWorkload::new(machine, w).with_window(window(quick));
-        let sim = run_replications(&wl.sim_config(2000 + w as u64), reps(quick)).unwrap();
+        // Precision is driven on R; the component means and the total's
+        // half-width come from the same replication set.
+        let sim = measure(&wl.sim_config(2000 + w as u64), quick, |r| {
+            r.aggregate.mean_r
+        });
         let rw = sim.stat(|r| r.aggregate.mean_rw).mean;
         let rq = sim.stat(|r| r.aggregate.mean_rq).mean;
         let ry = sim.stat(|r| r.aggregate.mean_ry).mean;
+        let (_, total_hw) = mean_ci(&sim, |r| {
+            r.aggregate.mean_rw + r.aggregate.mean_rq + r.aggregate.mean_ry
+        });
         Components {
             w,
             model_rw: sol.rw - w,
@@ -65,6 +73,7 @@ pub fn components(quick: bool) -> Vec<Components> {
             sim_rw: rw - w,
             sim_rq: rq - SO_FIG5,
             sim_ry: ry - SO_FIG5,
+            sim_total_hw: total_hw,
         }
     })
 }
@@ -93,7 +102,12 @@ pub fn run(quick: bool) -> ExpResult {
 
     let mut cmp = ComparisonTable::new("total contention (LoPC vs simulator)");
     for c in &comps {
-        cmp.push(format!("W={:.0}", c.w), c.model_total(), c.sim_total());
+        cmp.push_ci(
+            format!("W={:.0}", c.w),
+            c.model_total(),
+            c.sim_total(),
+            c.sim_total_hw,
+        );
     }
 
     let mid = &comps[comps.len() / 2];

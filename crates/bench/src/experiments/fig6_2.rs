@@ -7,38 +7,59 @@
 //! closed-form optimum marker. Shape claims: unimodal curve, LoPC
 //! conservative by ≤ ~3 %, the closed form lands on the simulated optimum.
 
-use crate::experiments::{reps, window};
+use crate::experiments::{mean_ci, measure, window};
 use crate::params::{fig6_machine, W_FIG6};
 use crate::ExpResult;
-use lopc_core::ClientServer;
+use lopc_core::{scenario, ClientServer, Scenario};
 use lopc_report::{ComparisonTable, Figure, Series};
-use lopc_sim::run_replications;
 use lopc_solver::par_map;
 use lopc_workloads::Workpile;
 
 /// One throughput curve: `(Ps, X)` points.
 pub type Curve = Vec<(f64, f64)>;
 
-/// Simulated and modelled throughput at every server count.
-pub fn sweep(quick: bool) -> (Curve, Curve) {
+/// 95 % half-widths alongside a simulated curve, by Ps.
+pub type CurveCi = Vec<(f64, f64, f64)>;
+
+/// Simulated (with half-widths) and modelled throughput at every server
+/// count.
+pub fn sweep_ci(quick: bool) -> (Curve, CurveCi) {
     let machine = fig6_machine();
-    let model = ClientServer::new(machine, W_FIG6);
     let ps_grid: Vec<usize> = (1..machine.p).collect();
 
+    // Model curve through the unified scenario dispatch.
     let model_pts: Vec<(f64, f64)> = ps_grid
         .iter()
-        .map(|&ps| (ps as f64, model.throughput(ps).unwrap().x))
+        .map(|&ps| {
+            let x = scenario::solve(&Scenario::ClientServer {
+                machine,
+                w: W_FIG6,
+                ps: Some(ps),
+            })
+            .unwrap()
+            .x;
+            (ps as f64, x)
+        })
         .collect();
 
-    let sim_pts: Vec<(f64, f64)> = par_map(&ps_grid, |&ps| {
+    let sim_pts: Vec<(f64, f64, f64)> = par_map(&ps_grid, |&ps| {
         let wl = Workpile::new(machine, W_FIG6, ps).with_window(window(quick));
-        let x = run_replications(&wl.sim_config(4000 + ps as u64), reps(quick))
-            .unwrap()
-            .throughput()
-            .mean;
-        (ps as f64, x)
+        let reps = measure(&wl.sim_config(4000 + ps as u64), quick, |r| {
+            r.aggregate.throughput
+        });
+        let (x, hw) = mean_ci(&reps, |r| r.aggregate.throughput);
+        (ps as f64, x, hw)
     });
     (model_pts, sim_pts)
+}
+
+/// Simulated and modelled throughput curves (means only).
+pub fn sweep(quick: bool) -> (Curve, Curve) {
+    let (model_pts, sim_pts) = sweep_ci(quick);
+    (
+        model_pts,
+        sim_pts.into_iter().map(|(ps, x, _)| (ps, x)).collect(),
+    )
 }
 
 /// Regenerate the figure.
@@ -46,7 +67,8 @@ pub fn run(quick: bool) -> ExpResult {
     let mut result = ExpResult::new("fig6_2");
     let machine = fig6_machine();
     let model = ClientServer::new(machine, W_FIG6);
-    let (model_pts, sim_pts) = sweep(quick);
+    let (model_pts, sim_ci) = sweep_ci(quick);
+    let sim_pts: Curve = sim_ci.iter().map(|&(ps, x, _)| (ps, x)).collect();
 
     let ps_f: Vec<f64> = model_pts.iter().map(|&(x, _)| x).collect();
     let server_bound = Series::from_fn("LogP server bound Ps/So", &ps_f, |ps| {
@@ -61,8 +83,8 @@ pub fn run(quick: bool) -> ExpResult {
     let marker = Series::new("eq. 6.8 optimum", vec![(opt as f64, opt_x)]);
 
     let mut cmp = ComparisonTable::new("work-pile throughput X (LoPC vs simulator)");
-    for (m, s) in model_pts.iter().zip(&sim_pts) {
-        cmp.push(format!("Ps={:.0}", m.0), m.1, s.1);
+    for (m, s) in model_pts.iter().zip(&sim_ci) {
+        cmp.push_ci(format!("Ps={:.0}", m.0), m.1, s.1, s.2);
     }
 
     let sim_opt = sim_pts.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0 as usize;

@@ -6,12 +6,11 @@
 //! appear in coherence protocols (requester → home → owner); hotspots appear
 //! whenever a hash distributes work unevenly.
 
-use crate::experiments::{reps, window};
+use crate::experiments::{mean_ci, measure, window};
 use crate::params::{P, ST};
 use crate::ExpResult;
-use lopc_core::Machine;
+use lopc_core::{scenario, Machine, Scenario};
 use lopc_report::{ComparisonTable, Figure, Series};
-use lopc_sim::run_replications;
 use lopc_solver::par_map;
 use lopc_workloads::{Forwarding, Hotspot};
 
@@ -26,52 +25,54 @@ pub fn run(quick: bool) -> ExpResult {
     let mut result = ExpResult::new("general");
     let machine = Machine::new(P, ST, SO).with_c2(0.0);
 
-    // Multi-hop sweep.
+    // Multi-hop sweep; the model side goes through the unified scenario
+    // dispatch (Scenario::General wraps the workload's routing matrix).
     let hops_grid = [1u32, 2, 3, 4];
-    let hop_pts: Vec<(u32, f64, f64)> = par_map(&hops_grid, |&hops| {
+    let hop_pts: Vec<(u32, f64, f64, f64)> = par_map(&hops_grid, |&hops| {
         let wl = Forwarding::new(machine, W, hops).with_window(window(quick));
-        let model = wl.model().solve().unwrap().r[0];
-        let sim = run_replications(&wl.sim_config(7000 + hops as u64), reps(quick))
-            .unwrap()
-            .mean_r()
-            .mean;
-        (hops, model, sim)
+        let model = scenario::solve(&Scenario::General(wl.model())).unwrap().r;
+        let sim = measure(&wl.sim_config(7000 + hops as u64), quick, |r| {
+            r.aggregate.mean_r
+        });
+        let (sim_r, sim_hw) = mean_ci(&sim, |r| r.aggregate.mean_r);
+        (hops, model, sim_r, sim_hw)
     });
 
     let mut cmp_hops = ComparisonTable::new("multi-hop response R (general model vs simulator)");
-    for &(hops, model, sim) in &hop_pts {
-        cmp_hops.push(format!("hops={hops}"), model, sim);
+    for &(hops, model, sim, hw) in &hop_pts {
+        cmp_hops.push_ci(format!("hops={hops}"), model, sim, hw);
     }
 
-    // Hotspot sweep.
+    // Hotspot sweep (per-node asymmetric quantities need the raw
+    // GeneralSolution, so this one keeps the direct solve).
     let hot_grid = [0.05f64, 0.1, 0.2];
-    let hot_pts: Vec<(f64, f64, f64, f64, f64)> = par_map(&hot_grid, |&hot| {
+    let hot_pts: Vec<(f64, f64, f64, f64, f64, f64)> = par_map(&hot_grid, |&hot| {
         let wl = Hotspot::new(machine, 2.0 * W, hot).with_window(window(quick));
         let sol = wl.model().solve().unwrap();
-        let sim =
-            run_replications(&wl.sim_config(8000 + (hot * 100.0) as u64), reps(quick)).unwrap();
+        let sim = measure(&wl.sim_config(8000 + (hot * 100.0) as u64), quick, |r| {
+            r.aggregate.mean_r
+        });
         // Thread-weighted mean response (the model averages per-thread R
         // equally; the pooled cycle mean would be harmonically weighted
         // toward fast threads).
-        let sim_r = sim
-            .stat(|r| {
-                let rs: Vec<f64> = r
-                    .nodes
-                    .iter()
-                    .filter(|n| n.cycles > 0)
-                    .map(|n| n.mean_r)
-                    .collect();
-                rs.iter().sum::<f64>() / rs.len() as f64
-            })
-            .mean;
+        let thread_mean = |r: &lopc_sim::SimReport| {
+            let rs: Vec<f64> = r
+                .nodes
+                .iter()
+                .filter(|n| n.cycles > 0)
+                .map(|n| n.mean_r)
+                .collect();
+            rs.iter().sum::<f64>() / rs.len() as f64
+        };
+        let (sim_r, sim_r_hw) = mean_ci(&sim, thread_mean);
         let sim_uq0 = sim.stat(|r| r.nodes[0].uq).mean;
-        (hot, sol.mean_r(), sim_r, sol.uq[0], sim_uq0)
+        (hot, sol.mean_r(), sim_r, sol.uq[0], sim_uq0, sim_r_hw)
     });
 
     let mut cmp_hot = ComparisonTable::new("hotspot mean response R (general model vs simulator)");
     let mut cmp_hot_u = ComparisonTable::new("hotspot node-0 utilisation Uq (model vs simulator)");
-    for &(hot, model_r, sim_r, model_u, sim_u) in &hot_pts {
-        cmp_hot.push(format!("hot={hot:.1}"), model_r, sim_r);
+    for &(hot, model_r, sim_r, model_u, sim_u, sim_r_hw) in &hot_pts {
+        cmp_hot.push_ci(format!("hot={hot:.1}"), model_r, sim_r, sim_r_hw);
         cmp_hot_u.push(format!("hot={hot:.1}"), model_u, sim_u);
     }
 
@@ -93,11 +94,11 @@ pub fn run(quick: bool) -> ExpResult {
     )
     .with_series(Series::new(
         "general model",
-        hop_pts.iter().map(|&(h, m, _)| (h as f64, m)).collect(),
+        hop_pts.iter().map(|&(h, m, _, _)| (h as f64, m)).collect(),
     ))
     .with_series(Series::new(
         "simulator",
-        hop_pts.iter().map(|&(h, _, s)| (h as f64, s)).collect(),
+        hop_pts.iter().map(|&(h, _, s, _)| (h as f64, s)).collect(),
     ));
 
     result.figures.push(fig);

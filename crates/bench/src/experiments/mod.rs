@@ -1,5 +1,13 @@
 //! One module per reproduced table/figure. See the crate docs and DESIGN.md
 //! for the experiment index.
+//!
+//! Simulator measurements run under the sequential stopping rule
+//! ([`rule`]) — replications are added until the 95 % CI is tight enough or
+//! the cap strikes — and every model-vs-sim comparison row records the CI
+//! half-width through `ComparisonTable::push_ci`, so regenerated figures
+//! carry error bars. Model curves dispatch through the unified
+//! `lopc_core::scenario` API wherever the scenario enum can express them,
+//! the same entry point `lopc-serve` answers from.
 
 pub mod fig5_1;
 pub mod fig5_2;
@@ -12,6 +20,8 @@ pub mod rule_of_thumb;
 pub mod shared_mem;
 pub mod tab5_err;
 
+use lopc_sim::{run_until_precision, Replications, SimConfig};
+use lopc_stats::{Confidence, StoppingRule, Summary};
 use lopc_workloads::Window;
 
 /// Measurement window used by the experiments: generous in the real harness,
@@ -27,11 +37,48 @@ pub fn window(quick: bool) -> Window {
     }
 }
 
-/// Replication count for simulator measurements.
-pub fn reps(quick: bool) -> usize {
+/// Sequential stopping rule for simulator measurements: the default ±3 %
+/// 95 % rule (5–16 replications) in the real harness; a 2–3 replication
+/// ±5 % budget in quick mode, so debug-build tests still get an interval
+/// (a single run has none) without simulating for minutes.
+pub fn rule(quick: bool) -> StoppingRule {
     if quick {
-        1
+        StoppingRule::default()
+            .with_rel_precision(0.05)
+            .with_reps(2, 3)
     } else {
-        4
+        StoppingRule::default()
+    }
+}
+
+/// Replicate `cfg` under [`rule`] for the statistic `stat` and return the
+/// replication set — the shared measurement recipe of every experiment.
+pub fn measure(
+    cfg: &SimConfig,
+    quick: bool,
+    stat: impl Fn(&lopc_sim::SimReport) -> f64,
+) -> Replications {
+    run_until_precision(cfg, &rule(quick), stat).expect("valid config")
+}
+
+/// `(mean, 95 % half-width)` of a statistic over a replication set — the
+/// pair `ComparisonTable::push_ci` wants.
+pub fn mean_ci(reps: &Replications, stat: impl Fn(&lopc_sim::SimReport) -> f64) -> (f64, f64) {
+    let s: Summary = reps.summary(stat);
+    (s.mean, s.half_width(Confidence::P95))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_rule_is_bounded_and_real_rule_is_default() {
+        let q = rule(true);
+        assert!(q.min_reps >= 2, "quick mode still produces an interval");
+        assert!(q.max_reps <= 3, "quick mode stays cheap");
+        let r = rule(false);
+        assert_eq!(r.min_reps, StoppingRule::default().min_reps);
+        assert_eq!(r.max_reps, StoppingRule::default().max_reps);
     }
 }

@@ -7,11 +7,10 @@
 //! are no paper numbers to match — the table documents the extension's
 //! accuracy envelope instead.
 
-use crate::experiments::{reps, window};
+use crate::experiments::{mean_ci, measure, window};
 use crate::ExpResult;
-use lopc_core::{ForkJoin, Machine};
+use lopc_core::{scenario, Machine, Scenario};
 use lopc_report::{ComparisonTable, Figure, Series};
-use lopc_sim::run_replications;
 use lopc_solver::par_map;
 use lopc_workloads::BulkSync;
 
@@ -21,25 +20,27 @@ pub const K_GRID: [u32; 4] = [1, 2, 4, 8];
 /// Work between batches.
 pub const W: f64 = 2000.0;
 
-/// Run the sweep: per k, (model R, sim R, sim speedup vs serialised issue).
-pub fn sweep(quick: bool) -> Vec<(u32, f64, f64, f64)> {
+/// Run the sweep: per k, (model R, sim R, sim speedup vs serialised issue,
+/// 95 % half-width of sim R).
+pub fn sweep(quick: bool) -> Vec<(u32, f64, f64, f64, f64)> {
     let machine = Machine::new(32, 25.0, 200.0).with_c2(0.0);
     par_map(&K_GRID, |&k| {
         let wl = BulkSync::new(machine, W, k).with_window(window(quick));
-        let model = ForkJoin::new(machine, W, k).solve().unwrap().r;
-        let sim = run_replications(&wl.sim_config(9000 + k as u64), reps(quick))
+        let model = scenario::solve(&Scenario::ForkJoin { machine, w: W, k })
             .unwrap()
-            .mean_r()
-            .mean;
+            .r;
+        let reps = measure(&wl.sim_config(9000 + k as u64), quick, |r| {
+            r.aggregate.mean_r
+        });
+        let (sim, sim_hw) = mean_ci(&reps, |r| r.aggregate.mean_r);
         // Serial baseline: k blocking cycles of W/k work each.
         let serial_wl =
             lopc_workloads::AllToAllWorkload::new(machine, W / k as f64).with_window(window(quick));
-        let serial = run_replications(&serial_wl.sim_config(9100 + k as u64), reps(quick))
-            .unwrap()
-            .mean_r()
-            .mean
-            * k as f64;
-        (k, model, sim, serial / sim)
+        let serial_reps = measure(&serial_wl.sim_config(9100 + k as u64), quick, |r| {
+            r.aggregate.mean_r
+        });
+        let serial = serial_reps.mean_r().mean * k as f64;
+        (k, model, sim, serial / sim, sim_hw)
     })
 }
 
@@ -49,8 +50,8 @@ pub fn run(quick: bool) -> ExpResult {
     let pts = sweep(quick);
 
     let mut cmp = ComparisonTable::new("fork-join response R (extension model vs simulator)");
-    for &(k, model, sim, _) in &pts {
-        cmp.push(format!("k={k}"), model, sim);
+    for &(k, model, sim, _, sim_hw) in &pts {
+        cmp.push_ci(format!("k={k}"), model, sim, sim_hw);
     }
 
     let fig = Figure::new(
@@ -60,11 +61,11 @@ pub fn run(quick: bool) -> ExpResult {
     )
     .with_series(Series::new(
         "fork-join model",
-        pts.iter().map(|&(k, m, _, _)| (k as f64, m)).collect(),
+        pts.iter().map(|&(k, m, _, _, _)| (k as f64, m)).collect(),
     ))
     .with_series(Series::new(
         "simulator",
-        pts.iter().map(|&(k, _, s, _)| (k as f64, s)).collect(),
+        pts.iter().map(|&(k, _, s, _, _)| (k as f64, s)).collect(),
     ));
 
     let last = pts.last().unwrap();
@@ -89,7 +90,7 @@ mod tests {
     #[test]
     fn model_accuracy_envelope() {
         let pts = sweep(true);
-        for &(k, model, sim, _) in &pts {
+        for &(k, model, sim, _, _) in &pts {
             let err = (model - sim).abs() / sim;
             let tol = if k <= 2 { 0.10 } else { 0.15 };
             assert!(

@@ -7,12 +7,11 @@
 //! motivates: sweep handler occupancy `So` and compare message-passing vs
 //! protocol-processor response times — model against simulator for both.
 
-use crate::experiments::{reps, window};
+use crate::experiments::{mean_ci, measure, window};
 use crate::params::{P, ST};
 use crate::ExpResult;
-use lopc_core::{GeneralModel, Machine};
+use lopc_core::{scenario, GeneralModel, Machine, Scenario};
 use lopc_report::{ComparisonTable, Figure, Series};
-use lopc_sim::run_replications;
 use lopc_solver::par_map;
 use lopc_workloads::AllToAllWorkload;
 
@@ -36,39 +35,46 @@ pub struct SharedMemPoint {
     pub sim_mp: f64,
     /// Protocol-processor simulated response.
     pub sim_pp: f64,
+    /// 95 % half-width of the message-passing measurement.
+    pub sim_mp_hw: f64,
+    /// 95 % half-width of the protocol-processor measurement.
+    pub sim_pp_hw: f64,
 }
 
 /// Run the sweep.
 pub fn sweep(quick: bool) -> Vec<SharedMemPoint> {
     par_map(&SO_GRID, |&so| {
         let machine = Machine::new(P, ST, so).with_c2(0.0);
-        let model_mp = GeneralModel::homogeneous_all_to_all(machine, W)
-            .solve()
-            .unwrap()
-            .r[0];
-        let model_pp = GeneralModel::homogeneous_all_to_all(machine, W)
-            .with_protocol_processor()
-            .solve()
-            .unwrap()
-            .r[0];
-        let wl = AllToAllWorkload::new(machine, W).with_window(window(quick));
-        let sim_mp = run_replications(&wl.sim_config(5000 + so as u64), reps(quick))
-            .unwrap()
-            .mean_r()
-            .mean;
-        let sim_pp = run_replications(
-            &wl.sim_config_protocol_processor(6000 + so as u64),
-            reps(quick),
-        )
+        // Both variants through the unified scenario dispatch: the general
+        // model for message passing (the §5.1 study compares like with
+        // like), the shared-memory scenario for the protocol processor.
+        let model_mp = scenario::solve(&Scenario::General(GeneralModel::homogeneous_all_to_all(
+            machine, W,
+        )))
         .unwrap()
-        .mean_r()
-        .mean;
+        .r;
+        let model_pp = scenario::solve(&Scenario::SharedMemory { machine, w: W })
+            .unwrap()
+            .r;
+        let wl = AllToAllWorkload::new(machine, W).with_window(window(quick));
+        let mp = measure(&wl.sim_config(5000 + so as u64), quick, |r| {
+            r.aggregate.mean_r
+        });
+        let (sim_mp, sim_mp_hw) = mean_ci(&mp, |r| r.aggregate.mean_r);
+        let pp = measure(
+            &wl.sim_config_protocol_processor(6000 + so as u64),
+            quick,
+            |r| r.aggregate.mean_r,
+        );
+        let (sim_pp, sim_pp_hw) = mean_ci(&pp, |r| r.aggregate.mean_r);
         SharedMemPoint {
             so,
             model_mp,
             model_pp,
             sim_mp,
             sim_pp,
+            sim_mp_hw,
+            sim_pp_hw,
         }
     })
 }
@@ -103,8 +109,8 @@ pub fn run(quick: bool) -> ExpResult {
     let mut cmp_mp = ComparisonTable::new("message-passing R (LoPC vs simulator)");
     let mut cmp_pp = ComparisonTable::new("protocol-processor R (LoPC vs simulator)");
     for p in &pts {
-        cmp_mp.push(format!("So={:.0}", p.so), p.model_mp, p.sim_mp);
-        cmp_pp.push(format!("So={:.0}", p.so), p.model_pp, p.sim_pp);
+        cmp_mp.push_ci(format!("So={:.0}", p.so), p.model_mp, p.sim_mp, p.sim_mp_hw);
+        cmp_pp.push_ci(format!("So={:.0}", p.so), p.model_pp, p.sim_pp, p.sim_pp_hw);
     }
 
     let last = pts.last().unwrap();

@@ -8,12 +8,11 @@
 //!   at `W = 0`, and its absolute error (~one handler) stays constant, so
 //!   it is still ~13 % wrong at `W = 1024`.
 
-use crate::experiments::{reps, window};
+use crate::experiments::{mean_ci, measure, window};
 use crate::params::{fig5_machine, SO_FIG5};
 use crate::ExpResult;
 use lopc_core::AllToAll;
 use lopc_report::{pct_err, ComparisonTable};
-use lopc_sim::run_replications;
 use lopc_solver::par_map;
 use lopc_workloads::AllToAllWorkload;
 
@@ -30,6 +29,10 @@ pub struct ErrPoint {
     pub lopc_ry_err: f64,
     /// Contention-free (LogP) total-response error vs simulation (signed).
     pub logp_r_err: f64,
+    /// Simulated mean response time.
+    pub sim_r: f64,
+    /// 95 % half-width of the simulated response time.
+    pub sim_r_hw: f64,
 }
 
 /// Measure errors across a W grid including the worst case `W = 0`.
@@ -40,8 +43,10 @@ pub fn error_sweep(quick: bool) -> Vec<ErrPoint> {
         let sol = AllToAll::new(machine, w).solve().unwrap();
         let cf = machine.contention_free_response(w);
         let wl = AllToAllWorkload::new(machine, w).with_window(window(quick));
-        let sim = run_replications(&wl.sim_config(3000 + w as u64), reps(quick)).unwrap();
-        let r_sim = sim.mean_r().mean;
+        let sim = measure(&wl.sim_config(3000 + w as u64), quick, |r| {
+            r.aggregate.mean_r
+        });
+        let (r_sim, r_hw) = mean_ci(&sim, |r| r.aggregate.mean_r);
         let ry_sim = sim.stat(|r| r.aggregate.mean_ry).mean;
         let c_sim = r_sim - cf;
         ErrPoint {
@@ -50,6 +55,8 @@ pub fn error_sweep(quick: bool) -> Vec<ErrPoint> {
             lopc_c_err: pct_err(sol.contention, c_sim),
             lopc_ry_err: pct_err(sol.ry - SO_FIG5, ry_sim - SO_FIG5),
             logp_r_err: pct_err(cf, r_sim),
+            sim_r: r_sim,
+            sim_r_hw: r_hw,
         }
     })
 }
@@ -63,14 +70,13 @@ pub fn run(quick: bool) -> ExpResult {
     let mut logp = ComparisonTable::new("contention-free (LogP) total response error vs simulator");
     let machine = fig5_machine();
     for p in &points {
-        // Rebuild absolute values for the table rows.
         let sol = AllToAll::new(machine, p.w).solve().unwrap();
-        let sim_r = sol.r / (1.0 + p.lopc_r_err);
-        lopc.push(format!("W={:.0}", p.w), sol.r, sim_r);
-        logp.push(
+        lopc.push_ci(format!("W={:.0}", p.w), sol.r, p.sim_r, p.sim_r_hw);
+        logp.push_ci(
             format!("W={:.0}", p.w),
             machine.contention_free_response(p.w),
-            sim_r,
+            p.sim_r,
+            p.sim_r_hw,
         );
     }
 

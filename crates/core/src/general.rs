@@ -23,7 +23,7 @@ use crate::params::Machine;
 use lopc_solver::{solve_damped, FixedPointOptions};
 
 /// The general model input.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GeneralModel {
     /// Architectural parameters.
     pub machine: Machine,

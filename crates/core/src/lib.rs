@@ -35,6 +35,11 @@
 //! compute-thread interference, and the residual-life `(C²−1)/2 · U`
 //! correction for non-exponential handlers (§5.2).
 //!
+//! The [`scenario`] module unifies the four variants behind one data type:
+//! [`Scenario`] describes a prediction request, [`scenario::solve`] returns
+//! the common [`Prediction`] shape — the entry point the `lopc-serve`
+//! prediction service and the bench experiments dispatch through.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -60,6 +65,7 @@ pub mod fork_join;
 pub mod general;
 pub mod logp;
 pub mod params;
+pub mod scenario;
 
 pub use all_to_all::{AllToAll, AllToAllSolution};
 pub use client_server::{ClientServer, CsPoint};
@@ -68,6 +74,7 @@ pub use fork_join::{ForkJoin, ForkJoinSolution};
 pub use general::{GeneralModel, GeneralSolution};
 pub use logp::LogPParams;
 pub use params::{Algorithm, Machine};
+pub use scenario::{solve, Prediction, Scenario};
 
 #[cfg(test)]
 mod tests {

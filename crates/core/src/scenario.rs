@@ -1,0 +1,412 @@
+//! The unified scenario API: one request representation and one entry point
+//! for every LoPC model variant.
+//!
+//! The four model types ([`AllToAll`], [`ClientServer`], [`GeneralModel`],
+//! [`ForkJoin`]) each expose their own constructor and solution type — the
+//! right interface for writing analysis code, but the wrong one for a
+//! serving layer, a cache, or any caller that receives "a prediction
+//! request" at runtime. [`Scenario`] is the closed data description of such
+//! a request, [`Prediction`] the common result shape, and [`solve`] the
+//! single dispatch that maps one to the other. `lopc-serve` builds its wire
+//! schema, cache keys and endpoints directly on these types, and the bench
+//! experiments use the same dispatch so the service answers are the
+//! library's answers by construction.
+//!
+//! # Example
+//!
+//! ```
+//! use lopc_core::scenario::{solve, Scenario};
+//! use lopc_core::Machine;
+//!
+//! let machine = Machine::new(32, 25.0, 200.0).with_c2(0.0);
+//! let pred = solve(&Scenario::AllToAll { machine, w: 1000.0 }).unwrap();
+//! // Identical to AllToAll::new(machine, 1000.0).solve().
+//! assert!(pred.r > machine.contention_free_response(1000.0));
+//! ```
+
+use crate::all_to_all::AllToAll;
+use crate::client_server::ClientServer;
+use crate::error::ModelError;
+use crate::fork_join::ForkJoin;
+use crate::general::GeneralModel;
+use crate::params::Machine;
+
+/// One prediction request: which model variant, with which parameters.
+///
+/// The enum is the single source of truth for the serving layer's wire
+/// schema (`lopc-serve` encodes exactly these fields) and for cache-key
+/// derivation, so new variants added here flow to the service by extending
+/// one `match` per layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Scenario {
+    /// Homogeneous all-to-all (§5 closed form).
+    AllToAll {
+        /// Architectural parameters.
+        machine: Machine,
+        /// Work between requests.
+        w: f64,
+    },
+    /// Work-pile client–server (§6) at an explicit split, or at the eq. 6.8
+    /// optimum when `ps` is `None`.
+    ClientServer {
+        /// Architectural parameters (`P` is the total node count).
+        machine: Machine,
+        /// Work per chunk.
+        w: f64,
+        /// Server count; `None` solves at the optimal allocation.
+        ps: Option<usize>,
+    },
+    /// Fork-join fan-out of `k` overlapped requests per cycle (§7 extension).
+    ForkJoin {
+        /// Architectural parameters.
+        machine: Machine,
+        /// Work between request batches.
+        w: f64,
+        /// Requests per cycle.
+        k: u32,
+    },
+    /// The full Appendix A per-node AMVA with arbitrary routing.
+    General(GeneralModel),
+    /// Shared-memory variant (§5.1): homogeneous all-to-all on a machine
+    /// with per-node protocol processors (`Rw = W`).
+    SharedMemory {
+        /// Architectural parameters.
+        machine: Machine,
+        /// Work between requests.
+        w: f64,
+    },
+}
+
+impl Scenario {
+    /// Short stable name of the variant (wire `"kind"` field, metrics
+    /// labels).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Scenario::AllToAll { .. } => "all_to_all",
+            Scenario::ClientServer { .. } => "client_server",
+            Scenario::ForkJoin { .. } => "fork_join",
+            Scenario::General(_) => "general",
+            Scenario::SharedMemory { .. } => "shared_memory",
+        }
+    }
+
+    /// Validate without solving (the service rejects bad requests early).
+    pub fn validate(&self) -> Result<(), ModelError> {
+        match self {
+            Scenario::AllToAll { machine, w } => AllToAll::new(*machine, *w).validate(),
+            Scenario::ClientServer { machine, w, ps } => {
+                let model = ClientServer::new(*machine, *w);
+                model.validate()?;
+                if let Some(ps) = ps {
+                    if *ps == 0 || *ps >= machine.p {
+                        return Err(ModelError::InvalidParameter("ps must be in 1..=P-1"));
+                    }
+                }
+                Ok(())
+            }
+            Scenario::ForkJoin { machine, w, k } => ForkJoin::new(*machine, *w, *k).validate(),
+            Scenario::General(model) => model.validate(),
+            Scenario::SharedMemory { machine, w } => {
+                GeneralModel::homogeneous_all_to_all(*machine, *w)
+                    .with_protocol_processor()
+                    .validate()
+            }
+        }
+    }
+}
+
+/// The common shape of a solved scenario: the Figure 4-4 response-time
+/// decomposition plus throughput, for whichever variant produced it.
+///
+/// Components a variant does not define are `NaN` (`rw`/`rq`/`ry` for the
+/// multi-thread [`GeneralModel`] report only node-0 — the mean over nodes is
+/// in `r`); consumers must treat `NaN` as "not applicable", and the serve
+/// JSON codec encodes it as `null`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Prediction {
+    /// Mean cycle response time `R` (mean over active threads for the
+    /// general model).
+    pub r: f64,
+    /// System throughput `X` (cycles per unit time over the whole machine).
+    pub x: f64,
+    /// Compute residence `Rw`.
+    pub rw: f64,
+    /// Request-handler response `Rq`.
+    pub rq: f64,
+    /// Reply-handler response `Ry`.
+    pub ry: f64,
+    /// Contention cost `R − (contention-free R)`.
+    pub contention: f64,
+    /// Servers used (client-server scenarios only, else `None`).
+    pub ps: Option<usize>,
+    /// Solver iterations.
+    pub iterations: usize,
+}
+
+/// Solve one scenario through the variant's own entry point.
+///
+/// This is *the* dispatch: every number it returns is computed by the same
+/// code path a direct library call would take, so service answers and
+/// library answers are bit-identical (the `serve_vs_library` integration
+/// test pins this).
+pub fn solve(scenario: &Scenario) -> Result<Prediction, ModelError> {
+    match scenario {
+        Scenario::AllToAll { machine, w } => {
+            let sol = AllToAll::new(*machine, *w).solve()?;
+            Ok(Prediction {
+                r: sol.r,
+                x: machine.p as f64 * sol.x_per_node,
+                rw: sol.rw,
+                rq: sol.rq,
+                ry: sol.ry,
+                contention: sol.contention,
+                ps: None,
+                iterations: sol.iterations,
+            })
+        }
+        Scenario::ClientServer { machine, w, ps } => {
+            let model = ClientServer::new(*machine, *w);
+            let ps = match ps {
+                Some(ps) => *ps,
+                None => model.optimal_servers()?,
+            };
+            let pt = model.throughput(ps)?;
+            // Clients compute uninterrupted (Rw = W) and handle exactly one
+            // reply per cycle (Ry = So) in the §6 analysis.
+            Ok(Prediction {
+                r: pt.r,
+                x: pt.x,
+                rw: *w,
+                rq: pt.rq,
+                ry: machine.s_o,
+                contention: pt.r - machine.contention_free_response(*w),
+                ps: Some(ps),
+                iterations: 0,
+            })
+        }
+        Scenario::ForkJoin { machine, w, k } => {
+            let sol = ForkJoin::new(*machine, *w, *k).solve()?;
+            Ok(Prediction {
+                r: sol.r,
+                x: machine.p as f64 / sol.r,
+                rw: sol.rw,
+                rq: sol.rq,
+                ry: sol.ry,
+                contention: sol.r - ForkJoin::new(*machine, *w, *k).contention_free(),
+                ps: None,
+                iterations: sol.iterations,
+            })
+        }
+        Scenario::General(model) => {
+            let sol = model.solve()?;
+            Ok(Prediction {
+                r: sol.mean_r(),
+                x: sol.system_throughput(),
+                rw: f64::NAN,
+                rq: f64::NAN,
+                ry: f64::NAN,
+                contention: f64::NAN,
+                ps: None,
+                iterations: sol.iterations,
+            })
+        }
+        Scenario::SharedMemory { machine, w } => {
+            let sol = GeneralModel::homogeneous_all_to_all(*machine, *w)
+                .with_protocol_processor()
+                .solve()?;
+            // Homogeneous: every node is identical, so node 0 is the system.
+            Ok(Prediction {
+                r: sol.r[0],
+                x: sol.system_throughput(),
+                rw: sol.rw[0],
+                rq: sol.rq[0],
+                ry: sol.ry[0],
+                contention: sol.r[0] - machine.contention_free_response(*w),
+                ps: None,
+                iterations: sol.iterations,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(32, 25.0, 200.0).with_c2(0.0)
+    }
+
+    /// The dispatch is the direct call, number for number.
+    #[test]
+    fn all_to_all_matches_direct() {
+        let s = Scenario::AllToAll {
+            machine: machine(),
+            w: 1000.0,
+        };
+        let p = solve(&s).unwrap();
+        let direct = AllToAll::new(machine(), 1000.0).solve().unwrap();
+        assert_eq!(p.r, direct.r);
+        assert_eq!(p.rw, direct.rw);
+        assert_eq!(p.rq, direct.rq);
+        assert_eq!(p.ry, direct.ry);
+        assert_eq!(p.contention, direct.contention);
+        assert_eq!(p.x, 32.0 * direct.x_per_node);
+    }
+
+    #[test]
+    fn client_server_explicit_split_matches_direct() {
+        let s = Scenario::ClientServer {
+            machine: machine(),
+            w: 1000.0,
+            ps: Some(5),
+        };
+        let p = solve(&s).unwrap();
+        let direct = ClientServer::new(machine(), 1000.0).throughput(5).unwrap();
+        assert_eq!(p.r, direct.r);
+        assert_eq!(p.x, direct.x);
+        assert_eq!(p.rq, direct.rq);
+        assert_eq!(p.ps, Some(5));
+    }
+
+    #[test]
+    fn client_server_default_split_is_the_optimum() {
+        let s = Scenario::ClientServer {
+            machine: machine(),
+            w: 1000.0,
+            ps: None,
+        };
+        let p = solve(&s).unwrap();
+        let opt = ClientServer::new(machine(), 1000.0)
+            .optimal_servers()
+            .unwrap();
+        assert_eq!(p.ps, Some(opt));
+        assert_eq!(
+            p.x,
+            ClientServer::new(machine(), 1000.0)
+                .throughput(opt)
+                .unwrap()
+                .x
+        );
+    }
+
+    #[test]
+    fn fork_join_matches_direct() {
+        let s = Scenario::ForkJoin {
+            machine: machine(),
+            w: 2000.0,
+            k: 4,
+        };
+        let p = solve(&s).unwrap();
+        let direct = ForkJoin::new(machine(), 2000.0, 4).solve().unwrap();
+        assert_eq!(p.r, direct.r);
+        assert_eq!(p.rq, direct.rq);
+        assert_eq!(p.ry, direct.ry);
+    }
+
+    #[test]
+    fn general_matches_direct() {
+        let model = GeneralModel::client_server(machine(), 800.0, 4);
+        let s = Scenario::General(model.clone());
+        let p = solve(&s).unwrap();
+        let direct = model.solve().unwrap();
+        assert_eq!(p.r, direct.mean_r());
+        assert_eq!(p.x, direct.system_throughput());
+        assert!(p.rw.is_nan() && p.rq.is_nan() && p.ry.is_nan());
+    }
+
+    #[test]
+    fn shared_memory_is_the_protocol_processor_variant() {
+        let s = Scenario::SharedMemory {
+            machine: machine(),
+            w: 800.0,
+        };
+        let p = solve(&s).unwrap();
+        let direct = GeneralModel::homogeneous_all_to_all(machine(), 800.0)
+            .with_protocol_processor()
+            .solve()
+            .unwrap();
+        assert_eq!(p.r, direct.r[0]);
+        // Protocol processor: compute is never interrupted.
+        assert!((p.rw - 800.0).abs() < 1e-9);
+        // And it beats the message-passing variant.
+        let mp = solve(&Scenario::AllToAll {
+            machine: machine(),
+            w: 800.0,
+        })
+        .unwrap();
+        assert!(p.r < mp.r);
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        let m = machine();
+        assert_eq!(
+            Scenario::AllToAll { machine: m, w: 1.0 }.kind(),
+            "all_to_all"
+        );
+        assert_eq!(
+            Scenario::ClientServer {
+                machine: m,
+                w: 1.0,
+                ps: None
+            }
+            .kind(),
+            "client_server"
+        );
+        assert_eq!(
+            Scenario::ForkJoin {
+                machine: m,
+                w: 1.0,
+                k: 2
+            }
+            .kind(),
+            "fork_join"
+        );
+        assert_eq!(
+            Scenario::General(GeneralModel::homogeneous_all_to_all(m, 1.0)).kind(),
+            "general"
+        );
+        assert_eq!(
+            Scenario::SharedMemory { machine: m, w: 1.0 }.kind(),
+            "shared_memory"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_scenarios() {
+        let bad_machine = Machine::new(1, 25.0, 200.0);
+        assert!(Scenario::AllToAll {
+            machine: bad_machine,
+            w: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(Scenario::ClientServer {
+            machine: machine(),
+            w: 1.0,
+            ps: Some(32)
+        }
+        .validate()
+        .is_err());
+        assert!(Scenario::ForkJoin {
+            machine: machine(),
+            w: 1.0,
+            k: 0
+        }
+        .validate()
+        .is_err());
+        assert!(Scenario::AllToAll {
+            machine: machine(),
+            w: -1.0
+        }
+        .validate()
+        .is_err());
+        // Solving a bad scenario errors the same way.
+        assert!(solve(&Scenario::AllToAll {
+            machine: machine(),
+            w: f64::NAN
+        })
+        .is_err());
+    }
+}

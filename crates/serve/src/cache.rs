@@ -1,0 +1,456 @@
+//! The sharded solution cache: repeated (and near-identical) scenario
+//! queries skip the AMVA fixed-point solve.
+//!
+//! Parameter sweeps and dashboard traffic ask for the same handful of
+//! scenarios over and over, and the general-model solve is five orders of
+//! magnitude more expensive than a hash lookup. The cache maps a
+//! **quantized key** of the scenario to its solved [`Prediction`]:
+//!
+//! * **Quantization** — every `f64` parameter is rounded to
+//!   [`SIG_DIGITS`] significant decimal digits before keying, so queries
+//!   that differ only by float noise (`W = 1000.0` vs `W = 1000.0000001`,
+//!   as produced by sweep generators) land in the same bucket. The *stored*
+//!   prediction is always the exact solve of the **first** scenario seen in
+//!   the bucket; a later near-identical query returns that stored answer,
+//!   differing from its own exact solve by at most the model's sensitivity
+//!   across one quantization step (~1e-6 relative). Exact repeats are
+//!   returned bit-identically.
+//! * **Sharding** — the key hash picks one of `shards` independently locked
+//!   LRU maps, so concurrent workers rarely contend on the same mutex.
+//! * **LRU** — each shard is a hand-rolled intrusive doubly-linked list
+//!   over a slab (`Vec`) of entries with a `HashMap` index: O(1) hit,
+//!   insert, and eviction; no allocation churn after warm-up.
+//!
+//! Hit/miss counters are process-global atomics surfaced by `/metrics`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use lopc_core::{ModelError, Prediction, Scenario};
+
+/// Significant decimal digits kept by the cache-key quantizer.
+pub const SIG_DIGITS: i32 = 6;
+
+/// Round to [`SIG_DIGITS`] significant digits (0, NaN and infinities pass
+/// through; the key uses the result's bit pattern).
+pub fn quantize(x: f64) -> f64 {
+    if x == 0.0 || !x.is_finite() {
+        return x;
+    }
+    let mag = x.abs().log10().floor() as i32;
+    let scale = 10f64.powi(SIG_DIGITS - 1 - mag);
+    // At extreme magnitudes (|x| below ~1e-304) the scale itself overflows;
+    // key such values unquantized rather than collapsing them into one
+    // NaN bucket.
+    if !scale.is_finite() || scale == 0.0 {
+        return x;
+    }
+    (x * scale).round() / scale
+}
+
+/// The quantized cache key: variant tag followed by every parameter's
+/// quantized bit pattern. Two scenarios share a key iff they quantize to
+/// the same parameters.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey(Box<[u64]>);
+
+impl CacheKey {
+    /// Derive the key for one scenario.
+    pub fn of(scenario: &Scenario) -> Self {
+        /// Quantized bit pattern of one parameter.
+        fn q(x: f64) -> u64 {
+            quantize(x).to_bits()
+        }
+        fn machine_words(words: &mut Vec<u64>, m: &lopc_core::Machine) {
+            words.push(m.p as u64);
+            words.push(q(m.s_l));
+            words.push(q(m.s_o));
+            words.push(q(m.c2));
+        }
+        let mut words: Vec<u64> = Vec::with_capacity(8);
+        match scenario {
+            Scenario::AllToAll { machine, w } => {
+                words.push(0);
+                machine_words(&mut words, machine);
+                words.push(q(*w));
+            }
+            Scenario::ClientServer { machine, w, ps } => {
+                words.push(1);
+                machine_words(&mut words, machine);
+                words.push(q(*w));
+                words.push(ps.map_or(u64::MAX, |ps| ps as u64));
+            }
+            Scenario::ForkJoin { machine, w, k } => {
+                words.push(2);
+                machine_words(&mut words, machine);
+                words.push(q(*w));
+                words.push(*k as u64);
+            }
+            Scenario::General(model) => {
+                words.push(3);
+                machine_words(&mut words, &model.machine);
+                words.push(model.protocol_processor as u64);
+                for w in &model.w {
+                    match w {
+                        None => words.push(u64::MAX),
+                        Some(w) => words.push(q(*w)),
+                    }
+                }
+                for row in &model.v {
+                    for &x in row {
+                        words.push(q(x));
+                    }
+                }
+            }
+            Scenario::SharedMemory { machine, w } => {
+                words.push(4);
+                machine_words(&mut words, machine);
+                words.push(q(*w));
+            }
+        }
+        CacheKey(words.into_boxed_slice())
+    }
+
+    /// FNV-1a over the key words (shard selection).
+    fn hash64(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &w in self.0.iter() {
+            for b in w.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    }
+}
+
+/// `usize::MAX` as the list terminator.
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: CacheKey,
+    value: Prediction,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: slab-backed intrusive LRU list plus its index.
+struct Shard {
+    map: HashMap<CacheKey, usize>,
+    slab: Vec<Entry>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used (eviction end).
+    tail: usize,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Unlink slot `i` from the list (it must be linked).
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n].prev = prev,
+        }
+    }
+
+    /// Link slot `i` at the head (most recently used).
+    fn link_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slab[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<Prediction> {
+        let i = *self.map.get(key)?;
+        self.unlink(i);
+        self.link_front(i);
+        Some(self.slab[i].value)
+    }
+
+    fn insert(&mut self, key: CacheKey, value: Prediction) {
+        if let Some(&i) = self.map.get(&key) {
+            // Raced with another worker solving the same key: refresh.
+            self.slab[i].value = value;
+            self.unlink(i);
+            self.link_front(i);
+            return;
+        }
+        let i = if self.slab.len() < self.capacity {
+            self.slab.push(Entry {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slab.len() - 1
+        } else {
+            // Evict the LRU entry and reuse its slot.
+            let i = self.tail;
+            self.unlink(i);
+            self.map.remove(&self.slab[i].key);
+            self.slab[i].key = key.clone();
+            self.slab[i].value = value;
+            i
+        };
+        self.map.insert(key, i);
+        self.link_front(i);
+    }
+}
+
+/// The sharded solution cache. Share by reference (`&SolutionCache` is
+/// `Sync`); one instance per server.
+pub struct SolutionCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SolutionCache {
+    /// Cache with `shards` independent locks of `capacity_per_shard`
+    /// entries each. Both are clamped to at least 1.
+    pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        SolutionCache {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(Shard::new(capacity_per_shard.max(1))))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: &CacheKey) -> &Mutex<Shard> {
+        &self.shards[(key.hash64() % self.shards.len() as u64) as usize]
+    }
+
+    /// Look up the scenario's quantized key; on a miss, solve through
+    /// [`lopc_core::scenario::solve`] and populate the cache.
+    ///
+    /// The solve runs *outside* the shard lock so concurrent misses in one
+    /// shard do not serialize on the fixed-point iteration; a lost race
+    /// costs one redundant solve, never a wrong answer. Errors are not
+    /// cached (the solve is cheap to fail and the error carries no reusable
+    /// result).
+    pub fn get_or_solve(&self, scenario: &Scenario) -> Result<Prediction, ModelError> {
+        let key = CacheKey::of(scenario);
+        let shard = self.shard_for(&key);
+        if let Some(hit) = shard.lock().expect("cache shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        let solved = lopc_core::scenario::solve(scenario)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, solved);
+        Ok(solved)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (= solves performed) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hit fraction in `[0, 1]` (0 when nothing was looked up yet).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits() as f64, self.misses() as f64);
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// True when no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopc_core::Machine;
+
+    fn machine() -> Machine {
+        Machine::new(32, 25.0, 200.0).with_c2(0.0)
+    }
+
+    fn a2a(w: f64) -> Scenario {
+        Scenario::AllToAll {
+            machine: machine(),
+            w,
+        }
+    }
+
+    #[test]
+    fn quantize_keeps_six_significant_digits() {
+        assert_eq!(quantize(1000.0), 1000.0);
+        assert_eq!(quantize(1000.0000001), 1000.0);
+        assert_eq!(quantize(123.456789), 123.457);
+        assert_eq!(quantize(0.0001234567), 0.000123457);
+        assert_eq!(quantize(-1000.0000001), -1000.0);
+        assert_eq!(quantize(0.0), 0.0);
+        assert!(quantize(f64::NAN).is_nan());
+        // Extreme magnitudes where the scale factor would overflow pass
+        // through unquantized instead of collapsing into one NaN bucket.
+        assert_eq!(quantize(1e-310), 1e-310);
+        assert_eq!(quantize(5e-324), 5e-324);
+        assert_ne!(
+            quantize(1e-305).to_bits(),
+            quantize(9e-310).to_bits(),
+            "distinct subnormal-range values must keep distinct keys"
+        );
+    }
+
+    #[test]
+    fn exact_repeat_hits_and_is_bit_identical() {
+        let cache = SolutionCache::new(4, 16);
+        let first = cache.get_or_solve(&a2a(1000.0)).unwrap();
+        let second = cache.get_or_solve(&a2a(1000.0)).unwrap();
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(first.r.to_bits(), second.r.to_bits());
+        assert_eq!(
+            second.r,
+            lopc_core::scenario::solve(&a2a(1000.0)).unwrap().r
+        );
+    }
+
+    #[test]
+    fn near_identical_query_hits_same_bucket() {
+        let cache = SolutionCache::new(4, 16);
+        let exact = cache.get_or_solve(&a2a(1000.0)).unwrap();
+        let near = cache.get_or_solve(&a2a(1000.0000001)).unwrap();
+        assert_eq!(cache.hits(), 1, "float-noise query must not re-solve");
+        assert_eq!(near.r.to_bits(), exact.r.to_bits());
+    }
+
+    #[test]
+    fn distinct_scenarios_do_not_collide() {
+        let cache = SolutionCache::new(4, 64);
+        let ws: Vec<f64> = (0..20).map(|i| 100.0 + 50.0 * i as f64).collect();
+        for &w in &ws {
+            let cached = cache.get_or_solve(&a2a(w)).unwrap();
+            let direct = lopc_core::scenario::solve(&a2a(w)).unwrap();
+            assert_eq!(cached.r.to_bits(), direct.r.to_bits(), "W={w}");
+        }
+        assert_eq!(cache.misses(), 20);
+        assert_eq!(cache.hits(), 0);
+        // Variant tag separates scenarios with identical parameters.
+        let sm = Scenario::SharedMemory {
+            machine: machine(),
+            w: ws[0],
+        };
+        let p_sm = cache.get_or_solve(&sm).unwrap();
+        assert_eq!(cache.misses(), 21);
+        assert_ne!(
+            p_sm.r,
+            cache.get_or_solve(&a2a(ws[0])).unwrap().r,
+            "shared-memory and message-passing answers differ"
+        );
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first() {
+        let cache = SolutionCache::new(1, 3);
+        for w in [100.0, 200.0, 300.0] {
+            cache.get_or_solve(&a2a(w)).unwrap();
+        }
+        assert_eq!(cache.len(), 3);
+        // Touch 100 so 200 becomes the LRU, then overflow.
+        cache.get_or_solve(&a2a(100.0)).unwrap();
+        cache.get_or_solve(&a2a(400.0)).unwrap();
+        assert_eq!(cache.len(), 3);
+        let misses_before = cache.misses();
+        cache.get_or_solve(&a2a(100.0)).unwrap(); // still resident
+        cache.get_or_solve(&a2a(300.0)).unwrap(); // still resident
+        assert_eq!(cache.misses(), misses_before, "100 and 300 must be hits");
+        cache.get_or_solve(&a2a(200.0)).unwrap(); // evicted -> re-solve
+        assert_eq!(cache.misses(), misses_before + 1);
+    }
+
+    #[test]
+    fn hit_rate_accounting() {
+        let cache = SolutionCache::new(2, 8);
+        assert_eq!(cache.hit_rate(), 0.0);
+        cache.get_or_solve(&a2a(100.0)).unwrap();
+        for _ in 0..3 {
+            cache.get_or_solve(&a2a(100.0)).unwrap();
+        }
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.misses(), 1);
+        assert!((cache.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_mixed_queries_stay_correct() {
+        let cache = SolutionCache::new(8, 32);
+        let ws: Vec<f64> = (0..16).map(|i| 200.0 + 100.0 * i as f64).collect();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = &cache;
+                let ws = &ws;
+                s.spawn(move || {
+                    for rep in 0..3 {
+                        for (i, &w) in ws.iter().enumerate() {
+                            if (i + t + rep) % 2 == 0 {
+                                let got = cache.get_or_solve(&a2a(w)).unwrap();
+                                let want = lopc_core::scenario::solve(&a2a(w)).unwrap();
+                                assert_eq!(got.r.to_bits(), want.r.to_bits());
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.hits() > 0, "repeats must hit");
+        assert!(cache.len() <= 16);
+    }
+
+    #[test]
+    fn errors_are_propagated_not_cached() {
+        let cache = SolutionCache::new(1, 4);
+        let bad = Scenario::AllToAll {
+            machine: Machine::new(1, 0.0, 1.0),
+            w: 1.0,
+        };
+        assert!(cache.get_or_solve(&bad).is_err());
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 0, "failed solves are not misses");
+    }
+}

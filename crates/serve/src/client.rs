@@ -1,0 +1,142 @@
+//! A minimal blocking HTTP client for the service — the in-repo test
+//! client the smoke suite, the integration tests, and the CI smoke job use
+//! (the build container has no curl crate, and shelling out would not be
+//! portable).
+//!
+//! One [`Client`] owns one keep-alive connection; requests on it are
+//! sequential. For concurrency, open one client per thread.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use crate::codec::{prediction_from_json, scenario_to_json};
+use crate::http::{read_response, HttpError};
+use crate::json::{parse, Json};
+use lopc_core::{Prediction, Scenario};
+
+/// Client-side failure: transport, protocol, or an error status.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The response could not be parsed.
+    Protocol(String),
+    /// The server answered with a non-2xx status.
+    Status(u16, String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Status(code, body) => write!(f, "status {code}: {body}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<HttpError> for ClientError {
+    fn from(e: HttpError) -> Self {
+        match e {
+            HttpError::Io(e) => ClientError::Io(e),
+            HttpError::Bad(m) => ClientError::Protocol(m),
+        }
+    }
+}
+
+/// One keep-alive connection to a running server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to the server at `addr`.
+    pub fn connect(addr: SocketAddr) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        // Request/response over one connection: never trade latency for
+        // Nagle batching.
+        stream.set_nodelay(true)?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Issue one request; returns `(status, body bytes)`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<(u16, Vec<u8>), ClientError> {
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nhost: lopc-serve\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )?;
+        self.writer.write_all(body)?;
+        self.writer.flush()?;
+        let resp = read_response(&mut self.reader)?;
+        Ok((resp.status, resp.body))
+    }
+
+    /// Issue one request and parse the JSON body; non-2xx becomes
+    /// [`ClientError::Status`].
+    pub fn request_json(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<Json, ClientError> {
+        let (status, body) = self.request(method, path, body)?;
+        let text = String::from_utf8(body)
+            .map_err(|_| ClientError::Protocol("response body is not UTF-8".into()))?;
+        if !(200..300).contains(&status) {
+            return Err(ClientError::Status(status, text));
+        }
+        parse(&text).map_err(ClientError::Protocol)
+    }
+
+    /// `POST /v1/predict` for one scenario.
+    pub fn predict(&mut self, scenario: &Scenario) -> Result<Prediction, ClientError> {
+        let body = scenario_to_json(scenario).to_compact();
+        let doc = self.request_json("POST", "/v1/predict", body.as_bytes())?;
+        prediction_from_json(&doc).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// `POST /v1/predict/batch` for a scenario list.
+    pub fn predict_batch(
+        &mut self,
+        scenarios: &[Scenario],
+    ) -> Result<Vec<Prediction>, ClientError> {
+        let body = Json::Object(vec![(
+            "scenarios".into(),
+            Json::Array(scenarios.iter().map(scenario_to_json).collect()),
+        )])
+        .to_compact();
+        let doc = self.request_json("POST", "/v1/predict/batch", body.as_bytes())?;
+        let items = doc
+            .get("predictions")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Protocol("missing \"predictions\" array".into()))?;
+        items
+            .iter()
+            .map(|v| prediction_from_json(v).map_err(|e| ClientError::Protocol(e.to_string())))
+            .collect()
+    }
+
+    /// `GET /metrics`.
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        self.request_json("GET", "/metrics", b"")
+    }
+}

@@ -1,0 +1,420 @@
+//! A dependency-free HTTP/1.1 subset: enough protocol to serve and query
+//! JSON endpoints, and nothing more.
+//!
+//! Implemented: request line + headers + `Content-Length` bodies,
+//! keep-alive (the HTTP/1.1 default) and `Connection: close`, status lines,
+//! and hard limits on header and body size so a misbehaving client cannot
+//! balloon memory. Not implemented (requests using them are rejected, never
+//! mis-parsed): chunked transfer encoding, continuation lines, trailers,
+//! upgrades, HTTP/2.
+//!
+//! Parsers work over any `BufRead`, so the malformed-input fuzz tests drive
+//! them with in-memory byte soup; none of the error paths panic.
+
+use std::io::{self, BufRead, Write};
+
+/// Largest accepted request line + header block, in bytes.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Largest accepted request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Protocol violation; the message is safe to echo to the client.
+    Bad(String),
+    /// The underlying socket failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Bad(m) => write!(f, "bad request: {m}"),
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+fn bad<T>(msg: impl Into<String>) -> Result<T, HttpError> {
+    Err(HttpError::Bad(msg.into()))
+}
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Method verb, upper-cased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target (path only; this server ignores query strings).
+    pub path: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Does the client ask to keep the connection open? HTTP/1.1 defaults
+    /// to yes unless `Connection: close`.
+    pub fn keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Read one line terminated by `\n` (tolerating `\r\n`), bounded by
+/// `remaining` header budget. Returns `None` on clean EOF before any byte.
+fn read_line(r: &mut impl BufRead, remaining: &mut usize) -> Result<Option<String>, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return bad("truncated header line");
+            }
+            Ok(_) => {}
+            Err(e) => return Err(e.into()),
+        }
+        if *remaining == 0 {
+            return bad(format!("headers exceed {MAX_HEADER_BYTES} bytes"));
+        }
+        *remaining -= 1;
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map(Some)
+                .map_err(|_| HttpError::Bad("header line is not UTF-8".into()));
+        }
+        line.push(byte[0]);
+    }
+}
+
+/// Read one request. `Ok(None)` means the peer closed cleanly between
+/// requests (normal keep-alive teardown).
+pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+    let mut budget = MAX_HEADER_BYTES;
+    let request_line = match read_line(r, &mut budget)? {
+        None => return Ok(None),
+        Some(l) => l,
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m.to_string(), p, v),
+        _ => return bad(format!("malformed request line {request_line:?}")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return bad(format!("unsupported protocol {version:?}"));
+    }
+    // Routing matches on the path alone: drop any query string here so
+    // `/metrics?pretty=1` reaches the `/metrics` endpoint.
+    let path = target
+        .split_once('?')
+        .map_or(target, |(path, _query)| path)
+        .to_string();
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(r, &mut budget)? {
+            None => return bad("connection closed inside headers"),
+            Some(l) => l,
+        };
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Bad(format!("malformed header {line:?}")))?;
+        if name.is_empty() || name.contains(' ') {
+            return bad(format!("malformed header name {name:?}"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let req = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if req.header("transfer-encoding").is_some() {
+        return bad("transfer-encoding is not supported");
+    }
+    // RFC 7230 §3.3.2: conflicting Content-Length values are a framing
+    // attack (request smuggling); reject duplicates outright rather than
+    // silently trusting the first.
+    if req
+        .headers
+        .iter()
+        .filter(|(k, _)| k == "content-length")
+        .count()
+        > 1
+    {
+        return bad("multiple content-length headers");
+    }
+    let len = match req.header("content-length") {
+        None => 0usize,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Bad(format!("bad content-length {v:?}")))?,
+    };
+    if len > MAX_BODY_BYTES {
+        return bad(format!("body of {len} bytes exceeds {MAX_BODY_BYTES}"));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)
+        .map_err(|_| HttpError::Bad("connection closed inside body".into()))?;
+    Ok(Some(Request { body, ..req }))
+}
+
+/// Standard reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        _ => "Unknown",
+    }
+}
+
+/// Write one `application/json` response.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// One parsed response (client side).
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+/// Read one response (client side).
+pub fn read_response(r: &mut impl BufRead) -> Result<Response, HttpError> {
+    let mut budget = MAX_HEADER_BYTES;
+    let status_line = match read_line(r, &mut budget)? {
+        None => return bad("connection closed before status line"),
+        Some(l) => l,
+    };
+    let mut parts = status_line.split_whitespace();
+    let status = match (parts.next(), parts.next()) {
+        (Some(v), Some(code)) if v.starts_with("HTTP/1.") => code
+            .parse::<u16>()
+            .map_err(|_| HttpError::Bad(format!("bad status code in {status_line:?}")))?,
+        _ => return bad(format!("malformed status line {status_line:?}")),
+    };
+    let mut content_length = None;
+    loop {
+        let line = match read_line(r, &mut budget)? {
+            None => return bad("connection closed inside headers"),
+            Some(l) => l,
+        };
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = Some(
+                    value
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|_| HttpError::Bad(format!("bad content-length {value:?}")))?,
+                );
+            }
+        }
+    }
+    let len =
+        content_length.ok_or_else(|| HttpError::Bad("response without content-length".into()))?;
+    if len > MAX_BODY_BYTES {
+        return bad(format!(
+            "response body of {len} bytes exceeds {MAX_BODY_BYTES}"
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)
+        .map_err(|_| HttpError::Bad("connection closed inside body".into()))?;
+    Ok(Response { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(bytes))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(b"POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/predict");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"hello");
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn parses_get_without_body_and_connection_close() {
+        let req = parse(b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn bare_lf_lines_are_tolerated() {
+        let req = parse(b"GET / HTTP/1.1\nHost: x\n\n").unwrap().unwrap();
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn query_strings_are_stripped_from_the_path() {
+        let req = parse(b"GET /metrics?pretty=1&x=2 HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/metrics");
+        // A bare '?' leaves an empty query, same path.
+        let req = parse(b"GET /v1/predict? HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/v1/predict");
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected() {
+        let smuggle = b"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 50\r\n\r\nhello";
+        assert!(matches!(parse(smuggle), Err(HttpError::Bad(_))));
+        // Even duplicates that agree are refused: framing must be
+        // unambiguous.
+        let dup = b"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello";
+        assert!(matches!(parse(dup), Err(HttpError::Bad(_))));
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_requests_error_without_panic() {
+        for bytes in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /\r\n\r\n",
+            b"GET / HTTP/2.0\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET / HTTP/1.1\r\n: empty\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbad name: x\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"GET / HTTP/1.1\r\ntrunc",
+            b"\xff\xfe GET / HTTP/1.1\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(bytes), Err(HttpError::Bad(_))),
+                "{:?} must be rejected",
+                String::from_utf8_lossy(bytes)
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_bodies_and_headers_rejected() {
+        let huge = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(parse(huge.as_bytes()).is_err());
+        let mut long_headers = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..2000 {
+            long_headers.push_str(&format!("x-filler-{i}: {}\r\n", "y".repeat(32)));
+        }
+        long_headers.push_str("\r\n");
+        assert!(parse(long_headers.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 200, "{\"ok\":true}", true).unwrap();
+        let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"{\"ok\":true}");
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+    }
+
+    #[test]
+    fn malformed_responses_error_without_panic() {
+        for bytes in [
+            &b""[..],
+            b"HTTP/1.1\r\n\r\n",
+            b"NOTHTTP 200 OK\r\n\r\n",
+            b"HTTP/1.1 xyz OK\r\n\r\n",
+            b"HTTP/1.1 200 OK\r\n\r\n", // no content-length
+            b"HTTP/1.1 200 OK\r\ncontent-length: 5\r\n\r\nab",
+        ] {
+            assert!(
+                read_response(&mut BufReader::new(bytes)).is_err(),
+                "{:?} must be rejected",
+                String::from_utf8_lossy(bytes)
+            );
+        }
+    }
+
+    #[test]
+    fn reasons_cover_emitted_codes() {
+        for code in [200, 400, 404, 405, 422, 500, 501] {
+            assert_ne!(reason(code), "Unknown");
+        }
+        assert_eq!(reason(599), "Unknown");
+    }
+}

@@ -1,0 +1,67 @@
+//! **lopc-serve** — the LoPC prediction service: the analytical models of
+//! `lopc-core`, queryable over HTTP.
+//!
+//! The reproduction's models answer "given machine and algorithm
+//! parameters, what runtime/throughput should I expect?" — a question that
+//! arrives at sweep scale once anything (a scheduler, a capacity planner, a
+//! dashboard) consumes the model online. This crate turns the library into
+//! that service without any external dependency:
+//!
+//! * [`json`] — the workspace's shared hand-rolled JSON (value type,
+//!   emitter, parser); `lopc_bench::baseline` re-uses it for
+//!   `BENCH_sim.json`;
+//! * [`codec`] — the wire schema for [`Scenario`](lopc_core::Scenario) and
+//!   [`Prediction`](lopc_core::Prediction);
+//! * [`cache`] — the sharded LRU solution cache over quantized scenario
+//!   keys, so repeated and near-identical sweep queries skip the AMVA
+//!   fixed-point solve;
+//! * [`http`] — a dependency-free HTTP/1.1 subset on `std::net`;
+//! * [`server`] — the accept loop, worker pool, and the three endpoints
+//!   (`POST /v1/predict`, `POST /v1/predict/batch`, `GET /metrics`);
+//! * [`client`] — the in-repo blocking test client (smoke tests, CI, the
+//!   load-generator bench).
+//!
+//! Served numbers are **bit-identical** to direct library calls: the
+//! dispatcher is `lopc_core::scenario::solve`, the JSON number format
+//! round-trips `f64` exactly, and the cache stores exact solves (see
+//! DESIGN.md §11 for the quantization contract). The `serve_vs_library`
+//! integration test pins this end to end.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use lopc_serve::{client::Client, server, server::ServerConfig};
+//! use lopc_core::{Machine, Scenario};
+//!
+//! let handle = server::start(ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let prediction = client
+//!     .predict(&Scenario::AllToAll {
+//!         machine: Machine::new(32, 25.0, 200.0).with_c2(0.0),
+//!         w: 1000.0,
+//!     })
+//!     .unwrap();
+//! println!("predicted R = {:.1} cycles", prediction.r);
+//! handle.shutdown();
+//! ```
+//!
+//! Or as a process: `cargo run -p lopc-serve` (see the README's serving
+//! quickstart for example request/response payloads).
+
+pub mod cache;
+pub mod client;
+pub mod codec;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod server;
+
+pub use cache::SolutionCache;
+pub use client::{Client, ClientError};
+pub use codec::{
+    prediction_from_json, prediction_to_json, predictions_identical, scenario_from_json,
+    scenario_to_json, DecodeError,
+};
+pub use json::{parse, Json};
+pub use metrics::Metrics;
+pub use server::{start, Reply, ServerConfig, ServerHandle, Service};

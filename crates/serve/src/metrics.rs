@@ -1,0 +1,239 @@
+//! Service metrics: request/response counters and a lock-free latency
+//! histogram yielding p50/p99 estimates.
+//!
+//! Everything is plain atomics so the hot path never takes a lock;
+//! `/metrics` renders a point-in-time snapshot as JSON. Latencies go into
+//! power-of-two nanosecond buckets (bucket `i` covers `[2^i, 2^(i+1))` ns),
+//! and quantiles are read back as the geometric midpoint of the bucket the
+//! cumulative count crosses — at most a 2× ranging error, which is all a
+//! serving dashboard needs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: bucket 63 absorbs everything ≥ 2^63 ns.
+const BUCKETS: usize = 64;
+
+/// Latency histogram over power-of-two nanosecond buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&self, ns: u64) {
+        let bucket = (63 - ns.max(1).leading_zeros()) as usize;
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Estimate the `q`-quantile (`0 < q <= 1`) in nanoseconds, or `None`
+    /// when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Geometric midpoint of [2^i, 2^(i+1)).
+                return Some(2f64.powi(i as i32) * std::f64::consts::SQRT_2);
+            }
+        }
+        unreachable!("rank <= total");
+    }
+}
+
+/// Endpoints the service distinguishes in its counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/predict`
+    Predict,
+    /// `POST /v1/predict/batch`
+    Batch,
+    /// `GET /metrics`
+    Metrics,
+    /// Anything else (404/405/400 paths).
+    Other,
+}
+
+/// Process-global service metrics; share by reference.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    predict: AtomicU64,
+    batch: AtomicU64,
+    metrics: AtomicU64,
+    other: AtomicU64,
+    ok_2xx: AtomicU64,
+    client_err_4xx: AtomicU64,
+    server_err_5xx: AtomicU64,
+    scenarios_solved: AtomicU64,
+    latency: Histogram,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one completed request.
+    pub fn record(&self, endpoint: Endpoint, status: u16, latency_ns: u64, scenarios: u64) {
+        match endpoint {
+            Endpoint::Predict => &self.predict,
+            Endpoint::Batch => &self.batch,
+            Endpoint::Metrics => &self.metrics,
+            Endpoint::Other => &self.other,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        match status {
+            200..=299 => &self.ok_2xx,
+            400..=499 => &self.client_err_4xx,
+            _ => &self.server_err_5xx,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.scenarios_solved
+            .fetch_add(scenarios, Ordering::Relaxed);
+        self.latency.record(latency_ns);
+    }
+
+    /// Requests seen in total.
+    pub fn requests_total(&self) -> u64 {
+        [&self.predict, &self.batch, &self.metrics, &self.other]
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Scenarios answered (batch requests count each element).
+    pub fn scenarios_solved(&self) -> u64 {
+        self.scenarios_solved.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot as the `/metrics` JSON document (cache counters are passed
+    /// in by the server, which owns the cache).
+    pub fn to_json(&self, cache_hits: u64, cache_misses: u64, cache_hit_rate: f64) -> crate::Json {
+        use crate::Json;
+        let load = |c: &AtomicU64| Json::Num(c.load(Ordering::Relaxed) as f64);
+        let q = |q: f64| match self.latency.quantile(q) {
+            None => Json::Null,
+            Some(ns) => Json::Num(ns),
+        };
+        Json::Object(vec![
+            (
+                "requests".into(),
+                Json::Object(vec![
+                    ("predict".into(), load(&self.predict)),
+                    ("predict_batch".into(), load(&self.batch)),
+                    ("metrics".into(), load(&self.metrics)),
+                    ("other".into(), load(&self.other)),
+                    ("total".into(), Json::Num(self.requests_total() as f64)),
+                ]),
+            ),
+            (
+                "responses".into(),
+                Json::Object(vec![
+                    ("ok_2xx".into(), load(&self.ok_2xx)),
+                    ("client_error_4xx".into(), load(&self.client_err_4xx)),
+                    ("server_error_5xx".into(), load(&self.server_err_5xx)),
+                ]),
+            ),
+            ("scenarios_solved".into(), load(&self.scenarios_solved)),
+            (
+                "cache".into(),
+                Json::Object(vec![
+                    ("hits".into(), Json::Num(cache_hits as f64)),
+                    ("misses".into(), Json::Num(cache_misses as f64)),
+                    ("hit_rate".into(), Json::Num(cache_hit_rate)),
+                ]),
+            ),
+            (
+                "latency_ns".into(),
+                Json::Object(vec![("p50".into(), q(0.50)), ("p99".into(), q(0.99))]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let h = Histogram::default();
+        h.record(0); // clamps into bucket 0
+        h.record(1);
+        h.record(1023);
+        h.record(1024);
+        assert_eq!(h.count(), 4);
+        // p50 over {1, 1, 512-1023, 1024}: rank 2 lands in bucket 0.
+        assert!(h.quantile(0.5).unwrap() < 2.0);
+        // p100 lands in the 1024 bucket: sqrt(2)*1024.
+        let p100 = h.quantile(1.0).unwrap();
+        assert!(p100 > 1024.0 && p100 < 2048.0);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        assert!(Histogram::default().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let h = Histogram::default();
+        for i in 0..1000u64 {
+            h.record(i * 1000);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 <= p99);
+        // p99 of ~1ms-uniform data sits within 2x of 990_000 ns.
+        assert!(p99 > 495_000.0 && p99 < 1_980_000.0, "p99 = {p99}");
+    }
+
+    #[test]
+    fn metrics_counters_and_snapshot() {
+        let m = Metrics::new();
+        m.record(Endpoint::Predict, 200, 1000, 1);
+        m.record(Endpoint::Batch, 200, 5000, 32);
+        m.record(Endpoint::Metrics, 200, 100, 0);
+        m.record(Endpoint::Other, 404, 50, 0);
+        m.record(Endpoint::Predict, 400, 80, 0);
+        assert_eq!(m.requests_total(), 5);
+        assert_eq!(m.scenarios_solved(), 33);
+        let doc = m.to_json(10, 5, 10.0 / 15.0);
+        let req = doc.get("requests").unwrap();
+        assert_eq!(req.get("predict").unwrap().as_num(), Some(2.0));
+        assert_eq!(req.get("total").unwrap().as_num(), Some(5.0));
+        let resp = doc.get("responses").unwrap();
+        assert_eq!(resp.get("ok_2xx").unwrap().as_num(), Some(3.0));
+        assert_eq!(resp.get("client_error_4xx").unwrap().as_num(), Some(2.0));
+        assert_eq!(
+            doc.get("cache").unwrap().get("hits").unwrap().as_num(),
+            Some(10.0)
+        );
+        assert!(doc
+            .get("latency_ns")
+            .unwrap()
+            .get("p99")
+            .unwrap()
+            .as_num()
+            .is_some());
+    }
+}

@@ -1,0 +1,626 @@
+//! The prediction server: a `TcpListener` accept loop feeding a fixed pool
+//! of worker threads, dispatching three endpoints over the scenario cache.
+//!
+//! | Endpoint | Body | Response |
+//! |---|---|---|
+//! | `POST /v1/predict` | one scenario object | one prediction object |
+//! | `POST /v1/predict/batch` | `{"scenarios": [...]}` | `{"predictions": [...]}` |
+//! | `GET /metrics` | — | counters, cache hit rate, p50/p99 latency |
+//!
+//! Threading model: the accept thread pushes connections onto a
+//! `Mutex<VecDeque>` + `Condvar` queue; each of `workers` threads pops one
+//! connection and serves its whole keep-alive session before taking the
+//! next (connection-per-worker, so one slow client cannot head-of-line
+//! block another worker's connection). *Within* a batch request the
+//! scenario list is fanned out over scoped threads through the same
+//! [`WorkQueue`](lopc_solver::steal::WorkQueue) claim-cursor idiom the
+//! replication runner uses — idle cores steal the next unsolved scenario,
+//! so one expensive general-model entry does not serialize the batch.
+//!
+//! Status codes: `200` success, `400` malformed HTTP/JSON/schema, `404`
+//! unknown path, `405` wrong method, `422` well-formed but unsolvable
+//! scenario (model validation/solver failure), `500` never intentionally.
+
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::cache::SolutionCache;
+use crate::codec::{prediction_to_json, scenario_from_json};
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::json::{parse, Json};
+use crate::metrics::{Endpoint, Metrics};
+use lopc_core::Scenario;
+
+/// Server tunables; the defaults suit tests and the quickstart binary.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (0 = available parallelism).
+    pub workers: usize,
+    /// Cache shard count.
+    pub cache_shards: usize,
+    /// Cache capacity per shard.
+    pub cache_capacity_per_shard: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            cache_shards: 16,
+            cache_capacity_per_shard: 256,
+        }
+    }
+}
+
+/// Shared server state (cache + metrics), also usable without a socket —
+/// `handle` drives the dispatcher directly, which is how the unit tests
+/// exercise routing.
+pub struct Service {
+    cache: SolutionCache,
+    metrics: Metrics,
+}
+
+/// One computed response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reply {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body, compact.
+    pub body: String,
+}
+
+impl Reply {
+    fn ok(v: &Json) -> Reply {
+        Reply {
+            status: 200,
+            body: v.to_compact(),
+        }
+    }
+
+    fn error(status: u16, msg: impl std::fmt::Display) -> Reply {
+        Reply {
+            status,
+            body: Json::Object(vec![("error".into(), Json::Str(msg.to_string()))]).to_compact(),
+        }
+    }
+}
+
+impl Service {
+    /// Fresh service with the given cache geometry.
+    pub fn new(cache_shards: usize, cache_capacity_per_shard: usize) -> Self {
+        Service {
+            cache: SolutionCache::new(cache_shards, cache_capacity_per_shard),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The solution cache (bench/tests read its counters).
+    pub fn cache(&self) -> &SolutionCache {
+        &self.cache
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Route one request to its endpoint, recording metrics.
+    pub fn handle(&self, method: &str, path: &str, body: &[u8]) -> Reply {
+        let start = Instant::now();
+        // Path decides 404 vs 405: any method other than the endpoint's own
+        // on a known path is 405, only unknown paths are 404.
+        let (endpoint, reply, scenarios) = match (path, method) {
+            ("/v1/predict", "POST") => {
+                let (r, n) = self.predict(body);
+                (Endpoint::Predict, r, n)
+            }
+            ("/v1/predict/batch", "POST") => {
+                let (r, n) = self.predict_batch(body);
+                (Endpoint::Batch, r, n)
+            }
+            ("/metrics", "GET") => (
+                Endpoint::Metrics,
+                Reply::ok(&self.metrics.to_json(
+                    self.cache.hits(),
+                    self.cache.misses(),
+                    self.cache.hit_rate(),
+                )),
+                0,
+            ),
+            ("/v1/predict" | "/v1/predict/batch" | "/metrics", _) => (
+                Endpoint::Other,
+                Reply::error(405, format!("{method} not allowed on {path}")),
+                0,
+            ),
+            _ => (
+                Endpoint::Other,
+                Reply::error(404, format!("no such endpoint {path}")),
+                0,
+            ),
+        };
+        self.metrics.record(
+            endpoint,
+            reply.status,
+            start.elapsed().as_nanos() as u64,
+            scenarios,
+        );
+        reply
+    }
+
+    fn decode_scenario(body: &[u8]) -> Result<Scenario, Reply> {
+        let text = std::str::from_utf8(body).map_err(|_| Reply::error(400, "body is not UTF-8"))?;
+        let doc = parse(text).map_err(|e| Reply::error(400, format!("invalid JSON: {e}")))?;
+        let scenario = scenario_from_json(&doc)
+            .map_err(|e| Reply::error(400, format!("invalid scenario: {e}")))?;
+        // Model-level validation up front: well-formed but unsolvable
+        // requests are rejected (422) before they touch the cache.
+        scenario
+            .validate()
+            .map_err(|e| Reply::error(422, format!("invalid parameters: {e}")))?;
+        Ok(scenario)
+    }
+
+    fn predict(&self, body: &[u8]) -> (Reply, u64) {
+        let scenario = match Self::decode_scenario(body) {
+            Ok(s) => s,
+            Err(reply) => return (reply, 0),
+        };
+        match self.cache.get_or_solve(&scenario) {
+            Ok(p) => (Reply::ok(&prediction_to_json(&p)), 1),
+            Err(e) => (Reply::error(422, format!("unsolvable scenario: {e}")), 0),
+        }
+    }
+
+    fn predict_batch(&self, body: &[u8]) -> (Reply, u64) {
+        let text = match std::str::from_utf8(body) {
+            Ok(t) => t,
+            Err(_) => return (Reply::error(400, "body is not UTF-8"), 0),
+        };
+        let doc = match parse(text) {
+            Ok(d) => d,
+            Err(e) => return (Reply::error(400, format!("invalid JSON: {e}")), 0),
+        };
+        let items = match doc.get("scenarios").and_then(Json::as_array) {
+            Some(items) => items,
+            None => return (Reply::error(400, "body must be {\"scenarios\": [...]}"), 0),
+        };
+        let mut scenarios = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let s = match scenario_from_json(item) {
+                Ok(s) => s,
+                Err(e) => {
+                    return (
+                        Reply::error(400, format!("invalid scenario at index {i}: {e}")),
+                        0,
+                    )
+                }
+            };
+            if let Err(e) = s.validate() {
+                return (
+                    Reply::error(422, format!("invalid parameters at index {i}: {e}")),
+                    0,
+                );
+            }
+            scenarios.push(s);
+        }
+        match self.solve_batch(&scenarios) {
+            Ok(predictions) => (
+                Reply::ok(&Json::Object(vec![(
+                    "predictions".into(),
+                    Json::Array(predictions),
+                )])),
+                scenarios.len() as u64,
+            ),
+            Err((i, e)) => (
+                Reply::error(422, format!("unsolvable scenario at index {i}: {e}")),
+                0,
+            ),
+        }
+    }
+
+    /// Solve a batch in parallel: scoped worker threads steal indices from
+    /// a shared [`WorkQueue`](lopc_solver::steal::WorkQueue) cursor, each
+    /// going through the cache.
+    fn solve_batch(
+        &self,
+        scenarios: &[Scenario],
+    ) -> Result<Vec<Json>, (usize, lopc_core::ModelError)> {
+        let n = scenarios.len();
+        let threads = lopc_solver::steal::worker_count(n);
+        let mut slots: Vec<Option<Result<Json, lopc_core::ModelError>>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+
+        if threads <= 1 {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(
+                    self.cache
+                        .get_or_solve(&scenarios[i])
+                        .map(|p| prediction_to_json(&p)),
+                );
+            }
+        } else {
+            let queue = lopc_solver::steal::WorkQueue::new(n);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for _ in 0..threads {
+                    let queue = &queue;
+                    let cache = &self.cache;
+                    handles.push(scope.spawn(move || {
+                        let mut local = Vec::new();
+                        while let Some(i) = queue.claim() {
+                            local.push((
+                                i,
+                                cache
+                                    .get_or_solve(&scenarios[i])
+                                    .map(|p| prediction_to_json(&p)),
+                            ));
+                        }
+                        local
+                    }));
+                }
+                for h in handles {
+                    for (i, result) in h.join().expect("batch worker panicked") {
+                        slots[i] = Some(result);
+                    }
+                }
+            });
+        }
+
+        let mut out = Vec::with_capacity(n);
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot.expect("slot filled") {
+                Ok(v) => out.push(v),
+                Err(e) => return Err((i, e)),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Connection hand-off queue between the accept loop and the workers.
+struct ConnQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    fn push(&self, conn: TcpStream) {
+        self.queue
+            .lock()
+            .expect("conn queue poisoned")
+            .push_back(conn);
+        self.ready.notify_one();
+    }
+
+    /// Block for the next connection; `None` once shutdown is flagged and
+    /// the queue is drained.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
+        let mut q = self.queue.lock().expect("conn queue poisoned");
+        loop {
+            if let Some(conn) = q.pop_front() {
+                return Some(conn);
+            }
+            if shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            q = self.ready.wait(q).expect("conn queue poisoned");
+        }
+    }
+}
+
+/// A running server; dropping the handle leaks the threads, so call
+/// [`ServerHandle::shutdown`] (tests) or hold it forever (the binary).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    shutdown: Arc<AtomicBool>,
+    conns: Arc<ConnQueue>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (read the ephemeral port from here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service state (cache counters, metrics).
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+
+    /// Stop accepting, drain the workers, join every thread.
+    pub fn shutdown(mut self) {
+        // Store the flag and notify while HOLDING the queue mutex: a worker
+        // that checked the flag and is about to wait must not miss the
+        // wake-up (the classic lost-wakeup window between check and wait).
+        {
+            let _guard = self.conns.queue.lock().expect("conn queue poisoned");
+            self.shutdown.store(true, Ordering::Release);
+            self.conns.ready.notify_all();
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// How often an idle worker re-checks the shutdown flag.
+const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(50);
+
+/// Block until the next request's first byte is buffered (true), the peer
+/// closed (false), or shutdown was flagged (false). Uses the stream's read
+/// timeout as the poll interval; `fill_buf` never consumes, so the request
+/// parser sees an intact stream.
+fn wait_for_data(reader: &mut BufReader<TcpStream>, shutdown: &AtomicBool) -> bool {
+    use std::io::BufRead;
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return false;
+        }
+        match reader.fill_buf() {
+            Ok(buf) => return !buf.is_empty(),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue
+            }
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Serve one connection's whole keep-alive session. Between requests the
+/// worker polls `shutdown`, so a long-lived idle connection cannot pin a
+/// worker past [`ServerHandle::shutdown`]. (A peer that stalls *mid*-request
+/// longer than the poll interval is dropped as a bad client — the parser
+/// sees the read timeout as an error; the in-repo client always writes
+/// requests in one burst.)
+fn serve_connection(service: &Service, conn: TcpStream, shutdown: &AtomicBool) {
+    // Nagle + delayed ACK stalls multi-segment JSON bodies by ~40 ms per
+    // round trip; a request/response service always wants NODELAY.
+    let _ = conn.set_nodelay(true);
+    if conn.set_read_timeout(Some(IDLE_POLL)).is_err() {
+        return;
+    }
+    let peer_writer = match conn.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(conn);
+    let mut writer = BufWriter::new(peer_writer);
+    loop {
+        if !wait_for_data(&mut reader, shutdown) {
+            return;
+        }
+        match read_request(&mut reader) {
+            Ok(None) => return, // clean close between requests
+            Ok(Some(req)) => {
+                let Request {
+                    method, path, body, ..
+                } = &req;
+                let reply = service.handle(method, path, body);
+                let keep = req.keep_alive();
+                // RFC 9110 §9.3.2: responses to HEAD must carry no body, or
+                // a conforming client desyncs on the kept-alive connection.
+                let body = if method == "HEAD" { "" } else { &reply.body };
+                if write_response(&mut writer, reply.status, body, keep).is_err() || !keep {
+                    return;
+                }
+            }
+            Err(HttpError::Bad(msg)) => {
+                // Protocol violations get one best-effort 400, then close —
+                // framing is unreliable after a parse failure.
+                let reply = Reply::error(400, msg);
+                let _ = write_response(&mut writer, reply.status, &reply.body, false);
+                return;
+            }
+            Err(HttpError::Io(_)) => return,
+        }
+    }
+}
+
+/// Bind and start a server.
+pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let service = Arc::new(Service::new(
+        config.cache_shards,
+        config.cache_capacity_per_shard,
+    ));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let conns = Arc::new(ConnQueue {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+    });
+
+    let workers_n = if config.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        config.workers
+    };
+    let mut workers = Vec::with_capacity(workers_n);
+    for _ in 0..workers_n {
+        let service = Arc::clone(&service);
+        let shutdown = Arc::clone(&shutdown);
+        let conns = Arc::clone(&conns);
+        workers.push(std::thread::spawn(move || {
+            while let Some(conn) = conns.pop(&shutdown) {
+                serve_connection(&service, conn, &shutdown);
+            }
+        }));
+    }
+
+    let accept_thread = {
+        let shutdown = Arc::clone(&shutdown);
+        let conns = Arc::clone(&conns);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Ok(conn) = conn {
+                    conns.push(conn);
+                }
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        service,
+        shutdown,
+        conns,
+        accept_thread: Some(accept_thread),
+        workers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopc_core::Machine;
+
+    fn service() -> Service {
+        Service::new(4, 64)
+    }
+
+    fn a2a_body(w: f64) -> String {
+        format!(
+            r#"{{"kind":"all_to_all","machine":{{"p":32,"st":25.0,"so":200.0,"c2":0.0}},"w":{w}}}"#
+        )
+    }
+
+    #[test]
+    fn predict_round_trips_through_dispatcher() {
+        let svc = service();
+        let reply = svc.handle("POST", "/v1/predict", a2a_body(1000.0).as_bytes());
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let doc = parse(&reply.body).unwrap();
+        let direct = lopc_core::scenario::solve(&Scenario::AllToAll {
+            machine: Machine::new(32, 25.0, 200.0).with_c2(0.0),
+            w: 1000.0,
+        })
+        .unwrap();
+        assert_eq!(doc.get("r").unwrap().as_num(), Some(direct.r));
+        assert_eq!(doc.get("x").unwrap().as_num(), Some(direct.x));
+    }
+
+    #[test]
+    fn batch_matches_singles_and_counts_scenarios() {
+        let svc = service();
+        let body = format!(
+            r#"{{"scenarios":[{},{},{}]}}"#,
+            a2a_body(100.0),
+            a2a_body(500.0),
+            a2a_body(100.0)
+        );
+        let reply = svc.handle("POST", "/v1/predict/batch", body.as_bytes());
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let doc = parse(&reply.body).unwrap();
+        let preds = doc.get("predictions").unwrap().as_array().unwrap();
+        assert_eq!(preds.len(), 3);
+        // Repeated scenario: identical answer (and a cache hit).
+        assert_eq!(preds[0].get("r"), preds[2].get("r"));
+        assert!(svc.cache().hits() >= 1);
+        assert_eq!(svc.metrics().scenarios_solved(), 3);
+    }
+
+    #[test]
+    fn error_statuses() {
+        let svc = service();
+        assert_eq!(svc.handle("GET", "/nope", b"").status, 404);
+        assert_eq!(svc.handle("GET", "/v1/predict", b"").status, 405);
+        assert_eq!(svc.handle("POST", "/metrics", b"").status, 405);
+        // Known path + any unexpected method is 405, never 404.
+        assert_eq!(svc.handle("PUT", "/v1/predict", b"").status, 405);
+        assert_eq!(svc.handle("DELETE", "/metrics", b"").status, 405);
+        assert_eq!(svc.handle("HEAD", "/v1/predict/batch", b"").status, 405);
+        assert_eq!(svc.handle("POST", "/v1/predict", b"not json").status, 400);
+        assert_eq!(svc.handle("POST", "/v1/predict", b"\xff\xfe").status, 400);
+        assert_eq!(svc.handle("POST", "/v1/predict", b"{}").status, 400);
+        assert_eq!(
+            svc.handle("POST", "/v1/predict/batch", b"{\"nope\":1}")
+                .status,
+            400
+        );
+        // Well-formed but unsolvable: P = 1.
+        let bad = r#"{"kind":"all_to_all","machine":{"p":1,"st":1,"so":1,"c2":1},"w":1}"#;
+        assert_eq!(
+            svc.handle("POST", "/v1/predict", bad.as_bytes()).status,
+            422
+        );
+        // Batch reports the failing index.
+        let batch = format!(r#"{{"scenarios":[{},{bad}]}}"#, a2a_body(10.0));
+        let reply = svc.handle("POST", "/v1/predict/batch", batch.as_bytes());
+        assert_eq!(reply.status, 422);
+        assert!(reply.body.contains("index 1"), "{}", reply.body);
+    }
+
+    #[test]
+    fn metrics_endpoint_reflects_traffic() {
+        let svc = service();
+        svc.handle("POST", "/v1/predict", a2a_body(1.0).as_bytes());
+        svc.handle("POST", "/v1/predict", a2a_body(1.0).as_bytes());
+        svc.handle("GET", "/nope", b"");
+        let reply = svc.handle("GET", "/metrics", b"");
+        assert_eq!(reply.status, 200);
+        let doc = parse(&reply.body).unwrap();
+        assert_eq!(
+            doc.get("requests")
+                .unwrap()
+                .get("predict")
+                .unwrap()
+                .as_num(),
+            Some(2.0)
+        );
+        assert_eq!(
+            doc.get("cache").unwrap().get("hits").unwrap().as_num(),
+            Some(1.0)
+        );
+        assert_eq!(
+            doc.get("cache").unwrap().get("hit_rate").unwrap().as_num(),
+            Some(0.5)
+        );
+        assert!(doc
+            .get("latency_ns")
+            .unwrap()
+            .get("p50")
+            .unwrap()
+            .as_num()
+            .is_some());
+    }
+
+    #[test]
+    fn batch_of_one_and_empty_batch() {
+        let svc = service();
+        let one = format!(r#"{{"scenarios":[{}]}}"#, a2a_body(64.0));
+        assert_eq!(
+            svc.handle("POST", "/v1/predict/batch", one.as_bytes())
+                .status,
+            200
+        );
+        let empty = r#"{"scenarios":[]}"#;
+        let reply = svc.handle("POST", "/v1/predict/batch", empty.as_bytes());
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.body, r#"{"predictions":[]}"#);
+    }
+}

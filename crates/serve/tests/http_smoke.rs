@@ -1,0 +1,215 @@
+//! End-to-end smoke over a real socket: start the server on an ephemeral
+//! port, exercise every endpoint through the in-repo [`Client`], and pin
+//! the response schemas. The CI smoke job runs exactly this suite, so
+//! non-2xx answers and schema drift fail there, not in production.
+
+use lopc_core::{GeneralModel, Machine, Scenario};
+use lopc_serve::codec::PREDICTION_FIELDS;
+use lopc_serve::json::{parse, Json};
+use lopc_serve::server::{start, ServerConfig};
+use lopc_serve::Client;
+
+fn machine() -> Machine {
+    Machine::new(32, 25.0, 200.0).with_c2(0.0)
+}
+
+fn start_server() -> lopc_serve::ServerHandle {
+    start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+/// Keys of an object, in order.
+fn keys(v: &Json) -> Vec<&str> {
+    match v {
+        Json::Object(kv) => kv.iter().map(|(k, _)| k.as_str()).collect(),
+        _ => panic!("expected an object, got {v:?}"),
+    }
+}
+
+#[test]
+fn all_endpoints_round_trip_over_a_socket() {
+    let server = start_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Single predict, all five scenario kinds.
+    let scenarios = vec![
+        Scenario::AllToAll {
+            machine: machine(),
+            w: 1000.0,
+        },
+        Scenario::ClientServer {
+            machine: machine(),
+            w: 1000.0,
+            ps: None,
+        },
+        Scenario::ForkJoin {
+            machine: machine(),
+            w: 2000.0,
+            k: 4,
+        },
+        Scenario::SharedMemory {
+            machine: machine(),
+            w: 800.0,
+        },
+        Scenario::General(GeneralModel::client_server(machine(), 700.0, 3)),
+    ];
+    for s in &scenarios {
+        let p = client
+            .predict(s)
+            .unwrap_or_else(|e| panic!("{}: {e}", s.kind()));
+        let direct = lopc_core::scenario::solve(s).unwrap();
+        assert!(
+            lopc_serve::predictions_identical(&p, &direct),
+            "{}: served {p:?} != library {direct:?}",
+            s.kind()
+        );
+    }
+
+    // Batch returns one prediction per scenario, in order.
+    let batch = client.predict_batch(&scenarios).expect("batch");
+    assert_eq!(batch.len(), scenarios.len());
+    for (s, p) in scenarios.iter().zip(&batch) {
+        let direct = lopc_core::scenario::solve(s).unwrap();
+        assert!(
+            lopc_serve::predictions_identical(p, &direct),
+            "{}",
+            s.kind()
+        );
+    }
+
+    // Metrics reflect the traffic this test generated.
+    let metrics = client.metrics().expect("metrics");
+    let requests = metrics.get("requests").expect("requests");
+    assert_eq!(requests.get("predict").unwrap().as_num(), Some(5.0));
+    assert_eq!(requests.get("predict_batch").unwrap().as_num(), Some(1.0));
+    let cache = metrics.get("cache").expect("cache");
+    // The batch repeated all five scenarios: every one was a hit.
+    assert_eq!(cache.get("hits").unwrap().as_num(), Some(5.0));
+    assert_eq!(cache.get("misses").unwrap().as_num(), Some(5.0));
+
+    server.shutdown();
+}
+
+#[test]
+fn response_schemas_do_not_drift() {
+    let server = start_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Prediction schema: exactly the documented fields, in order.
+    let body = r#"{"kind":"all_to_all","machine":{"p":32,"st":25,"so":200,"c2":0},"w":1000}"#;
+    let doc = client
+        .request_json("POST", "/v1/predict", body.as_bytes())
+        .expect("predict");
+    assert_eq!(keys(&doc), PREDICTION_FIELDS.to_vec());
+
+    // Batch schema: {"predictions": [prediction...]}.
+    let batch_body = format!(r#"{{"scenarios":[{body}]}}"#);
+    let doc = client
+        .request_json("POST", "/v1/predict/batch", batch_body.as_bytes())
+        .expect("batch");
+    assert_eq!(keys(&doc), vec!["predictions"]);
+    let preds = doc.get("predictions").unwrap().as_array().unwrap();
+    assert_eq!(keys(&preds[0]), PREDICTION_FIELDS.to_vec());
+
+    // Metrics schema: stable top-level sections and their key fields.
+    let doc = client.metrics().expect("metrics");
+    assert_eq!(
+        keys(&doc),
+        vec![
+            "requests",
+            "responses",
+            "scenarios_solved",
+            "cache",
+            "latency_ns"
+        ]
+    );
+    assert_eq!(
+        keys(doc.get("requests").unwrap()),
+        vec!["predict", "predict_batch", "metrics", "other", "total"]
+    );
+    assert_eq!(
+        keys(doc.get("responses").unwrap()),
+        vec!["ok_2xx", "client_error_4xx", "server_error_5xx"]
+    );
+    assert_eq!(
+        keys(doc.get("cache").unwrap()),
+        vec!["hits", "misses", "hit_rate"]
+    );
+    assert_eq!(keys(doc.get("latency_ns").unwrap()), vec!["p50", "p99"]);
+
+    server.shutdown();
+}
+
+#[test]
+fn http_errors_are_clean_json_not_hangs() {
+    let server = start_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let (status, body) = client.request("GET", "/nope", b"").unwrap();
+    assert_eq!(status, 404);
+    assert!(parse(std::str::from_utf8(&body).unwrap())
+        .unwrap()
+        .get("error")
+        .is_some());
+
+    let (status, _) = client.request("POST", "/v1/predict", b"{oops").unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = client.request("GET", "/v1/predict", b"").unwrap();
+    assert_eq!(status, 405);
+
+    // Unsolvable scenario -> 422 with an error body; connection stays
+    // usable afterwards (keep-alive survives application errors).
+    let bad = r#"{"kind":"all_to_all","machine":{"p":1,"st":1,"so":1,"c2":1},"w":1}"#;
+    let (status, _) = client
+        .request("POST", "/v1/predict", bad.as_bytes())
+        .unwrap();
+    assert_eq!(status, 422);
+    let metrics = client.metrics().expect("connection still alive");
+    assert!(metrics.get("responses").is_some());
+
+    // Query strings route to the path's endpoint, not 404.
+    let (status, _) = client.request("GET", "/metrics?pretty=1", b"").unwrap();
+    assert_eq!(status, 200);
+
+    // Unexpected methods on known paths are 405, and HEAD responses carry
+    // no body — the connection stays in sync afterwards.
+    let (status, body) = client.request("HEAD", "/v1/predict", b"").unwrap();
+    assert_eq!(status, 405);
+    assert!(body.is_empty(), "HEAD response must have no body");
+    let (status, _) = client.request("PUT", "/metrics", b"").unwrap();
+    assert_eq!(status, 405);
+    assert!(client.metrics().is_ok(), "framing survived HEAD and PUT");
+
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_are_served_in_parallel_workers() {
+    let server = start_server();
+    let addr = server.addr();
+    let ws: Vec<f64> = (0..8).map(|i| 100.0 + 37.0 * i as f64).collect();
+    std::thread::scope(|s| {
+        for t in 0..4usize {
+            let ws = &ws;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for (i, &w) in ws.iter().enumerate() {
+                    let scenario = Scenario::AllToAll {
+                        machine: machine(),
+                        w: w + (((t + i) % 2) as f64) * 0.5,
+                    };
+                    let p = client.predict(&scenario).expect("predict");
+                    let direct = lopc_core::scenario::solve(&scenario).unwrap();
+                    assert!(lopc_serve::predictions_identical(&p, &direct));
+                }
+            });
+        }
+    });
+    let svc = server.service();
+    assert_eq!(svc.metrics().requests_total(), 32);
+    assert!(svc.cache().hits() > 0, "repeated scenarios must hit");
+    server.shutdown();
+}

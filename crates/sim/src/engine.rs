@@ -214,6 +214,9 @@ pub struct Engine {
     /// Active threads not yet `Done` (makespan mode termination).
     active_remaining: usize,
     makespan: Time,
+    /// When `Some`, measured cycles append their response time here in
+    /// completion order (see [`Engine::with_cycle_trace`]).
+    trace: Option<Vec<f64>>,
 }
 
 impl Engine {
@@ -258,6 +261,7 @@ impl Engine {
             max_cycles,
             active_remaining: cfg.active_threads(),
             makespan: 0.0,
+            trace: None,
             cfg,
         };
         eng.bootstrap();
@@ -298,6 +302,17 @@ impl Engine {
             node,
             kind,
         });
+    }
+
+    /// Record the per-cycle response-time series: every measured cycle
+    /// (pooled over nodes, in completion order) is appended to
+    /// [`SimReport::cycle_trace`]. Off by default — the trace costs one
+    /// `f64` of memory per cycle, which a long horizon turns into real
+    /// footprint, so only runs that feed `lopc_stats::batch_means` ask for
+    /// it.
+    pub fn with_cycle_trace(mut self) -> Self {
+        self.trace = Some(Vec::new());
+        self
     }
 
     /// Current simulated time.
@@ -552,6 +567,9 @@ impl Engine {
                     node.stats.rq.push(cyc_rq);
                     node.stats.ry.push(cyc_ry);
                     node.stats.cycles += 1;
+                    if let Some(trace) = &mut self.trace {
+                        trace.push(r);
+                    }
                 }
                 self.nodes[k].cycles_done += 1;
                 self.makespan = self.now;
@@ -717,6 +735,7 @@ impl Engine {
             window,
             makespan: self.makespan,
             events: self.events,
+            cycle_trace: self.trace.unwrap_or_default(),
         }
     }
 }

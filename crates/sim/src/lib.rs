@@ -78,8 +78,8 @@ pub use config::{ConfigError, SimConfig, StopCondition, ThreadSpec};
 pub use engine::Engine;
 pub use routing::DestChooser;
 pub use runner::{
-    run, run_paired, run_replications, run_replications_with, run_until_precision,
-    run_with_scheduler, MeanCi, Replications,
+    run, run_paired, run_paired_until, run_replications, run_replications_with, run_traced,
+    run_until_precision, run_with_scheduler, MeanCi, Replications,
 };
 pub use sched::{BinaryHeapQueue, CalendarQueue, EventQueue, Keyed, Scheduler};
 pub use stats::{NodeSummary, SimReport, TimeWeighted, Welford};

@@ -6,7 +6,7 @@ use crate::config::{ConfigError, SimConfig};
 use crate::engine::Engine;
 use crate::sched::Scheduler;
 use crate::stats::SimReport;
-use lopc_stats::{Confidence, StoppingRule, Summary};
+use lopc_stats::{Confidence, PairedOutcome, StoppingRule, Summary};
 
 /// Run one simulation to completion with the adaptive default scheduler
 /// (see [`Engine::new`]).
@@ -21,6 +21,17 @@ pub fn run(cfg: &SimConfig) -> Result<SimReport, ConfigError> {
 /// and scheduler benchmarks.
 pub fn run_with_scheduler(cfg: &SimConfig, scheduler: Scheduler) -> Result<SimReport, ConfigError> {
     Ok(Engine::with_scheduler(cfg.clone(), scheduler)?.run_to_completion())
+}
+
+/// Run one simulation recording the per-cycle response-time series
+/// ([`SimReport::cycle_trace`]) — the within-run input to
+/// `lopc_stats::batch_means` for single-long-run confidence intervals where
+/// 5+ replications are unaffordable. Identical to [`run`] in every other
+/// respect (same seed → same report, trace or not).
+pub fn run_traced(cfg: &SimConfig) -> Result<SimReport, ConfigError> {
+    Ok(Engine::new(cfg.clone())?
+        .with_cycle_trace()
+        .run_to_completion())
 }
 
 /// Mean with a Student-t 95 % confidence half-width across replications.
@@ -254,6 +265,46 @@ pub fn run_paired(
     ))
 }
 
+/// [`run_paired`] under the sequential stopping rule for *paired*
+/// comparisons: replicate both systems (CRN — replication `i` of each uses
+/// seed `cfg.seed + i`) until the paired-t interval of
+/// `stat(a) − stat(b)` excludes zero or meets the rule's precision target,
+/// or the cap strikes (`outcome.decisive == false`).
+///
+/// Replication `i` always runs seed `cfg.seed + i` for both systems
+/// regardless of batching, so the run set is a deterministic function of
+/// `(cfg_a, cfg_b, rule)`. All reports are kept; further statistics can be
+/// pulled from the same runs.
+pub fn run_paired_until(
+    cfg_a: &SimConfig,
+    cfg_b: &SimConfig,
+    rule: &StoppingRule,
+    stat: impl Fn(&SimReport) -> f64,
+) -> Result<(Replications, Replications, PairedOutcome), ConfigError> {
+    cfg_a.validate()?;
+    cfg_b.validate()?;
+    let mut reports_a: Vec<SimReport> = Vec::with_capacity(rule.min_reps);
+    let mut reports_b: Vec<SimReport> = Vec::with_capacity(rule.min_reps);
+    let outcome = lopc_stats::run_paired_to_decision(rule, |range| {
+        let batch_a = run_index_range(cfg_a, range.clone(), None);
+        let batch_b = run_index_range(cfg_b, range, None);
+        let pairs: Vec<(f64, f64)> = batch_a
+            .iter()
+            .zip(&batch_b)
+            .map(|(a, b)| (stat(a), stat(b)))
+            .collect();
+        reports_a.extend(batch_a);
+        reports_b.extend(batch_b);
+        pairs
+    });
+    debug_assert_eq!(outcome.diffs.len(), reports_a.len());
+    Ok((
+        Replications { reports: reports_a },
+        Replications { reports: reports_b },
+        outcome,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +438,56 @@ mod tests {
         let seq = run_until_precision(&cfg(), &rule, |r| r.aggregate.mean_r).unwrap();
         assert_eq!(seq.reports.len(), 6);
         assert!(!rule.satisfied_by(&seq.summary(|r| r.aggregate.mean_r)));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_covers_all_cycles() {
+        let plain = run(&cfg()).unwrap();
+        let traced = run_traced(&cfg()).unwrap();
+        // The trace changes nothing about the simulation itself.
+        assert_eq!(plain.aggregate.mean_r, traced.aggregate.mean_r);
+        assert_eq!(plain.events, traced.events);
+        assert!(plain.cycle_trace.is_empty(), "plain runs carry no trace");
+        // One entry per measured cycle, and their mean is the pooled mean.
+        assert_eq!(
+            traced.cycle_trace.len() as u64,
+            traced.aggregate.total_cycles
+        );
+        let trace_mean = traced.cycle_trace.iter().sum::<f64>() / traced.cycle_trace.len() as f64;
+        assert!((trace_mean - traced.aggregate.mean_r).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paired_until_decides_a_clear_difference_early() {
+        let a = cfg();
+        let mut b = cfg();
+        // Much slower handlers: R difference is large and obvious.
+        b.request_handler = ServiceTime::exponential(120.0);
+        b.reply_handler = ServiceTime::exponential(120.0);
+        let rule = StoppingRule::default().with_reps(4, 16);
+        let (ra, rb, outcome) = run_paired_until(&b, &a, &rule, |r| r.aggregate.mean_r).unwrap();
+        assert!(outcome.decisive);
+        assert!(outcome.excludes_zero(rule.confidence));
+        assert!(outcome.summary.mean > 0.0, "slower handlers raise R");
+        assert_eq!(ra.reports.len(), rb.reports.len());
+        assert_eq!(ra.reports.len(), outcome.diffs.len());
+        // CRN: system A's replications equal the plain fixed-count ones.
+        let plain = run_replications(&a, ra.reports.len()).unwrap();
+        for (x, y) in rb.reports.iter().zip(&plain.reports) {
+            assert_eq!(x.aggregate.mean_r, y.aggregate.mean_r);
+        }
+    }
+
+    #[test]
+    fn paired_until_identical_systems_is_undecided_at_cap_or_zero() {
+        let a = cfg();
+        let rule = StoppingRule::default().with_reps(3, 5);
+        let (_, _, outcome) = run_paired_until(&a, &a, &rule, |r| r.aggregate.mean_r).unwrap();
+        // Identical systems: every diff is exactly 0, so the zero-width
+        // interval satisfies the precision target immediately.
+        assert!(outcome.decisive);
+        assert!(!outcome.excludes_zero(rule.confidence));
+        assert_eq!(outcome.summary.mean, 0.0);
     }
 
     #[test]

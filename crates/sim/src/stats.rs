@@ -255,6 +255,15 @@ pub struct SimReport {
     pub makespan: f64,
     /// Total events processed (performance diagnostics).
     pub events: u64,
+    /// Per-cycle response times in completion order, pooled over nodes —
+    /// recorded only when the run was started with
+    /// [`Engine::with_cycle_trace`](crate::Engine::with_cycle_trace) (or
+    /// [`run_traced`](crate::runner::run_traced)), empty otherwise. This is
+    /// the within-run series `lopc_stats::batch_means` consumes to build a
+    /// single-long-run CI where 5+ replications are unaffordable; successive
+    /// entries are autocorrelated, so never feed them to a plain
+    /// [`Summary`](lopc_stats::Summary) as if independent.
+    pub cycle_trace: Vec<f64>,
 }
 
 /// Pooled statistics across nodes.

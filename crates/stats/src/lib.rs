@@ -16,9 +16,11 @@
 //! * [`paired`] — common-random-numbers paired comparison: the
 //!   variance-reduced CI on the mean *difference* of two systems simulated
 //!   with identical seeds;
-//! * [`sequential`] — a relative-precision sequential stopping rule: draw
-//!   replications until the CI half-width falls below a target fraction of
-//!   the mean, with a hard replication cap;
+//! * [`sequential`] — sequential stopping rules: draw replications until the
+//!   CI half-width falls below a target fraction of the mean
+//!   ([`run_to_precision`]), or draw CRN *pairs* until the difference CI
+//!   excludes zero or meets the precision target
+//!   ([`run_paired_to_decision`]), both with a hard replication cap;
 //! * [`equivalence`] — acceptance criteria for model-vs-measurement claims:
 //!   CI-contains-prediction, TOST-style equivalence at a margin, and
 //!   asymmetric bands for signed claims (e.g. "conservative by at most 5 %").
@@ -53,6 +55,8 @@ pub mod tquantile;
 pub use batch::batch_means;
 pub use equivalence::{check_match, Acceptance, MatchReport};
 pub use paired::paired_diff_summary;
-pub use sequential::{run_to_precision, SequentialOutcome, StoppingRule};
+pub use sequential::{
+    run_paired_to_decision, run_to_precision, PairedOutcome, SequentialOutcome, StoppingRule,
+};
 pub use summary::Summary;
 pub use tquantile::{t_quantile, Confidence};

@@ -132,6 +132,100 @@ pub fn run_to_precision(
     }
 }
 
+/// What the paired sequential procedure produced.
+#[derive(Clone, Debug)]
+pub struct PairedOutcome {
+    /// Per-pair differences `a[i] − b[i]`, in draw order.
+    pub diffs: Vec<f64>,
+    /// Summary of the differences (paired-t interval).
+    pub summary: Summary,
+    /// True when the procedure stopped because the diff CI excluded zero
+    /// (a significant difference) or met the precision target; false when
+    /// the replication cap struck first.
+    pub decisive: bool,
+}
+
+impl PairedOutcome {
+    /// The diff CI at the rule's confidence excludes zero — the two systems
+    /// are significantly different in the sign of `summary.mean`.
+    pub fn excludes_zero(&self, confidence: Confidence) -> bool {
+        self.summary.n >= 2 && !self.summary.ci_contains(0.0, confidence)
+    }
+}
+
+/// Sequential **paired** comparison under common random numbers: draw pairs
+/// until the paired-t CI of the difference either *excludes zero* (the
+/// comparison is decided) or satisfies the rule's precision target (the
+/// difference is resolved as near-zero at the requested precision) — or the
+/// cap strikes, reported as `decisive: false`.
+///
+/// `draw(range)` must produce one `(a, b)` pair per index, with both systems
+/// run under the *same* per-index random numbers; like
+/// [`run_to_precision`], indices are handed out contiguously from 0 so a
+/// simulation caller can map index `i` to seed `base + i` and the procedure
+/// is reproducible regardless of batching.
+///
+/// Rationale: a fixed-count CRN comparison either wastes replications on a
+/// lopsided difference (decided after the pilot) or under-resolves a close
+/// one. Stopping on *either* significance or precision keeps both claims
+/// honest — "A beats B" comes with an interval excluding zero, and "no
+/// material difference" comes with an interval tight enough to bound the
+/// effect.
+///
+/// **Multiple looks.** Re-testing significance after every batch is the
+/// classic repeated-significance-testing trap: seven unadjusted 5 % looks
+/// carry far more than 5 % family-wise false-positive risk. The interim
+/// looks therefore use a Pocock-style constant conservative boundary —
+/// the 99 % interval must exclude zero to stop early — and since the
+/// geometric batching makes at most `O(log(max/min))` looks (≤ 8 for any
+/// sane rule), the family-wise error stays near the rule's nominal level.
+/// The reported [`PairedOutcome::summary`] is unadjusted; judge it at the
+/// rule's own confidence via [`PairedOutcome::excludes_zero`].
+pub fn run_paired_to_decision(
+    rule: &StoppingRule,
+    mut draw: impl FnMut(std::ops::Range<usize>) -> Vec<(f64, f64)>,
+) -> PairedOutcome {
+    let min = rule.min_reps.max(2);
+    let max = rule.max_reps.max(min);
+    // The per-look significance boundary (see "Multiple looks" above).
+    let look_level = Confidence::P99;
+    let mut diffs: Vec<f64> = Vec::with_capacity(min);
+    loop {
+        let have = diffs.len();
+        let want = if have == 0 {
+            min
+        } else {
+            (have + have.div_ceil(2)).min(max)
+        };
+        let batch = draw(have..want);
+        assert_eq!(
+            batch.len(),
+            want - have,
+            "draw must return one pair per index"
+        );
+        diffs.extend(batch.into_iter().map(|(a, b)| a - b));
+        let summary = Summary::from_samples(&diffs);
+        let significant = diffs.len() >= min && !summary.ci_contains(0.0, look_level);
+        // Precision on a difference is judged on the absolute escape hatch
+        // when configured (differences are often near zero, where relative
+        // precision is meaningless), else on the rule's relative target.
+        if significant || rule.satisfied_by(&summary) {
+            return PairedOutcome {
+                diffs,
+                summary,
+                decisive: true,
+            };
+        }
+        if diffs.len() >= max {
+            return PairedOutcome {
+                diffs,
+                summary,
+                decisive: false,
+            };
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,5 +303,79 @@ mod tests {
         assert!(out.reached);
         assert_eq!(out.summary.mean, 7.0);
         assert_eq!(out.summary.half_width(rule.confidence), 0.0);
+    }
+
+    /// CRN pair sampler: shared noise plus a per-system offset.
+    fn paired_sampler(
+        seed: u64,
+        gap: f64,
+        noise: f64,
+    ) -> impl FnMut(std::ops::Range<usize>) -> Vec<(f64, f64)> {
+        move |range| {
+            range
+                .map(|i| {
+                    let mut rng = SmallRng::seed_from_u64(seed + i as u64);
+                    let shared = rng.random::<f64>() * 100.0;
+                    let eps_a = (rng.random::<f64>() - 0.5) * noise;
+                    let eps_b = (rng.random::<f64>() - 0.5) * noise;
+                    (shared + gap + eps_a, shared + eps_b)
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn clear_difference_stops_at_pilot_with_significance() {
+        let rule = StoppingRule::default().with_reps(5, 64);
+        let out = run_paired_to_decision(&rule, paired_sampler(1, 10.0, 0.5));
+        assert!(out.decisive);
+        assert_eq!(out.diffs.len(), 5, "pilot should already exclude zero");
+        assert!(out.excludes_zero(rule.confidence));
+        assert!((out.summary.mean - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn near_zero_difference_resolves_by_precision_not_significance() {
+        // No gap: zero stays inside the CI, so only the absolute-precision
+        // escape can end the procedure decisively.
+        let rule = StoppingRule::default()
+            .with_abs_precision(0.5)
+            .with_reps(5, 64);
+        let out = run_paired_to_decision(&rule, paired_sampler(2, 0.0, 1.0));
+        assert!(out.decisive);
+        assert!(!out.excludes_zero(rule.confidence));
+        assert!(out.summary.half_width(rule.confidence) <= 0.5);
+    }
+
+    #[test]
+    fn undecidable_comparison_hits_the_cap_and_says_so() {
+        // Tiny gap, large noise, tight cap: neither significance nor
+        // precision is reachable.
+        let rule = StoppingRule::default()
+            .with_rel_precision(1e-9)
+            .with_reps(4, 8);
+        let out = run_paired_to_decision(&rule, paired_sampler(3, 0.05, 50.0));
+        assert!(!out.decisive);
+        assert_eq!(out.diffs.len(), 8);
+    }
+
+    #[test]
+    fn paired_indices_are_contiguous_from_zero() {
+        let mut seen = Vec::new();
+        let rule = StoppingRule::default()
+            .with_rel_precision(1e-12)
+            .with_reps(3, 11);
+        let out = run_paired_to_decision(&rule, |range| {
+            seen.extend(range.clone());
+            // Alternating ±1 differences: the mean hovers near zero (CI
+            // always contains it) and the impossible relative-precision
+            // target is never met, so the procedure must run to the cap.
+            range
+                .map(|i| (i as f64, i as f64 + if i % 2 == 0 { 1.0 } else { -1.0 }))
+                .collect()
+        });
+        assert_eq!(seen, (0..11).collect::<Vec<_>>());
+        assert_eq!(out.diffs.len(), 11);
+        assert!(!out.decisive);
     }
 }

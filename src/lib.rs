@@ -19,7 +19,9 @@
 //!   work-pile, multi-hop, hotspot);
 //! * [`dist`] (`lopc-dist`) — service-time distributions by `(mean, C²)`;
 //! * [`solver`] (`lopc-solver`) — bisection / damped fixed-point iteration;
-//! * [`report`] (`lopc-report`) — figures, tables, CSV, comparisons.
+//! * [`report`] (`lopc-report`) — figures, tables, CSV, comparisons;
+//! * [`serve`] (`lopc-serve`) — the prediction service: HTTP endpoints over
+//!   the unified [`model::Scenario`] API with a sharded solution cache.
 //!
 //! # Example: predict and validate in five lines
 //!
@@ -36,6 +38,7 @@
 pub use lopc_core as model;
 pub use lopc_dist as dist;
 pub use lopc_report as report;
+pub use lopc_serve as serve;
 pub use lopc_sim as sim;
 pub use lopc_solver as solver;
 pub use lopc_stats as stats;
@@ -45,16 +48,18 @@ pub use lopc_workloads as workloads;
 pub mod prelude {
     pub use lopc_core::{
         Algorithm, AllToAll, ClientServer, ForkJoin, GeneralModel, LogPParams, Machine, ModelError,
+        Prediction, Scenario,
     };
     pub use lopc_dist::{from_mean_cv2, Distribution, ServiceTime};
     pub use lopc_report::{ComparisonTable, Figure, Series};
     pub use lopc_sim::validate::{assert_model_matches_sim, test_seed, Validation};
     pub use lopc_sim::{
-        run, run_paired, run_replications, run_until_precision, DestChooser, SimConfig,
-        StopCondition, ThreadSpec,
+        run, run_paired, run_paired_until, run_replications, run_traced, run_until_precision,
+        DestChooser, SimConfig, StopCondition, ThreadSpec,
     };
     pub use lopc_stats::{
-        check_match, paired_diff_summary, Acceptance, Confidence, StoppingRule, Summary,
+        batch_means, check_match, paired_diff_summary, Acceptance, Confidence, StoppingRule,
+        Summary,
     };
     pub use lopc_workloads::{
         AllToAllWorkload, BulkSync, Forwarding, Hotspot, MatVec, Window, Workpile,

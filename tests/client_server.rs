@@ -147,9 +147,12 @@ fn exponential_handlers_need_more_servers() {
     assert!(p1 > p0);
 
     // Direct sim comparison at a split between the two optima, under
-    // common random numbers: both systems replicate with identical seeds,
-    // and the paired-t interval on the per-seed throughput difference
-    // decides. Claim: more variable handlers cannot *help* throughput.
+    // common random numbers driven by the *paired* sequential stopping
+    // rule: both systems replicate with identical seeds until the paired-t
+    // interval of the throughput difference excludes zero (variability
+    // hurts, significantly) or resolves it as negligible — no fixed
+    // replication count to tune. Claim: more variable handlers cannot
+    // *help* throughput.
     let ps = p0.round() as usize;
     let mut cfg0 = Workpile::new(m0, w, ps)
         .with_window(Window::quick())
@@ -159,15 +162,26 @@ fn exponential_handlers_need_more_servers() {
         .with_window(Window::quick())
         .sim_config(33);
     cfg1.seed = cfg0.seed;
-    let (r0, r1) = run_paired(&cfg0, &cfg1, 8).unwrap();
-    let x0 = r0.samples(|r| r.aggregate.throughput);
-    let x1 = r1.samples(|r| r.aggregate.throughput);
-    let diff = paired_diff_summary(&x1, &x0); // exponential minus constant
+    let rule = StoppingRule::default().with_reps(5, 16);
+    let (r1, r0, outcome) =
+        run_paired_until(&cfg1, &cfg0, &rule, |r| r.aggregate.throughput).unwrap();
+    assert_eq!(r0.reports.len(), r1.reports.len());
+    // The CRN diff summary equals what the manual pairing would compute.
+    let diff = paired_diff_summary(
+        &r1.samples(|r| r.aggregate.throughput),
+        &r0.samples(|r| r.aggregate.throughput),
+    ); // exponential minus constant
+    assert_eq!(outcome.summary.mean, diff.mean);
     let (_, hi) = diff.ci(Confidence::P95);
-    let x0_mean = Summary::from_samples(&x0).mean;
+    let x0_mean = r0.summary(|r| r.aggregate.throughput).mean;
     assert!(
         hi < 0.02 * x0_mean,
         "more variable handlers cannot help: diff CI upper {hi} vs mean {x0_mean} ({} reps)",
         diff.n
     );
+    // If the procedure called the comparison significant, the sign must be
+    // the modelled one (exponential strictly worse).
+    if outcome.excludes_zero(rule.confidence) {
+        assert!(outcome.summary.mean < 0.0, "{:?}", outcome.summary);
+    }
 }

@@ -1,0 +1,124 @@
+//! Single-long-run confidence intervals: the per-cycle trace feeds
+//! `lopc_stats::batch_means`, and the result is pinned against the
+//! replication CI on the same configuration (ROADMAP open item).
+//!
+//! Why it matters: for expensive configurations (large `P`, long horizons)
+//! 5+ independent replications are unaffordable, but one long run is not.
+//! Batch means turns that one run's autocorrelated per-cycle series into an
+//! honest interval. This suite shows the two estimators agree on a
+//! configuration where both are affordable — the evidence that licenses
+//! using batch means alone on the configurations where replications are
+//! not.
+
+use lopc::prelude::*;
+use lopc_dist::ServiceTime;
+
+/// A moderately contended all-to-all machine; the horizon is scaled by
+/// `windows` multiples of the base measurement window.
+fn cfg(windows: f64, seed: u64) -> SimConfig {
+    let base = 50_000.0;
+    SimConfig {
+        p: 8,
+        net_latency: 25.0,
+        request_handler: ServiceTime::exponential(100.0),
+        reply_handler: ServiceTime::exponential(100.0),
+        threads: vec![ThreadSpec::worker(ServiceTime::exponential(400.0)); 8],
+        protocol_processor: false,
+        latency_dist: None,
+        stop: StopCondition::Horizon {
+            warmup: 10_000.0,
+            end: 10_000.0 + base * windows,
+        },
+        seed,
+    }
+}
+
+#[test]
+fn batch_means_ci_agrees_with_replication_ci() {
+    let seed = test_seed(71);
+
+    // Replication path: independent runs of the base window.
+    let reps = run_replications(&cfg(1.0, seed), 8).unwrap();
+    let rep_sum = reps.summary(|r| r.aggregate.mean_r);
+    let (rep_lo, rep_hi) = rep_sum.ci(Confidence::P95);
+
+    // Single-long-run path: one run, 8x the window, batch-means over the
+    // per-cycle trace — same simulated-cycle budget as the replications.
+    let traced = run_traced(&cfg(8.0, seed + 100)).unwrap();
+    assert!(
+        traced.cycle_trace.len() as u64 == traced.aggregate.total_cycles,
+        "trace covers every measured cycle"
+    );
+    let batch_sum = batch_means(&traced.cycle_trace, 16);
+    let (bat_lo, bat_hi) = batch_sum.ci(Confidence::P95);
+
+    // The batch mean is exact for (the truncated prefix of) its own run.
+    let direct: f64 = traced.cycle_trace.iter().sum::<f64>() / traced.cycle_trace.len() as f64;
+    assert!(
+        (batch_sum.mean - direct).abs() < 1.0,
+        "batch mean {} vs direct trace mean {direct}",
+        batch_sum.mean
+    );
+
+    // Pin the two estimators against each other: same quantity, so the
+    // point estimates sit within a few percent and the intervals overlap.
+    let rel_gap = (batch_sum.mean - rep_sum.mean).abs() / rep_sum.mean;
+    assert!(
+        rel_gap < 0.05,
+        "batch-means mean {} vs replication mean {} ({:.1}% apart)",
+        batch_sum.mean,
+        rep_sum.mean,
+        rel_gap * 100.0
+    );
+    assert!(
+        bat_lo < rep_hi && rep_lo < bat_hi,
+        "intervals must overlap: batch [{bat_lo:.1}, {bat_hi:.1}] vs replication [{rep_lo:.1}, {rep_hi:.1}]"
+    );
+
+    // And both intervals are informative (neither collapsed nor unbounded).
+    assert!(rep_sum.half_width(Confidence::P95).is_finite());
+    assert!(batch_sum.half_width(Confidence::P95).is_finite());
+    assert!(batch_sum.half_width(Confidence::P95) > 0.0);
+}
+
+#[test]
+fn naive_ci_on_the_trace_undercovers_but_batch_means_does_not() {
+    // The reason batch means exists: per-cycle samples inside one run are
+    // positively autocorrelated, so the naive iid interval over the raw
+    // trace is far too narrow. The homogeneous pooled trace interleaves 8
+    // independent nodes (which dilutes the correlation), so this claim is
+    // demonstrated where the correlation physically lives: a work-pile with
+    // ONE shared server, whose persistent queue length couples every
+    // cycle's response to its neighbours'.
+    let p = 8;
+    let mut threads = vec![ThreadSpec::server()];
+    for _ in 1..p {
+        threads.push(ThreadSpec {
+            work: Some(ServiceTime::exponential(300.0)),
+            dest: DestChooser::Fixed(0),
+            hops: 1,
+            fanout: 1,
+        });
+    }
+    let cfg = SimConfig {
+        p,
+        net_latency: 25.0,
+        request_handler: ServiceTime::exponential(131.0),
+        reply_handler: ServiceTime::exponential(131.0),
+        threads,
+        protocol_processor: false,
+        latency_dist: None,
+        stop: StopCondition::Horizon {
+            warmup: 10_000.0,
+            end: 410_000.0,
+        },
+        seed: test_seed(72),
+    };
+    let traced = run_traced(&cfg).unwrap();
+    let naive_hw = Summary::from_samples(&traced.cycle_trace).half_width(Confidence::P95);
+    let batch_hw = batch_means(&traced.cycle_trace, 16).half_width(Confidence::P95);
+    assert!(
+        batch_hw > 1.5 * naive_hw,
+        "autocorrelation must widen the honest interval: batch {batch_hw} vs naive {naive_hw}"
+    );
+}
