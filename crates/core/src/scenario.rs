@@ -115,6 +115,272 @@ impl Scenario {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Parameter-space metadata (axes, ranges, grid snapping)
+// ---------------------------------------------------------------------------
+
+/// Number of continuous axes of an interpolation-eligible scenario.
+///
+/// Every closed-form variant (`AllToAll`, `ClientServer`, `ForkJoin`,
+/// `SharedMemory`) is smooth in exactly these four parameters: `W`, `St`,
+/// `So`, `C²`. The `General` variant's parameter space has data-dependent
+/// dimension (per-node work vector plus a routing matrix) and is excluded
+/// from grid interpolation.
+pub const INTERP_AXES: usize = 4;
+
+/// One continuous axis of the LoPC parameter space.
+///
+/// The axis kind fixes the *reference grid* used by interpolating caches:
+/// a shared, query-independent lattice, so that every caller snapping the
+/// same value obtains the same cell. Cycle-valued axes (`Work`, `Latency`,
+/// `Overhead`) use a per-decade mantissa lattice with 2–5 % relative
+/// spacing whose points include the round values machine specs are quoted
+/// in (25, 200, 1000, …); the dimensionless `Cv2` axis uses a linear
+/// lattice of exactly representable `1/8` steps covering the practical
+/// `C² ∈ [0, 4]` range and beyond.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AxisKind {
+    /// Work between requests `W` (cycles).
+    Work,
+    /// Wire latency `St` (cycles).
+    Latency,
+    /// Handler dispatch cost `So` (cycles).
+    Overhead,
+    /// Squared coefficient of variation `C²` (dimensionless).
+    Cv2,
+}
+
+/// One axis value of a concrete scenario: which axis, and where on it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AxisValue {
+    /// Which axis.
+    pub kind: AxisKind,
+    /// The scenario's coordinate on it.
+    pub value: f64,
+}
+
+/// A grid bracket around one coordinate: the nearest reference-grid points
+/// with `lo <= x <= hi`. `lo == hi` means the coordinate *is* a grid point
+/// (a degenerate axis — interpolation weight collapses to a single corner).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AxisBracket {
+    /// Largest grid point `<= x` (bit pattern is part of cell identity).
+    pub lo: f64,
+    /// Smallest grid point `>= x`.
+    pub hi: f64,
+}
+
+impl AxisBracket {
+    /// True when the coordinate sits exactly on the grid.
+    pub fn is_degenerate(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Linear interpolation weight of `x` inside the bracket (0 at `lo`,
+    /// 1 at `hi`; 0 for degenerate brackets).
+    pub fn weight(&self, x: f64) -> f64 {
+        if self.is_degenerate() {
+            0.0
+        } else {
+            ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Mantissa lattice shared by the cycle-valued axes: ~2–5 % relative steps
+/// whose points include the round mantissas (1.0, 1.5, 2.0, 2.5, 5.0, …)
+/// that machine parameters are usually quoted in.
+fn mantissas() -> &'static [f64] {
+    use std::sync::OnceLock;
+    static M: OnceLock<Vec<f64>> = OnceLock::new();
+    M.get_or_init(|| {
+        let mut v = Vec::with_capacity(75);
+        // 1.00 .. 1.95 in 0.05 steps (2.6–5 % relative).
+        v.extend((0..20).map(|i| 1.0 + i as f64 * 0.05));
+        // 2.0 .. 4.9 in 0.1 steps (2–5 %).
+        v.extend((0..30).map(|i| 2.0 + i as f64 * 0.1));
+        // 5.0 .. 9.8 in 0.2 steps (2–4 %).
+        v.extend((0..25).map(|i| 5.0 + i as f64 * 0.2));
+        v
+    })
+}
+
+/// Relative tolerance for "is exactly on the grid": float noise from sweep
+/// generators (`1000.0000001`) must land on the grid point, genuinely
+/// distinct parameters must not.
+const ON_GRID_REL_TOL: f64 = 1e-9;
+
+/// Linear step of the `Cv2` lattice (exactly representable, so grid points
+/// `k/8` are exact binary fractions and `C² ∈ {0, 0.5, 1, 2}` are on-grid).
+const CV2_STEP: f64 = 0.125;
+
+impl AxisKind {
+    /// Short stable axis name (metrics labels, bench reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AxisKind::Work => "w",
+            AxisKind::Latency => "st",
+            AxisKind::Overhead => "so",
+            AxisKind::Cv2 => "c2",
+        }
+    }
+
+    /// The validated parameter range of this axis: every model variant
+    /// accepts exactly `[0, ∞)` on all four axes, and the cycle time `R`
+    /// is monotone non-decreasing in each of them (more work, longer
+    /// wires, costlier handlers, or burstier service never *reduce* it —
+    /// throughput `X` correspondingly never rises). Grid cells therefore
+    /// never straddle a validity boundary: any bracket of an in-range
+    /// coordinate is itself in range, which is what lets an interpolating
+    /// cache solve corner scenarios without re-validating.
+    pub fn valid_range(&self) -> (f64, f64) {
+        (0.0, f64::INFINITY)
+    }
+
+    /// Bracket `x` between reference-grid points.
+    ///
+    /// Returns `None` when `x` cannot be placed on the grid: non-finite,
+    /// negative, or at a magnitude extreme (`|x|` outside `10^±300`) where
+    /// the lattice arithmetic itself would lose precision. `x = 0` is a
+    /// grid point of every axis by definition.
+    pub fn bracket(&self, x: f64) -> Option<AxisBracket> {
+        if !x.is_finite() || x < 0.0 {
+            return None;
+        }
+        if x == 0.0 {
+            return Some(AxisBracket { lo: 0.0, hi: 0.0 });
+        }
+        let (lo, hi) = match self {
+            AxisKind::Cv2 => {
+                let k = (x / CV2_STEP).floor();
+                (k * CV2_STEP, (k + 1.0) * CV2_STEP)
+            }
+            _ => {
+                let e = x.log10().floor() as i32;
+                if !(-300..=300).contains(&e) {
+                    return None;
+                }
+                let dec = 10f64.powi(e);
+                // Guard the decade against log/floor rounding at decade
+                // boundaries: m must land in [1, 10).
+                let (dec, e) = if x / dec < 1.0 {
+                    (10f64.powi(e - 1), e - 1)
+                } else if x / dec >= 10.0 {
+                    (10f64.powi(e + 1), e + 1)
+                } else {
+                    (dec, e)
+                };
+                let m = x / dec;
+                let table = mantissas();
+                let i = match table.binary_search_by(|p| p.partial_cmp(&m).unwrap()) {
+                    Ok(i) => i,
+                    Err(0) => 0,
+                    Err(i) => i - 1,
+                };
+                let lo = table[i] * dec;
+                let hi = match table.get(i + 1) {
+                    Some(&next) => next * dec,
+                    None => 10f64.powi(e + 1),
+                };
+                (lo, hi)
+            }
+        };
+        // Collapse onto an endpoint when x is within float noise of it.
+        // The tolerance is *relative* to the grid point; only the C² axis
+        // (whose lattice includes 0) needs an absolute floor — applying it
+        // to cycle axes would swallow whole cells at magnitudes below the
+        // step size.
+        let near = |g: f64| {
+            let scale = match self {
+                AxisKind::Cv2 => g.abs().max(CV2_STEP),
+                _ => g.abs(),
+            };
+            (x - g).abs() <= ON_GRID_REL_TOL * scale
+        };
+        if near(lo) {
+            return Some(AxisBracket { lo, hi: lo });
+        }
+        if near(hi) {
+            return Some(AxisBracket { lo: hi, hi });
+        }
+        debug_assert!(lo < x && x < hi, "bracket invariant: {lo} < {x} < {hi}");
+        Some(AxisBracket { lo, hi })
+    }
+}
+
+impl Scenario {
+    /// The scenario's continuous axes, in canonical order
+    /// `[W, St, So, C²]`, or `None` for variants that are not
+    /// interpolation-eligible (`General`: data-dependent dimension).
+    ///
+    /// Together with [`Scenario::with_axis_values`] this is the complete
+    /// parameter-space metadata an interpolating cache needs: enumerate the
+    /// coordinates, snap each onto its [`AxisKind`] reference grid, and
+    /// re-materialise corner/probe scenarios at grid coordinates. Discrete
+    /// parameters (`P`, `ps`, `k`, the variant itself) are cell identity,
+    /// never interpolated over.
+    pub fn interp_axes(&self) -> Option<[AxisValue; INTERP_AXES]> {
+        let (machine, w) = match self {
+            Scenario::AllToAll { machine, w }
+            | Scenario::SharedMemory { machine, w }
+            | Scenario::ClientServer { machine, w, .. }
+            | Scenario::ForkJoin { machine, w, .. } => (machine, *w),
+            Scenario::General(_) => return None,
+        };
+        Some([
+            AxisValue {
+                kind: AxisKind::Work,
+                value: w,
+            },
+            AxisValue {
+                kind: AxisKind::Latency,
+                value: machine.s_l,
+            },
+            AxisValue {
+                kind: AxisKind::Overhead,
+                value: machine.s_o,
+            },
+            AxisValue {
+                kind: AxisKind::Cv2,
+                value: machine.c2,
+            },
+        ])
+    }
+
+    /// The same scenario relocated to new axis coordinates
+    /// `[W, St, So, C²]` (discrete parameters untouched), or `None` for
+    /// ineligible variants.
+    pub fn with_axis_values(&self, v: [f64; INTERP_AXES]) -> Option<Scenario> {
+        let relocate = |machine: &Machine| Machine {
+            p: machine.p,
+            s_l: v[1],
+            s_o: v[2],
+            c2: v[3],
+        };
+        match self {
+            Scenario::AllToAll { machine, .. } => Some(Scenario::AllToAll {
+                machine: relocate(machine),
+                w: v[0],
+            }),
+            Scenario::SharedMemory { machine, .. } => Some(Scenario::SharedMemory {
+                machine: relocate(machine),
+                w: v[0],
+            }),
+            Scenario::ClientServer { machine, ps, .. } => Some(Scenario::ClientServer {
+                machine: relocate(machine),
+                w: v[0],
+                ps: *ps,
+            }),
+            Scenario::ForkJoin { machine, k, .. } => Some(Scenario::ForkJoin {
+                machine: relocate(machine),
+                w: v[0],
+                k: *k,
+            }),
+            Scenario::General(_) => None,
+        }
+    }
+}
+
 /// The common shape of a solved scenario: the Figure 4-4 response-time
 /// decomposition plus throughput, for whichever variant produced it.
 ///
@@ -371,6 +637,145 @@ mod tests {
             Scenario::SharedMemory { machine: m, w: 1.0 }.kind(),
             "shared_memory"
         );
+    }
+
+    #[test]
+    fn round_machine_parameters_sit_on_the_grid() {
+        // The canonical machines of the thesis quantize onto lattice points,
+        // so sweeps over W at a fixed machine get degenerate machine axes
+        // (1-D cells, two corners) instead of full 4-D cells.
+        for (kind, x) in [
+            (AxisKind::Latency, 25.0),
+            (AxisKind::Overhead, 200.0),
+            (AxisKind::Work, 1000.0),
+            (AxisKind::Work, 500.0),
+            (AxisKind::Latency, 50.0),
+            (AxisKind::Cv2, 0.0),
+            (AxisKind::Cv2, 1.0),
+            (AxisKind::Cv2, 2.0),
+            (AxisKind::Cv2, 0.5),
+        ] {
+            let b = kind.bracket(x).unwrap();
+            assert!(
+                b.is_degenerate(),
+                "{}={x} must be on-grid, got {b:?}",
+                kind.name()
+            );
+            assert_eq!(b.lo, x);
+        }
+    }
+
+    #[test]
+    fn float_noise_collapses_onto_the_grid_point() {
+        let b = AxisKind::Work.bracket(1000.0000001).unwrap();
+        assert!(b.is_degenerate());
+        assert_eq!(b.lo, 1000.0);
+    }
+
+    #[test]
+    fn off_grid_values_get_proper_brackets() {
+        for (kind, x) in [
+            (AxisKind::Work, 131.0),
+            (AxisKind::Work, 777.7),
+            (AxisKind::Latency, 33.3),
+            (AxisKind::Cv2, 1.3),
+            (AxisKind::Work, 0.00123),
+            (AxisKind::Work, 123456.7),
+        ] {
+            let b = kind.bracket(x).unwrap();
+            assert!(b.lo < x && x < b.hi, "{}={x}: {b:?}", kind.name());
+            assert!(!b.is_degenerate());
+            let t = b.weight(x);
+            assert!(t > 0.0 && t < 1.0);
+            // Brackets are tight: 2–5 % relative on cycle axes, one linear
+            // step on C².
+            if kind == AxisKind::Cv2 {
+                assert!((b.hi - b.lo - 0.125).abs() < 1e-12);
+            } else {
+                let rel = (b.hi - b.lo) / b.lo;
+                assert!(
+                    rel > 0.015 && rel < 0.055,
+                    "{}={x}: step {rel}",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bracket_is_consistent_across_the_cell() {
+        // Every x inside a cell brackets to the same (lo, hi) — the property
+        // that makes cells shared between queries.
+        let b = AxisKind::Work.bracket(777.7).unwrap();
+        for f in [0.05, 0.3, 0.7, 0.95] {
+            let x = b.lo + f * (b.hi - b.lo);
+            let bx = AxisKind::Work.bracket(x).unwrap();
+            if bx.is_degenerate() {
+                // Only possible within float tolerance of an endpoint.
+                assert!(bx.lo == b.lo || bx.lo == b.hi);
+            } else {
+                assert_eq!((bx.lo, bx.hi), (b.lo, b.hi), "x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_magnitudes_keep_proper_brackets() {
+        // Regression: the degeneracy tolerance is relative to the grid
+        // point, so a mid-cell value at tiny magnitude must NOT collapse
+        // onto a corner (an absolute floor here once swallowed whole cells
+        // below ~1e-8).
+        let b = AxisKind::Work.bracket(5.1e-9).unwrap();
+        assert!(!b.is_degenerate(), "5.1e-9 sits mid-cell: {b:?}");
+        assert!(b.lo < 5.1e-9 && 5.1e-9 < b.hi);
+        // While genuine float noise at the same magnitude still snaps.
+        let g = AxisKind::Work.bracket(5e-9 * (1.0 + 1e-12)).unwrap();
+        assert!(g.is_degenerate());
+    }
+
+    #[test]
+    fn zero_and_extremes() {
+        let z = AxisKind::Work.bracket(0.0).unwrap();
+        assert!(z.is_degenerate() && z.lo == 0.0);
+        assert!(AxisKind::Work.bracket(f64::NAN).is_none());
+        assert!(AxisKind::Work.bracket(-1.0).is_none());
+        assert!(AxisKind::Work.bracket(1e305).is_none());
+        assert!(AxisKind::Work.bracket(1e-305).is_none());
+        // Decade boundary from below: bracket of 9.99e2 spans into 1e3.
+        let b = AxisKind::Work.bracket(999.0).unwrap();
+        assert_eq!(b.hi, 1000.0);
+        assert!((b.lo - 980.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn axes_enumerate_and_relocate() {
+        let s = Scenario::ForkJoin {
+            machine: machine(),
+            w: 2000.0,
+            k: 4,
+        };
+        let axes = s.interp_axes().unwrap();
+        assert_eq!(axes[0].kind, AxisKind::Work);
+        assert_eq!(axes[0].value, 2000.0);
+        assert_eq!(axes[1].value, 25.0);
+        assert_eq!(axes[2].value, 200.0);
+        assert_eq!(axes[3].value, 0.0);
+        let moved = s.with_axis_values([1500.0, 30.0, 210.0, 1.0]).unwrap();
+        match moved {
+            Scenario::ForkJoin { machine, w, k } => {
+                assert_eq!(w, 1500.0);
+                assert_eq!(machine.s_l, 30.0);
+                assert_eq!(machine.s_o, 210.0);
+                assert_eq!(machine.c2, 1.0);
+                assert_eq!(machine.p, 32);
+                assert_eq!(k, 4, "discrete parameters are never relocated");
+            }
+            other => panic!("variant changed: {other:?}"),
+        }
+        // General is ineligible.
+        let g = Scenario::General(GeneralModel::homogeneous_all_to_all(machine(), 100.0));
+        assert!(g.interp_axes().is_none());
+        assert!(g.with_axis_values([1.0, 1.0, 1.0, 1.0]).is_none());
     }
 
     #[test]

@@ -9,10 +9,22 @@
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
 
-use crate::codec::{prediction_from_json, scenario_to_json};
+use crate::codec::{prediction_from_json, scenario_to_json, MAX_REL_ERR_FIELD};
 use crate::http::{read_response, HttpError};
 use crate::json::{parse, Json};
 use lopc_core::{Prediction, Scenario};
+
+/// Append `max_rel_err` to a request object when it is non-zero (zero is
+/// the wire default, and omitting it keeps exact-mode requests identical to
+/// pre-interpolation clients).
+fn with_tolerance(mut kv: Json, max_rel_err: f64) -> Json {
+    if max_rel_err != 0.0 {
+        if let Json::Object(fields) = &mut kv {
+            fields.push((MAX_REL_ERR_FIELD.into(), Json::Num(max_rel_err)));
+        }
+    }
+    kv
+}
 
 /// Client-side failure: transport, protocol, or an error status.
 #[derive(Debug)]
@@ -107,22 +119,45 @@ impl Client {
         parse(&text).map_err(ClientError::Protocol)
     }
 
-    /// `POST /v1/predict` for one scenario.
+    /// `POST /v1/predict` for one scenario (exact mode).
     pub fn predict(&mut self, scenario: &Scenario) -> Result<Prediction, ClientError> {
-        let body = scenario_to_json(scenario).to_compact();
+        self.predict_within(scenario, 0.0)
+    }
+
+    /// `POST /v1/predict` with a `max_rel_err` tolerance: `0` is exact
+    /// mode; a positive bound permits certified grid interpolation.
+    pub fn predict_within(
+        &mut self,
+        scenario: &Scenario,
+        max_rel_err: f64,
+    ) -> Result<Prediction, ClientError> {
+        let body = with_tolerance(scenario_to_json(scenario), max_rel_err).to_compact();
         let doc = self.request_json("POST", "/v1/predict", body.as_bytes())?;
         prediction_from_json(&doc).map_err(|e| ClientError::Protocol(e.to_string()))
     }
 
-    /// `POST /v1/predict/batch` for a scenario list.
+    /// `POST /v1/predict/batch` for a scenario list (exact mode).
     pub fn predict_batch(
         &mut self,
         scenarios: &[Scenario],
     ) -> Result<Vec<Prediction>, ClientError> {
-        let body = Json::Object(vec![(
-            "scenarios".into(),
-            Json::Array(scenarios.iter().map(scenario_to_json).collect()),
-        )])
+        self.predict_batch_within(scenarios, 0.0)
+    }
+
+    /// `POST /v1/predict/batch` with a `max_rel_err` tolerance applied to
+    /// every scenario in the batch.
+    pub fn predict_batch_within(
+        &mut self,
+        scenarios: &[Scenario],
+        max_rel_err: f64,
+    ) -> Result<Vec<Prediction>, ClientError> {
+        let body = with_tolerance(
+            Json::Object(vec![(
+                "scenarios".into(),
+                Json::Array(scenarios.iter().map(scenario_to_json).collect()),
+            )]),
+            max_rel_err,
+        )
         .to_compact();
         let doc = self.request_json("POST", "/v1/predict/batch", body.as_bytes())?;
         let items = doc
@@ -138,5 +173,16 @@ impl Client {
     /// `GET /metrics`.
     pub fn metrics(&mut self) -> Result<Json, ClientError> {
         self.request_json("GET", "/metrics", b"")
+    }
+
+    /// `GET /metrics?format=prom`: the Prometheus text exposition.
+    pub fn metrics_prometheus(&mut self) -> Result<String, ClientError> {
+        let (status, body) = self.request("GET", "/metrics?format=prom", b"")?;
+        let text = String::from_utf8(body)
+            .map_err(|_| ClientError::Protocol("response body is not UTF-8".into()))?;
+        if status != 200 {
+            return Err(ClientError::Status(status, text));
+        }
+        Ok(text)
     }
 }

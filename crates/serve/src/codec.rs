@@ -223,6 +223,31 @@ pub fn scenario_from_json(v: &Json) -> Result<Scenario, DecodeError> {
 }
 
 // ---------------------------------------------------------------------------
+// Request options
+// ---------------------------------------------------------------------------
+
+/// Name of the optional tolerance field accepted by `POST /v1/predict`
+/// (alongside the scenario fields) and by `POST /v1/predict/batch`
+/// (top-level, next to `"scenarios"`).
+pub const MAX_REL_ERR_FIELD: &str = "max_rel_err";
+
+/// Decode the optional `max_rel_err` tolerance from a request document.
+///
+/// Absent or `null` means exact mode (`0.0`). A present value must be a
+/// finite number in `[0, 1]` — a *relative* error bound above 100 % is
+/// certainly a client bug, and rejecting it early (400) beats serving
+/// nonsense.
+pub fn max_rel_err_from_json(v: &Json) -> Result<f64, DecodeError> {
+    match v.get(MAX_REL_ERR_FIELD) {
+        None | Some(Json::Null) => Ok(0.0),
+        Some(Json::Num(x)) if x.is_finite() && (0.0..=1.0).contains(x) => Ok(*x),
+        Some(_) => err(format!(
+            "field {MAX_REL_ERR_FIELD:?} must be a number in [0, 1]"
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Prediction
 // ---------------------------------------------------------------------------
 
@@ -374,6 +399,30 @@ mod tests {
         ] {
             let v = parse(doc).unwrap();
             assert!(scenario_from_json(&v).is_err(), "{doc}");
+        }
+    }
+
+    #[test]
+    fn max_rel_err_decoding() {
+        let doc = |s: &str| parse(s).unwrap();
+        assert_eq!(max_rel_err_from_json(&doc("{}")), Ok(0.0));
+        assert_eq!(
+            max_rel_err_from_json(&doc(r#"{"max_rel_err":null}"#)),
+            Ok(0.0)
+        );
+        assert_eq!(max_rel_err_from_json(&doc(r#"{"max_rel_err":0}"#)), Ok(0.0));
+        assert_eq!(
+            max_rel_err_from_json(&doc(r#"{"max_rel_err":0.001}"#)),
+            Ok(0.001)
+        );
+        assert_eq!(max_rel_err_from_json(&doc(r#"{"max_rel_err":1}"#)), Ok(1.0));
+        for bad in [
+            r#"{"max_rel_err":-0.1}"#,
+            r#"{"max_rel_err":1.5}"#,
+            r#"{"max_rel_err":"x"}"#,
+            r#"{"max_rel_err":true}"#,
+        ] {
+            assert!(max_rel_err_from_json(&doc(bad)).is_err(), "{bad}");
         }
     }
 

@@ -53,8 +53,11 @@ fn bad<T>(msg: impl Into<String>) -> Result<T, HttpError> {
 pub struct Request {
     /// Method verb, upper-cased as received (`GET`, `POST`, …).
     pub method: String,
-    /// Request target (path only; this server ignores query strings).
+    /// Request target path (query string split off into [`Request::query`]).
     pub path: String,
+    /// Raw query string after `?`, if any (`None` when absent; `Some("")`
+    /// for a bare trailing `?`).
+    pub query: Option<String>,
     /// Headers in arrival order, names lower-cased.
     pub headers: Vec<(String, String)>,
     /// Body bytes (empty when no `Content-Length`).
@@ -126,12 +129,13 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> 
     if !version.starts_with("HTTP/1.") {
         return bad(format!("unsupported protocol {version:?}"));
     }
-    // Routing matches on the path alone: drop any query string here so
-    // `/metrics?pretty=1` reaches the `/metrics` endpoint.
-    let path = target
-        .split_once('?')
-        .map_or(target, |(path, _query)| path)
-        .to_string();
+    // Routing matches on the path alone: split any query string off so
+    // `/metrics?format=prom` reaches the `/metrics` endpoint (which then
+    // reads the format knob from the query).
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), Some(query.to_string())),
+        None => (target.to_string(), None),
+    };
 
     let mut headers = Vec::new();
     loop {
@@ -154,6 +158,7 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> 
     let req = Request {
         method,
         path,
+        query,
         headers,
         body: Vec::new(),
     };
@@ -201,16 +206,18 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write one `application/json` response.
+/// Write one response with the given `content-type` (the JSON endpoints
+/// send `application/json`; the Prometheus exposition is `text/plain`).
 pub fn write_response(
     w: &mut impl Write,
     status: u16,
+    content_type: &str,
     body: &str,
     keep_alive: bool,
 ) -> io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
@@ -313,16 +320,21 @@ mod tests {
     }
 
     #[test]
-    fn query_strings_are_stripped_from_the_path() {
+    fn query_strings_are_split_from_the_path() {
         let req = parse(b"GET /metrics?pretty=1&x=2 HTTP/1.1\r\n\r\n")
             .unwrap()
             .unwrap();
         assert_eq!(req.path, "/metrics");
+        assert_eq!(req.query.as_deref(), Some("pretty=1&x=2"));
         // A bare '?' leaves an empty query, same path.
         let req = parse(b"GET /v1/predict? HTTP/1.1\r\n\r\n")
             .unwrap()
             .unwrap();
         assert_eq!(req.path, "/v1/predict");
+        assert_eq!(req.query.as_deref(), Some(""));
+        // No '?': no query at all.
+        let req = parse(b"GET /metrics HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.query, None);
     }
 
     #[test]
@@ -382,7 +394,7 @@ mod tests {
     #[test]
     fn response_round_trip() {
         let mut wire = Vec::new();
-        write_response(&mut wire, 200, "{\"ok\":true}", true).unwrap();
+        write_response(&mut wire, 200, "application/json", "{\"ok\":true}", true).unwrap();
         let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body, b"{\"ok\":true}");

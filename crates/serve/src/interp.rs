@@ -1,0 +1,726 @@
+//! Grid interpolation with certified error bounds: answer parameter sweeps
+//! from sparse exact solves.
+//!
+//! The LoPC fixed-point models are smooth in `W`, `St`, `So` and `C²`, and
+//! the dominant query shape — the sweeps behind every figure of the paper —
+//! asks for thousands of *near-identical* scenarios. The exact-bucket cache
+//! only collapses float noise; each genuinely distinct sweep point still
+//! pays a full solve. This module adds the missing layer: a **cell index**
+//! over the [`AxisKind`](lopc_core::scenario::AxisKind) reference grid,
+//! answering in-cell queries by multilinear interpolation between the
+//! cell's exactly solved corners — but *only* when the cell carries an
+//! error certificate at least as tight as the caller's tolerance.
+//!
+//! # Cell lifecycle
+//!
+//! 1. A query with `max_rel_err > 0` snaps each continuous axis onto the
+//!    reference grid ([`AxisKind::bracket`](lopc_core::scenario::AxisKind::bracket));
+//!    axes sitting exactly on a
+//!    grid point are *degenerate* and contribute no corners, so a `W`-sweep
+//!    at a round-valued machine builds 1-D cells (two corners), not 4-D
+//!    ones (sixteen).
+//! 2. On first touch the cell is **built**: every corner is solved exactly
+//!    (through the shared [`SolutionCache`], so adjacent cells reuse
+//!    corners), then the cell **centre** is probed with one more exact
+//!    solve and compared against its own interpolation. The observed
+//!    centre residual, inflated by [`SAFETY_FACTOR`] and floored at
+//!    [`CERT_FLOOR`], becomes the cell's certified relative error. The
+//!    safety factor is calibrated offline by the `interp_err` bench
+//!    (`BENCH_sim.json`, `interp_err` section), which sweeps all four
+//!    closed-form variants and verifies the certificate dominates the true
+//!    worst-case in-cell residual.
+//! 3. Later queries in the cell are answered by interpolation iff
+//!    `certificate <= max_rel_err`; otherwise they fall back to the exact
+//!    path. `max_rel_err = 0` (the default) never consults the cell index
+//!    at all and stays bit-identical to [`lopc_core::scenario::solve`].
+//!
+//! Cells that cannot be trusted — a corner fails to solve, corners
+//! disagree on the discrete optimal `ps`, or a component is `NaN` in some
+//! corners but not others — get an infinite certificate: permanently
+//! exact, never wrong.
+//!
+//! Corner solutions are **owned by the cell**, not referenced from the
+//! LRU cache: a certificate can never outlive the data it certifies, and
+//! the exact cache stays a pure repeat-accelerator whose eviction policy
+//! needs no pinning entanglement (the cache-internals tests pin this
+//! independence: hammering the LRU until the corner entries are evicted
+//! must not perturb interpolated answers).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::cache::SolutionCache;
+use lopc_core::scenario::{AxisBracket, AxisValue, INTERP_AXES};
+use lopc_core::{ModelError, Prediction, Scenario};
+
+/// Multiplier applied to the observed centre residual to obtain the
+/// certified bound. Calibrated offline by `cargo bench -p lopc-bench
+/// --bench interp_err`, which records the worst observed ratio of true
+/// in-cell residual to centre residual across dense sweeps of all four
+/// closed-form variants; this constant must dominate that ratio (see
+/// `BENCH_sim.json`, `interp_err.worst_true_over_center`).
+pub const SAFETY_FACTOR: f64 = 4.0;
+
+/// Lower bound on any finite certificate. The centre probe can observe a
+/// residual of zero (locally linear response) while the true in-cell error
+/// is merely *small*; the floor covers those higher-order leftovers plus
+/// key-quantization noise. Callers asking for tolerances below the floor
+/// always get exact solves.
+pub const CERT_FLOOR: f64 = 2e-4;
+
+/// How a prediction was produced.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Served {
+    /// Exact path: solved (or exact-cache hit), bit-identical to
+    /// [`lopc_core::scenario::solve`].
+    Exact,
+    /// Interpolated inside a certified cell.
+    Interpolated {
+        /// The cell's certified relative error (`<=` the request tolerance).
+        certified_rel_err: f64,
+    },
+}
+
+/// Identity of one grid cell: variant tag, discrete parameters, and the
+/// bit patterns of every axis bracket endpoint.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct CellKey(Box<[u64]>);
+
+impl CellKey {
+    fn of(scenario: &Scenario, brackets: &[AxisBracket; INTERP_AXES]) -> Option<CellKey> {
+        let mut words: Vec<u64> = Vec::with_capacity(3 + 2 * INTERP_AXES);
+        match scenario {
+            Scenario::AllToAll { machine, .. } => {
+                words.push(0);
+                words.push(machine.p as u64);
+            }
+            Scenario::ClientServer { machine, ps, .. } => {
+                words.push(1);
+                words.push(machine.p as u64);
+                words.push(ps.map_or(u64::MAX, |ps| ps as u64));
+            }
+            Scenario::ForkJoin { machine, k, .. } => {
+                words.push(2);
+                words.push(machine.p as u64);
+                words.push(*k as u64);
+            }
+            Scenario::SharedMemory { machine, .. } => {
+                words.push(4);
+                words.push(machine.p as u64);
+            }
+            Scenario::General(_) => return None,
+        }
+        for b in brackets {
+            words.push(b.lo.to_bits());
+            words.push(b.hi.to_bits());
+        }
+        Some(CellKey(words.into_boxed_slice()))
+    }
+
+    /// FNV-1a over the key words (shard selection).
+    fn hash64(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &w in self.0.iter() {
+            for b in w.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    }
+}
+
+/// One built cell: brackets, exactly solved corners, certificate.
+#[derive(Debug)]
+struct Cell {
+    brackets: [AxisBracket; INTERP_AXES],
+    /// Indices of the non-degenerate axes, in axis order.
+    span_axes: Vec<usize>,
+    /// `2^span_axes.len()` corner solutions in bitmask order (bit `j` set =
+    /// the `hi` endpoint of `span_axes[j]`). Empty when the cell is
+    /// untrusted (`cert` infinite).
+    corners: Vec<Prediction>,
+    /// Certified relative error; `INFINITY` = never interpolate here.
+    cert: f64,
+}
+
+impl Cell {
+    fn untrusted(brackets: [AxisBracket; INTERP_AXES]) -> Cell {
+        Cell {
+            brackets,
+            span_axes: Vec::new(),
+            corners: Vec::new(),
+            cert: f64::INFINITY,
+        }
+    }
+
+    /// Multilinear interpolation of the corner solutions at `axes`.
+    fn interpolate(&self, axes: &[AxisValue; INTERP_AXES]) -> Prediction {
+        let ts: Vec<f64> = self
+            .span_axes
+            .iter()
+            .map(|&a| self.brackets[a].weight(axes[a].value))
+            .collect();
+        let mut acc = [0.0f64; 6];
+        let mut nan = [false; 6];
+        for (mask, corner) in self.corners.iter().enumerate() {
+            let mut w = 1.0;
+            for (j, t) in ts.iter().enumerate() {
+                w *= if mask & (1 << j) != 0 { *t } else { 1.0 - *t };
+            }
+            for (k, field) in corner_fields(corner).into_iter().enumerate() {
+                if field.is_nan() {
+                    nan[k] = true;
+                } else {
+                    acc[k] += w * field;
+                }
+            }
+        }
+        Prediction {
+            r: if nan[0] { f64::NAN } else { acc[0] },
+            x: if nan[1] { f64::NAN } else { acc[1] },
+            rw: if nan[2] { f64::NAN } else { acc[2] },
+            rq: if nan[3] { f64::NAN } else { acc[3] },
+            ry: if nan[4] { f64::NAN } else { acc[4] },
+            contention: if nan[5] { f64::NAN } else { acc[5] },
+            ps: self.corners[0].ps,
+            // No solver ran for this answer; 0 mirrors the closed-form
+            // client-server path, which also reports 0.
+            iterations: 0,
+        }
+    }
+}
+
+/// The six continuous prediction components, in a fixed order.
+fn corner_fields(p: &Prediction) -> [f64; 6] {
+    [p.r, p.x, p.rw, p.rq, p.ry, p.contention]
+}
+
+/// The certified-error metric: worst relative deviation of `approx` from
+/// `exact` over the continuous components. Cycle-valued components
+/// (`r`, `rw`, `rq`, `ry`, `contention`) are measured relative to
+/// `max(|component|, |R|)` — they share `R`'s scale, and `contention`
+/// legitimately passes near zero where a naive relative error would
+/// explode; throughput `x` (a different unit, never near zero) is measured
+/// relative to itself. `NaN`-pattern mismatches are infinitely wrong;
+/// matching `NaN`s contribute nothing. Discrete fields (`ps`,
+/// `iterations`) are excluded — `ps` agreement is enforced structurally at
+/// cell build.
+pub fn rel_resid(approx: &Prediction, exact: &Prediction) -> f64 {
+    let scale_r = exact.r.abs();
+    let pairs = [
+        (approx.r, exact.r, scale_r),
+        (approx.x, exact.x, exact.x.abs()),
+        (approx.rw, exact.rw, exact.rw.abs().max(scale_r)),
+        (approx.rq, exact.rq, exact.rq.abs().max(scale_r)),
+        (approx.ry, exact.ry, exact.ry.abs().max(scale_r)),
+        (
+            approx.contention,
+            exact.contention,
+            exact.contention.abs().max(scale_r),
+        ),
+    ];
+    let mut worst = 0.0f64;
+    for (a, e, scale) in pairs {
+        if a.is_nan() || e.is_nan() {
+            if a.is_nan() != e.is_nan() {
+                return f64::INFINITY;
+            }
+            continue;
+        }
+        let d = (a - e).abs();
+        if d == 0.0 {
+            continue;
+        }
+        if scale == 0.0 {
+            return f64::INFINITY;
+        }
+        worst = worst.max(d / scale);
+    }
+    worst
+}
+
+/// One shard of the cell index: FIFO-bounded map of built (or building)
+/// cells. `Arc<OnceLock<Cell>>` gives build-once semantics under
+/// concurrency — the first toucher builds (outside the shard lock), racing
+/// threads block on the same slot instead of duplicating the corner
+/// solves, which matters when a parallel batch walks a sweep front across
+/// an empty grid.
+struct CellShard {
+    map: HashMap<CellKey, Arc<OnceLock<Cell>>>,
+    /// Insertion order; in sync with `map` (cells are only removed by
+    /// FIFO eviction). Eviction is FIFO rather than LRU on purpose: an
+    /// evicted cell whose corners are still in the exact cache rebuilds
+    /// for free, so recency tracking buys nothing here.
+    order: VecDeque<CellKey>,
+    capacity: usize,
+}
+
+impl CellShard {
+    fn slot(&mut self, key: &CellKey) -> Arc<OnceLock<Cell>> {
+        if let Some(slot) = self.map.get(key) {
+            return Arc::clone(slot);
+        }
+        let slot = Arc::new(OnceLock::new());
+        self.map.insert(key.clone(), Arc::clone(&slot));
+        self.order.push_back(key.clone());
+        while self.order.len() > self.capacity {
+            let evict = self.order.pop_front().expect("order non-empty");
+            self.map.remove(&evict);
+        }
+        slot
+    }
+}
+
+/// The interpolating cache: the sharded exact [`SolutionCache`] plus the
+/// certified cell index layered over it. One instance per server; share by
+/// reference.
+pub struct InterpCache {
+    cache: SolutionCache,
+    shards: Vec<Mutex<CellShard>>,
+    interp_hits: AtomicU64,
+    interp_fallbacks: AtomicU64,
+    cells_built: AtomicU64,
+}
+
+impl InterpCache {
+    /// Wrap `cache` with a cell index of `cell_shards` independently locked
+    /// shards holding up to `cells_per_shard` cells each (both clamped to
+    /// at least 1).
+    pub fn new(cache: SolutionCache, cell_shards: usize, cells_per_shard: usize) -> Self {
+        InterpCache {
+            cache,
+            shards: (0..cell_shards.max(1))
+                .map(|_| {
+                    Mutex::new(CellShard {
+                        map: HashMap::new(),
+                        order: VecDeque::new(),
+                        capacity: cells_per_shard.max(1),
+                    })
+                })
+                .collect(),
+            interp_hits: AtomicU64::new(0),
+            interp_fallbacks: AtomicU64::new(0),
+            cells_built: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying exact cache (counters, direct exact access).
+    pub fn cache(&self) -> &SolutionCache {
+        &self.cache
+    }
+
+    /// Answers served by interpolation so far.
+    pub fn interp_hits(&self) -> u64 {
+        self.interp_hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that asked for interpolation (`max_rel_err > 0`) but were
+    /// served exactly: ineligible variant, unbracketable coordinate, or a
+    /// certificate wider than the tolerance.
+    pub fn interp_fallbacks(&self) -> u64 {
+        self.interp_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Cells built (corner + centre solve batches performed).
+    pub fn cells_built(&self) -> u64 {
+        self.cells_built.load(Ordering::Relaxed)
+    }
+
+    /// Cells currently resident across all shards.
+    pub fn cells(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cell shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Answer one scenario within `max_rel_err` relative tolerance.
+    ///
+    /// `max_rel_err <= 0` (and any non-finite value) is **exact mode**:
+    /// the request never touches the cell index and the answer is
+    /// bit-identical to [`lopc_core::scenario::solve`]. A positive
+    /// tolerance permits interpolation when a certified cell covers the
+    /// query; the certificate, not the caller, decides — an uncertifiable
+    /// query silently gets the exact answer (tolerances are upper bounds,
+    /// and exact always satisfies them).
+    pub fn predict(&self, scenario: &Scenario, max_rel_err: f64) -> Result<Prediction, ModelError> {
+        self.predict_traced(scenario, max_rel_err).map(|(p, _)| p)
+    }
+
+    /// [`InterpCache::predict`], also reporting which path answered.
+    pub fn predict_traced(
+        &self,
+        scenario: &Scenario,
+        max_rel_err: f64,
+    ) -> Result<(Prediction, Served), ModelError> {
+        // NaN and infinities count as "no usable tolerance": exact mode.
+        if !max_rel_err.is_finite() || max_rel_err <= 0.0 {
+            return self
+                .cache
+                .get_or_solve(scenario)
+                .map(|p| (p, Served::Exact));
+        }
+        // The exact answer may already be resident — never interpolate past
+        // a bit-identical hit.
+        if let Some(p) = self.cache.lookup(scenario) {
+            return Ok((p, Served::Exact));
+        }
+        match self.try_interpolate(scenario, max_rel_err) {
+            Some(served) => {
+                self.interp_hits.fetch_add(1, Ordering::Relaxed);
+                Ok(served)
+            }
+            None => {
+                self.interp_fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.cache
+                    .get_or_solve(scenario)
+                    .map(|p| (p, Served::Exact))
+            }
+        }
+    }
+
+    /// The interpolation path; `None` means "serve exactly instead".
+    fn try_interpolate(
+        &self,
+        scenario: &Scenario,
+        max_rel_err: f64,
+    ) -> Option<(Prediction, Served)> {
+        // No certificate can beat the floor; don't pay for a cell build
+        // that could never serve this tolerance.
+        if max_rel_err < CERT_FLOOR {
+            return None;
+        }
+        let axes = scenario.interp_axes()?;
+        let mut brackets = [AxisBracket { lo: 0.0, hi: 0.0 }; INTERP_AXES];
+        for (i, axis) in axes.iter().enumerate() {
+            // Out-of-range coordinates (possible for unvalidated direct
+            // library callers) never reach the grid: cells must not
+            // straddle a validity boundary.
+            let (min, max) = axis.kind.valid_range();
+            if !(min..=max).contains(&axis.value) {
+                return None;
+            }
+            brackets[i] = axis.kind.bracket(axis.value)?;
+        }
+        let key = CellKey::of(scenario, &brackets)?;
+        let slot = {
+            let shard = &self.shards[(key.hash64() % self.shards.len() as u64) as usize];
+            shard.lock().expect("cell shard poisoned").slot(&key)
+        };
+        // Build outside every lock; concurrent touchers of the same cell
+        // block here instead of re-solving the corners.
+        let cell = slot.get_or_init(|| {
+            self.cells_built.fetch_add(1, Ordering::Relaxed);
+            self.build_cell(scenario, brackets)
+        });
+        if cell.cert <= max_rel_err {
+            Some((
+                cell.interpolate(&axes),
+                Served::Interpolated {
+                    certified_rel_err: cell.cert,
+                },
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Solve the cell's corners and centre probe, derive the certificate.
+    fn build_cell(&self, template: &Scenario, brackets: [AxisBracket; INTERP_AXES]) -> Cell {
+        let span_axes: Vec<usize> = (0..INTERP_AXES)
+            .filter(|&i| !brackets[i].is_degenerate())
+            .collect();
+        let d = span_axes.len();
+
+        let mut corners: Vec<Prediction> = Vec::with_capacity(1 << d);
+        for mask in 0..(1u32 << d) {
+            let mut coords: [f64; INTERP_AXES] = std::array::from_fn(|i| brackets[i].lo);
+            for (j, &ax) in span_axes.iter().enumerate() {
+                if mask & (1 << j) != 0 {
+                    coords[ax] = brackets[ax].hi;
+                }
+            }
+            let Some(corner) = template.with_axis_values(coords) else {
+                return Cell::untrusted(brackets);
+            };
+            match self.cache.get_or_solve(&corner) {
+                Ok(p) => corners.push(p),
+                // A corner outside the solvable region poisons the whole
+                // cell: certificates only cover cells that are smooth
+                // throughout.
+                Err(_) => return Cell::untrusted(brackets),
+            }
+        }
+
+        // Structural consistency: one discrete optimum and one NaN pattern
+        // across the whole cell, or no interpolation at all.
+        let first = corners[0];
+        for c in &corners[1..] {
+            if c.ps != first.ps || !nan_compatible(c, &first) {
+                return Cell::untrusted(brackets);
+            }
+        }
+
+        // Centre probe: one exact solve at the cell midpoint, compared
+        // against its own interpolation.
+        let centre_coords: [f64; INTERP_AXES] =
+            std::array::from_fn(|i| 0.5 * (brackets[i].lo + brackets[i].hi));
+        let cell = Cell {
+            brackets,
+            span_axes,
+            corners,
+            cert: f64::INFINITY,
+        };
+        let Some(centre) = template.with_axis_values(centre_coords) else {
+            return Cell::untrusted(brackets);
+        };
+        let Ok(exact_centre) = self.cache.get_or_solve(&centre) else {
+            return Cell::untrusted(brackets);
+        };
+        if exact_centre.ps != cell.corners[0].ps {
+            return Cell::untrusted(brackets);
+        }
+        let centre_axes: [AxisValue; INTERP_AXES] = std::array::from_fn(|i| AxisValue {
+            kind: centre.interp_axes().expect("eligible template")[i].kind,
+            value: centre_coords[i],
+        });
+        let resid = rel_resid(&cell.interpolate(&centre_axes), &exact_centre);
+        Cell {
+            cert: (resid * SAFETY_FACTOR).max(CERT_FLOOR),
+            ..cell
+        }
+    }
+}
+
+/// Same components defined (`NaN`) in both predictions.
+fn nan_compatible(a: &Prediction, b: &Prediction) -> bool {
+    corner_fields(a)
+        .into_iter()
+        .zip(corner_fields(b))
+        .all(|(x, y)| x.is_nan() == y.is_nan())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopc_core::Machine;
+
+    fn machine() -> Machine {
+        Machine::new(32, 25.0, 200.0).with_c2(0.0)
+    }
+
+    fn a2a(w: f64) -> Scenario {
+        Scenario::AllToAll {
+            machine: machine(),
+            w,
+        }
+    }
+
+    fn interp_cache() -> InterpCache {
+        InterpCache::new(SolutionCache::new(4, 256), 4, 64)
+    }
+
+    #[test]
+    fn zero_tolerance_is_bit_identical_exact_mode() {
+        let c = interp_cache();
+        let (p, served) = c.predict_traced(&a2a(777.7), 0.0).unwrap();
+        assert_eq!(served, Served::Exact);
+        let direct = lopc_core::scenario::solve(&a2a(777.7)).unwrap();
+        assert_eq!(p.r.to_bits(), direct.r.to_bits());
+        assert_eq!(c.cells(), 0, "exact mode never touches the cell index");
+        assert_eq!(c.interp_hits() + c.interp_fallbacks(), 0);
+    }
+
+    #[test]
+    fn interpolated_answer_is_within_the_certificate() {
+        let c = interp_cache();
+        // Off-grid query; generous tolerance.
+        let q = a2a(777.7);
+        let (p, served) = c.predict_traced(&q, 1e-2).unwrap();
+        let cert = match served {
+            Served::Interpolated { certified_rel_err } => certified_rel_err,
+            Served::Exact => panic!("generous tolerance must interpolate"),
+        };
+        assert!(cert <= 1e-2);
+        assert!(cert >= CERT_FLOOR);
+        let exact = lopc_core::scenario::solve(&q).unwrap();
+        let resid = rel_resid(&p, &exact);
+        assert!(
+            resid <= cert,
+            "true residual {resid} exceeds certificate {cert}"
+        );
+        assert_eq!(c.interp_hits(), 1);
+        assert_eq!(c.cells_built(), 1);
+    }
+
+    #[test]
+    fn tolerance_below_floor_falls_back_to_exact() {
+        let c = interp_cache();
+        let q = a2a(777.7);
+        let (p, served) = c.predict_traced(&q, CERT_FLOOR / 10.0).unwrap();
+        assert_eq!(served, Served::Exact);
+        assert_eq!(c.interp_fallbacks(), 1);
+        let direct = lopc_core::scenario::solve(&q).unwrap();
+        assert_eq!(p.r.to_bits(), direct.r.to_bits());
+    }
+
+    #[test]
+    fn general_variant_always_exact() {
+        let c = interp_cache();
+        let q = Scenario::General(lopc_core::GeneralModel::homogeneous_all_to_all(
+            machine(),
+            300.0,
+        ));
+        let (_, served) = c.predict_traced(&q, 1e-2).unwrap();
+        assert_eq!(served, Served::Exact);
+        assert_eq!(c.interp_fallbacks(), 1);
+        assert_eq!(c.cells(), 0);
+    }
+
+    #[test]
+    fn sweep_shares_cells_and_corners() {
+        let c = interp_cache();
+        // 100 points inside one W bracket: first query builds the cell
+        // (2 corners + 1 centre = 3 solves on a degenerate machine), the
+        // other 99 are free.
+        let b = lopc_core::scenario::AxisKind::Work.bracket(777.7).unwrap();
+        assert!(!b.is_degenerate());
+        for i in 0..100 {
+            let w = b.lo + (b.hi - b.lo) * (0.05 + 0.9 * i as f64 / 99.0);
+            let (p, _) = c.predict_traced(&a2a(w), 1e-2).unwrap();
+            let exact = lopc_core::scenario::solve(&a2a(w)).unwrap();
+            assert!(rel_resid(&p, &exact) <= 1e-2, "w={w}");
+        }
+        assert_eq!(c.cells_built(), 1);
+        assert!(
+            c.cache().misses() <= 3,
+            "one 1-D cell costs at most 3 exact solves, did {}",
+            c.cache().misses()
+        );
+        assert!(c.interp_hits() >= 98);
+    }
+
+    #[test]
+    fn on_grid_query_interpolates_to_the_corner_solution() {
+        let c = interp_cache();
+        // All four axes on-grid: the cell is a point, interpolation is the
+        // exact corner answer.
+        let q = a2a(1000.0);
+        let (p, served) = c.predict_traced(&q, 1e-2).unwrap();
+        let exact = lopc_core::scenario::solve(&q).unwrap();
+        match served {
+            // First touch may interpolate (0-D cell) …
+            Served::Interpolated { .. } => assert_eq!(p.r.to_bits(), exact.r.to_bits()),
+            // … or hit the exact entry a previous build populated.
+            Served::Exact => assert_eq!(p.r.to_bits(), exact.r.to_bits()),
+        }
+    }
+
+    #[test]
+    fn exact_entries_shortcut_interpolation() {
+        let c = interp_cache();
+        let q = a2a(777.7);
+        // Exact solve first: the key is resident.
+        let exact = c.predict(&q, 0.0).unwrap();
+        let (p, served) = c.predict_traced(&q, 1e-2).unwrap();
+        assert_eq!(served, Served::Exact, "resident exact answers win");
+        assert_eq!(p.r.to_bits(), exact.r.to_bits());
+        assert_eq!(c.cells(), 0);
+    }
+
+    #[test]
+    fn concurrent_cell_builds_do_not_duplicate_corner_solves() {
+        let c = InterpCache::new(SolutionCache::new(8, 256), 8, 64);
+        let b = lopc_core::scenario::AxisKind::Work.bracket(777.7).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let f = 0.05 + 0.9 * ((i * 8 + t) as f64 / 400.0);
+                        let w = b.lo + (b.hi - b.lo) * f;
+                        let (p, _) = c.predict_traced(&a2a(w), 1e-2).unwrap();
+                        let exact = lopc_core::scenario::solve(&a2a(w)).unwrap();
+                        assert!(rel_resid(&p, &exact) <= 1e-2);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.cells_built(), 1, "OnceLock must build the cell once");
+        // Corner/centre solves may race with the cache's lost-race window,
+        // but the OnceLock bounds it to one builder: 3 distinct keys.
+        assert!(c.cache().misses() <= 3);
+    }
+
+    #[test]
+    fn cell_eviction_keeps_answers_correct() {
+        // A cell index of capacity 1: every new cell evicts the previous
+        // one; answers stay within tolerance throughout.
+        let c = InterpCache::new(SolutionCache::new(2, 512), 1, 1);
+        for w in [111.3, 333.3, 777.7, 111.3] {
+            let (p, _) = c.predict_traced(&a2a(w), 1e-2).unwrap();
+            let exact = lopc_core::scenario::solve(&a2a(w)).unwrap();
+            assert!(rel_resid(&p, &exact) <= 1e-2, "w={w}");
+        }
+        assert_eq!(c.cells(), 1);
+        // The revisited cell was rebuilt — but its corners were still in
+        // the exact cache, so the rebuild cost no new solves.
+        assert_eq!(c.cells_built(), 4);
+    }
+
+    #[test]
+    fn rel_resid_metric() {
+        let e = Prediction {
+            r: 1000.0,
+            x: 0.02,
+            rw: 800.0,
+            rq: 150.0,
+            ry: 50.0,
+            contention: 0.5,
+            ps: None,
+            iterations: 10,
+        };
+        assert_eq!(rel_resid(&e, &e), 0.0);
+        // r off by 1 cycle: 1e-3 relative.
+        let mut a = e;
+        a.r = 1001.0;
+        assert!((rel_resid(&a, &e) - 1e-3).abs() < 1e-12);
+        // Near-zero contention is measured against R's scale, not itself.
+        let mut a = e;
+        a.contention = 0.6;
+        assert!((rel_resid(&a, &e) - 1e-4).abs() < 1e-12);
+        // Throughput is measured against itself.
+        let mut a = e;
+        a.x = 0.0202;
+        assert!((rel_resid(&a, &e) - 0.01).abs() < 1e-9);
+        // NaN-pattern mismatch is infinitely wrong; matching NaNs are fine.
+        let mut a = e;
+        a.rw = f64::NAN;
+        assert_eq!(rel_resid(&a, &e), f64::INFINITY);
+        let mut both = e;
+        both.rw = f64::NAN;
+        assert_eq!(rel_resid(&both, &both), 0.0);
+    }
+
+    #[test]
+    fn client_server_optimal_ps_cells_agree_or_fall_back() {
+        let c = interp_cache();
+        // Sweep W through a region where the optimal server count moves;
+        // every answer must stay within tolerance, whether interpolated
+        // (corners agreed) or exact (corners disagreed -> untrusted cell).
+        let m = Machine::new(32, 50.0, 131.0).with_c2(1.0);
+        for i in 0..60 {
+            let w = 300.0 * 1.07f64.powi(i);
+            let q = Scenario::ClientServer {
+                machine: m,
+                w,
+                ps: None,
+            };
+            let (p, _) = c.predict_traced(&q, 1e-2).unwrap();
+            let exact = lopc_core::scenario::solve(&q).unwrap();
+            assert!(rel_resid(&p, &exact) <= 1e-2, "w={w}: {p:?} vs {exact:?}");
+        }
+    }
+}

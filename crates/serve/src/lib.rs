@@ -15,6 +15,11 @@
 //! * [`cache`] — the sharded LRU solution cache over quantized scenario
 //!   keys, so repeated and near-identical sweep queries skip the AMVA
 //!   fixed-point solve;
+//! * [`interp`] — grid interpolation with certified error bounds over that
+//!   cache: a request carrying `max_rel_err > 0` may be answered by
+//!   multilinear interpolation between cached exact solves when the
+//!   surrounding grid cell's certificate is within the tolerance (see
+//!   DESIGN.md §12);
 //! * [`http`] — a dependency-free HTTP/1.1 subset on `std::net`;
 //! * [`server`] — the accept loop, worker pool, and the three endpoints
 //!   (`POST /v1/predict`, `POST /v1/predict/batch`, `GET /metrics`);
@@ -52,6 +57,7 @@ pub mod cache;
 pub mod client;
 pub mod codec;
 pub mod http;
+pub mod interp;
 pub mod json;
 pub mod metrics;
 pub mod server;
@@ -62,6 +68,7 @@ pub use codec::{
     prediction_from_json, prediction_to_json, predictions_identical, scenario_from_json,
     scenario_to_json, DecodeError,
 };
+pub use interp::{InterpCache, Served};
 pub use json::{parse, Json};
 pub use metrics::Metrics;
 pub use server::{start, Reply, ServerConfig, ServerHandle, Service};

@@ -72,6 +72,24 @@ pub enum Endpoint {
     Other,
 }
 
+/// Point-in-time snapshot of the cache/interpolation counters, passed into
+/// the renderers by the server (which owns the caches).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CacheCounters {
+    /// Exact-cache hits.
+    pub hits: u64,
+    /// Exact-cache misses (= exact solves performed).
+    pub misses: u64,
+    /// Exact-cache hit fraction in `[0, 1]`.
+    pub hit_rate: f64,
+    /// Scenarios answered by certified interpolation.
+    pub interp_hits: u64,
+    /// Scenarios that asked for interpolation but were served exactly.
+    pub interp_fallbacks: u64,
+    /// Interpolation cells built (corner + centre solve batches).
+    pub interp_cells_built: u64,
+}
+
 /// Process-global service metrics; share by reference.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -126,8 +144,8 @@ impl Metrics {
     }
 
     /// Snapshot as the `/metrics` JSON document (cache counters are passed
-    /// in by the server, which owns the cache).
-    pub fn to_json(&self, cache_hits: u64, cache_misses: u64, cache_hit_rate: f64) -> crate::Json {
+    /// in by the server, which owns the caches).
+    pub fn to_json(&self, cache: &CacheCounters) -> crate::Json {
         use crate::Json;
         let load = |c: &AtomicU64| Json::Num(c.load(Ordering::Relaxed) as f64);
         let q = |q: f64| match self.latency.quantile(q) {
@@ -157,9 +175,20 @@ impl Metrics {
             (
                 "cache".into(),
                 Json::Object(vec![
-                    ("hits".into(), Json::Num(cache_hits as f64)),
-                    ("misses".into(), Json::Num(cache_misses as f64)),
-                    ("hit_rate".into(), Json::Num(cache_hit_rate)),
+                    ("hits".into(), Json::Num(cache.hits as f64)),
+                    ("misses".into(), Json::Num(cache.misses as f64)),
+                    ("hit_rate".into(), Json::Num(cache.hit_rate)),
+                ]),
+            ),
+            (
+                "interp".into(),
+                Json::Object(vec![
+                    ("hits".into(), Json::Num(cache.interp_hits as f64)),
+                    ("fallbacks".into(), Json::Num(cache.interp_fallbacks as f64)),
+                    (
+                        "cells_built".into(),
+                        Json::Num(cache.interp_cells_built as f64),
+                    ),
                 ]),
             ),
             (
@@ -167,6 +196,105 @@ impl Metrics {
                 Json::Object(vec![("p50".into(), q(0.50)), ("p99".into(), q(0.99))]),
             ),
         ])
+    }
+
+    /// Snapshot in the Prometheus text exposition format (version 0.0.4):
+    /// the same counters as [`Metrics::to_json`], rendered as one
+    /// `lopc_*`-prefixed family per concept so standard scrapers consume
+    /// them without an adapter. Served for `GET /metrics?format=prom` or an
+    /// `Accept: text/plain` request.
+    pub fn to_prometheus(&self, cache: &CacheCounters) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(2048);
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let mut family = |name: &str, help: &str, kind: &str, samples: &[(String, f64)]| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (labels, value) in samples {
+                let _ = writeln!(out, "{name}{labels} {value}");
+            }
+        };
+        family(
+            "lopc_requests_total",
+            "Requests seen, by endpoint.",
+            "counter",
+            &[
+                ("{endpoint=\"predict\"}".into(), load(&self.predict) as f64),
+                (
+                    "{endpoint=\"predict_batch\"}".into(),
+                    load(&self.batch) as f64,
+                ),
+                ("{endpoint=\"metrics\"}".into(), load(&self.metrics) as f64),
+                ("{endpoint=\"other\"}".into(), load(&self.other) as f64),
+            ],
+        );
+        family(
+            "lopc_responses_total",
+            "Responses sent, by status class.",
+            "counter",
+            &[
+                ("{class=\"2xx\"}".into(), load(&self.ok_2xx) as f64),
+                ("{class=\"4xx\"}".into(), load(&self.client_err_4xx) as f64),
+                ("{class=\"5xx\"}".into(), load(&self.server_err_5xx) as f64),
+            ],
+        );
+        family(
+            "lopc_scenarios_solved_total",
+            "Scenarios answered (batch elements counted individually).",
+            "counter",
+            &[("".into(), load(&self.scenarios_solved) as f64)],
+        );
+        family(
+            "lopc_cache_hits_total",
+            "Exact solution-cache hits.",
+            "counter",
+            &[("".into(), cache.hits as f64)],
+        );
+        family(
+            "lopc_cache_misses_total",
+            "Exact solution-cache misses (solves performed).",
+            "counter",
+            &[("".into(), cache.misses as f64)],
+        );
+        family(
+            "lopc_cache_hit_rate",
+            "Exact solution-cache hit fraction.",
+            "gauge",
+            &[("".into(), cache.hit_rate)],
+        );
+        family(
+            "lopc_interp_hits_total",
+            "Scenarios answered by certified grid interpolation.",
+            "counter",
+            &[("".into(), cache.interp_hits as f64)],
+        );
+        family(
+            "lopc_interp_fallbacks_total",
+            "Interpolation requests served exactly instead.",
+            "counter",
+            &[("".into(), cache.interp_fallbacks as f64)],
+        );
+        family(
+            "lopc_interp_cells_built_total",
+            "Interpolation cells built (corner+centre solve batches).",
+            "counter",
+            &[("".into(), cache.interp_cells_built as f64)],
+        );
+        let quantiles: Vec<(String, f64)> = [(0.5, "0.5"), (0.99, "0.99")]
+            .iter()
+            .filter_map(|&(q, label)| {
+                self.latency
+                    .quantile(q)
+                    .map(|ns| (format!("{{quantile=\"{label}\"}}"), ns))
+            })
+            .collect();
+        family(
+            "lopc_request_latency_ns",
+            "Request latency estimate in nanoseconds (pow2-bucket histogram).",
+            "gauge",
+            &quantiles,
+        );
+        out
     }
 }
 
@@ -217,7 +345,15 @@ mod tests {
         m.record(Endpoint::Predict, 400, 80, 0);
         assert_eq!(m.requests_total(), 5);
         assert_eq!(m.scenarios_solved(), 33);
-        let doc = m.to_json(10, 5, 10.0 / 15.0);
+        let counters = CacheCounters {
+            hits: 10,
+            misses: 5,
+            hit_rate: 10.0 / 15.0,
+            interp_hits: 7,
+            interp_fallbacks: 2,
+            interp_cells_built: 3,
+        };
+        let doc = m.to_json(&counters);
         let req = doc.get("requests").unwrap();
         assert_eq!(req.get("predict").unwrap().as_num(), Some(2.0));
         assert_eq!(req.get("total").unwrap().as_num(), Some(5.0));
@@ -228,6 +364,10 @@ mod tests {
             doc.get("cache").unwrap().get("hits").unwrap().as_num(),
             Some(10.0)
         );
+        assert_eq!(
+            doc.get("interp").unwrap().get("hits").unwrap().as_num(),
+            Some(7.0)
+        );
         assert!(doc
             .get("latency_ns")
             .unwrap()
@@ -235,5 +375,42 @@ mod tests {
             .unwrap()
             .as_num()
             .is_some());
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_every_family() {
+        let m = Metrics::new();
+        m.record(Endpoint::Predict, 200, 1000, 1);
+        m.record(Endpoint::Other, 404, 50, 0);
+        let counters = CacheCounters {
+            hits: 4,
+            misses: 2,
+            hit_rate: 4.0 / 6.0,
+            interp_hits: 3,
+            interp_fallbacks: 1,
+            interp_cells_built: 2,
+        };
+        let text = m.to_prometheus(&counters);
+        for needle in [
+            "# TYPE lopc_requests_total counter",
+            "lopc_requests_total{endpoint=\"predict\"} 1",
+            "lopc_responses_total{class=\"4xx\"} 1",
+            "lopc_scenarios_solved_total 1",
+            "lopc_cache_hits_total 4",
+            "lopc_cache_misses_total 2",
+            "# TYPE lopc_cache_hit_rate gauge",
+            "lopc_interp_hits_total 3",
+            "lopc_interp_fallbacks_total 1",
+            "lopc_interp_cells_built_total 2",
+            "lopc_request_latency_ns{quantile=\"0.5\"}",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(name.starts_with("lopc_"), "{line}");
+            assert!(value.parse::<f64>().is_ok(), "{line}");
+        }
     }
 }

@@ -29,10 +29,11 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use crate::cache::SolutionCache;
-use crate::codec::{prediction_to_json, scenario_from_json};
+use crate::codec::{max_rel_err_from_json, prediction_to_json, scenario_from_json};
 use crate::http::{read_request, write_response, HttpError, Request};
+use crate::interp::InterpCache;
 use crate::json::{parse, Json};
-use crate::metrics::{Endpoint, Metrics};
+use crate::metrics::{CacheCounters, Endpoint, Metrics};
 use lopc_core::Scenario;
 
 /// Server tunables; the defaults suit tests and the quickstart binary.
@@ -63,7 +64,7 @@ impl Default for ServerConfig {
 /// `handle` drives the dispatcher directly, which is how the unit tests
 /// exercise routing.
 pub struct Service {
-    cache: SolutionCache,
+    interp: InterpCache,
     metrics: Metrics,
 }
 
@@ -72,8 +73,10 @@ pub struct Service {
 pub struct Reply {
     /// HTTP status code.
     pub status: u16,
-    /// JSON body, compact.
+    /// Response body (compact JSON, or Prometheus text).
     pub body: String,
+    /// `content-type` of the body.
+    pub content_type: &'static str,
 }
 
 impl Reply {
@@ -81,6 +84,15 @@ impl Reply {
         Reply {
             status: 200,
             body: v.to_compact(),
+            content_type: "application/json",
+        }
+    }
+
+    fn text(body: String) -> Reply {
+        Reply {
+            status: 200,
+            body,
+            content_type: "text/plain; version=0.0.4",
         }
     }
 
@@ -88,22 +100,33 @@ impl Reply {
         Reply {
             status,
             body: Json::Object(vec![("error".into(), Json::Str(msg.to_string()))]).to_compact(),
+            content_type: "application/json",
         }
     }
 }
 
 impl Service {
-    /// Fresh service with the given cache geometry.
+    /// Fresh service with the given cache geometry (the interpolation cell
+    /// index reuses the same shard count and per-shard capacity).
     pub fn new(cache_shards: usize, cache_capacity_per_shard: usize) -> Self {
         Service {
-            cache: SolutionCache::new(cache_shards, cache_capacity_per_shard),
+            interp: InterpCache::new(
+                SolutionCache::new(cache_shards, cache_capacity_per_shard),
+                cache_shards,
+                cache_capacity_per_shard,
+            ),
             metrics: Metrics::new(),
         }
     }
 
-    /// The solution cache (bench/tests read its counters).
+    /// The exact solution cache (bench/tests read its counters).
     pub fn cache(&self) -> &SolutionCache {
-        &self.cache
+        self.interp.cache()
+    }
+
+    /// The interpolation layer (cell counters).
+    pub fn interp(&self) -> &InterpCache {
+        &self.interp
     }
 
     /// The metrics registry.
@@ -111,8 +134,38 @@ impl Service {
         &self.metrics
     }
 
-    /// Route one request to its endpoint, recording metrics.
+    fn cache_counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.cache().hits(),
+            misses: self.cache().misses(),
+            hit_rate: self.cache().hit_rate(),
+            interp_hits: self.interp.interp_hits(),
+            interp_fallbacks: self.interp.interp_fallbacks(),
+            interp_cells_built: self.interp.cells_built(),
+        }
+    }
+
+    /// Route one request to its endpoint, recording metrics. The short form
+    /// of [`Service::handle_request`] for callers without a query string or
+    /// `Accept` header (unit tests, simple tools).
     pub fn handle(&self, method: &str, path: &str, body: &[u8]) -> Reply {
+        self.handle_request(method, path, None, None, body)
+    }
+
+    /// Route one request to its endpoint, recording metrics.
+    ///
+    /// `query` is the raw query string (no `?`); `accept` the request's
+    /// `Accept` header. `GET /metrics` renders the Prometheus text
+    /// exposition instead of JSON when the query contains `format=prom` or
+    /// the `Accept` header asks for `text/plain`.
+    pub fn handle_request(
+        &self,
+        method: &str,
+        path: &str,
+        query: Option<&str>,
+        accept: Option<&str>,
+        body: &[u8],
+    ) -> Reply {
         let start = Instant::now();
         // Path decides 404 vs 405: any method other than the endpoint's own
         // on a known path is 405, only unknown paths are 404.
@@ -125,15 +178,20 @@ impl Service {
                 let (r, n) = self.predict_batch(body);
                 (Endpoint::Batch, r, n)
             }
-            ("/metrics", "GET") => (
-                Endpoint::Metrics,
-                Reply::ok(&self.metrics.to_json(
-                    self.cache.hits(),
-                    self.cache.misses(),
-                    self.cache.hit_rate(),
-                )),
-                0,
-            ),
+            ("/metrics", "GET") => {
+                let prom_query = query
+                    .map(|q| q.split('&').any(|kv| kv == "format=prom"))
+                    .unwrap_or(false);
+                let prom_accept = accept
+                    .map(|a| a.split(',').any(|m| m.trim().starts_with("text/plain")))
+                    .unwrap_or(false);
+                let reply = if prom_query || prom_accept {
+                    Reply::text(self.metrics.to_prometheus(&self.cache_counters()))
+                } else {
+                    Reply::ok(&self.metrics.to_json(&self.cache_counters()))
+                };
+                (Endpoint::Metrics, reply, 0)
+            }
             ("/v1/predict" | "/v1/predict/batch" | "/metrics", _) => (
                 Endpoint::Other,
                 Reply::error(405, format!("{method} not allowed on {path}")),
@@ -154,9 +212,11 @@ impl Service {
         reply
     }
 
-    fn decode_scenario(body: &[u8]) -> Result<Scenario, Reply> {
+    fn decode_scenario(body: &[u8]) -> Result<(Scenario, f64), Reply> {
         let text = std::str::from_utf8(body).map_err(|_| Reply::error(400, "body is not UTF-8"))?;
         let doc = parse(text).map_err(|e| Reply::error(400, format!("invalid JSON: {e}")))?;
+        let max_rel_err =
+            max_rel_err_from_json(&doc).map_err(|e| Reply::error(400, e.to_string()))?;
         let scenario = scenario_from_json(&doc)
             .map_err(|e| Reply::error(400, format!("invalid scenario: {e}")))?;
         // Model-level validation up front: well-formed but unsolvable
@@ -164,15 +224,15 @@ impl Service {
         scenario
             .validate()
             .map_err(|e| Reply::error(422, format!("invalid parameters: {e}")))?;
-        Ok(scenario)
+        Ok((scenario, max_rel_err))
     }
 
     fn predict(&self, body: &[u8]) -> (Reply, u64) {
-        let scenario = match Self::decode_scenario(body) {
+        let (scenario, max_rel_err) = match Self::decode_scenario(body) {
             Ok(s) => s,
             Err(reply) => return (reply, 0),
         };
-        match self.cache.get_or_solve(&scenario) {
+        match self.interp.predict(&scenario, max_rel_err) {
             Ok(p) => (Reply::ok(&prediction_to_json(&p)), 1),
             Err(e) => (Reply::error(422, format!("unsolvable scenario: {e}")), 0),
         }
@@ -186,6 +246,10 @@ impl Service {
         let doc = match parse(text) {
             Ok(d) => d,
             Err(e) => return (Reply::error(400, format!("invalid JSON: {e}")), 0),
+        };
+        let max_rel_err = match max_rel_err_from_json(&doc) {
+            Ok(tol) => tol,
+            Err(e) => return (Reply::error(400, e.to_string()), 0),
         };
         let items = match doc.get("scenarios").and_then(Json::as_array) {
             Some(items) => items,
@@ -210,7 +274,7 @@ impl Service {
             }
             scenarios.push(s);
         }
-        match self.solve_batch(&scenarios) {
+        match self.solve_batch(&scenarios, max_rel_err) {
             Ok(predictions) => (
                 Reply::ok(&Json::Object(vec![(
                     "predictions".into(),
@@ -231,6 +295,7 @@ impl Service {
     fn solve_batch(
         &self,
         scenarios: &[Scenario],
+        max_rel_err: f64,
     ) -> Result<Vec<Json>, (usize, lopc_core::ModelError)> {
         let n = scenarios.len();
         let threads = lopc_solver::steal::worker_count(n);
@@ -240,8 +305,8 @@ impl Service {
         if threads <= 1 {
             for (i, slot) in slots.iter_mut().enumerate() {
                 *slot = Some(
-                    self.cache
-                        .get_or_solve(&scenarios[i])
+                    self.interp
+                        .predict(&scenarios[i], max_rel_err)
                         .map(|p| prediction_to_json(&p)),
                 );
             }
@@ -251,14 +316,14 @@ impl Service {
                 let mut handles = Vec::with_capacity(threads);
                 for _ in 0..threads {
                     let queue = &queue;
-                    let cache = &self.cache;
+                    let interp = &self.interp;
                     handles.push(scope.spawn(move || {
                         let mut local = Vec::new();
                         while let Some(i) = queue.claim() {
                             local.push((
                                 i,
-                                cache
-                                    .get_or_solve(&scenarios[i])
+                                interp
+                                    .predict(&scenarios[i], max_rel_err)
                                     .map(|p| prediction_to_json(&p)),
                             ));
                         }
@@ -413,14 +478,27 @@ fn serve_connection(service: &Service, conn: TcpStream, shutdown: &AtomicBool) {
             Ok(None) => return, // clean close between requests
             Ok(Some(req)) => {
                 let Request {
-                    method, path, body, ..
+                    method,
+                    path,
+                    query,
+                    body,
+                    ..
                 } = &req;
-                let reply = service.handle(method, path, body);
+                let reply = service.handle_request(
+                    method,
+                    path,
+                    query.as_deref(),
+                    req.header("accept"),
+                    body,
+                );
                 let keep = req.keep_alive();
                 // RFC 9110 §9.3.2: responses to HEAD must carry no body, or
                 // a conforming client desyncs on the kept-alive connection.
                 let body = if method == "HEAD" { "" } else { &reply.body };
-                if write_response(&mut writer, reply.status, body, keep).is_err() || !keep {
+                if write_response(&mut writer, reply.status, reply.content_type, body, keep)
+                    .is_err()
+                    || !keep
+                {
                     return;
                 }
             }
@@ -428,7 +506,13 @@ fn serve_connection(service: &Service, conn: TcpStream, shutdown: &AtomicBool) {
                 // Protocol violations get one best-effort 400, then close —
                 // framing is unreliable after a parse failure.
                 let reply = Reply::error(400, msg);
-                let _ = write_response(&mut writer, reply.status, &reply.body, false);
+                let _ = write_response(
+                    &mut writer,
+                    reply.status,
+                    reply.content_type,
+                    &reply.body,
+                    false,
+                );
                 return;
             }
             Err(HttpError::Io(_)) => return,

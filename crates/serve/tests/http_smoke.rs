@@ -123,6 +123,7 @@ fn response_schemas_do_not_drift() {
             "responses",
             "scenarios_solved",
             "cache",
+            "interp",
             "latency_ns"
         ]
     );
@@ -138,7 +139,129 @@ fn response_schemas_do_not_drift() {
         keys(doc.get("cache").unwrap()),
         vec!["hits", "misses", "hit_rate"]
     );
+    assert_eq!(
+        keys(doc.get("interp").unwrap()),
+        vec!["hits", "fallbacks", "cells_built"]
+    );
     assert_eq!(keys(doc.get("latency_ns").unwrap()), vec!["p50", "p99"]);
+
+    server.shutdown();
+}
+
+/// The Prometheus text exposition: reachable via both the query knob and
+/// content negotiation, and its family names must not drift (a scraper
+/// config references them by exact name).
+#[test]
+fn prometheus_exposition_schema_does_not_drift() {
+    let server = start_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Generate a little traffic so counters are non-trivial.
+    let body = r#"{"kind":"all_to_all","machine":{"p":32,"st":25,"so":200,"c2":0},"w":1000}"#;
+    client
+        .request_json("POST", "/v1/predict", body.as_bytes())
+        .expect("predict");
+
+    let text = client.metrics_prometheus().expect("prom metrics");
+    let families: Vec<&str> = text
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .map(|l| l.split_whitespace().next().unwrap())
+        .collect();
+    assert_eq!(
+        families,
+        vec![
+            "lopc_requests_total",
+            "lopc_responses_total",
+            "lopc_scenarios_solved_total",
+            "lopc_cache_hits_total",
+            "lopc_cache_misses_total",
+            "lopc_cache_hit_rate",
+            "lopc_interp_hits_total",
+            "lopc_interp_fallbacks_total",
+            "lopc_interp_cells_built_total",
+            "lopc_request_latency_ns",
+        ]
+    );
+    assert!(text.contains("lopc_requests_total{endpoint=\"predict\"} 1"));
+
+    // Content negotiation: Accept: text/plain reaches the same renderer.
+    let (status, body) = {
+        use std::io::Write;
+        let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        let mut writer = std::io::BufWriter::new(stream.try_clone().unwrap());
+        write!(
+            writer,
+            "GET /metrics HTTP/1.1\r\nhost: x\r\naccept: text/plain\r\n\r\n"
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        let resp = lopc_serve::http::read_response(&mut std::io::BufReader::new(stream)).unwrap();
+        (resp.status, String::from_utf8(resp.body).unwrap())
+    };
+    assert_eq!(status, 200);
+    assert!(body.starts_with("# HELP lopc_requests_total"), "{body}");
+
+    // The JSON document stays the default.
+    let doc = client.metrics().expect("json metrics");
+    assert!(doc.get("requests").is_some());
+
+    server.shutdown();
+}
+
+/// Interpolation enabled over a real socket: `max_rel_err` reaches the
+/// interp layer, answers stay within tolerance, the interp counters move,
+/// and a bad tolerance is rejected with 400.
+#[test]
+fn interpolated_requests_over_a_socket() {
+    let server = start_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // A small off-grid W sweep with a 1e-3 budget.
+    let scenarios: Vec<Scenario> = (0..40)
+        .map(|i| Scenario::AllToAll {
+            machine: machine(),
+            w: 701.3 + 7.0 * i as f64,
+        })
+        .collect();
+    let served = client
+        .predict_batch_within(&scenarios, 1e-3)
+        .expect("batch");
+    for (s, p) in scenarios.iter().zip(&served) {
+        let exact = lopc_core::scenario::solve(s).unwrap();
+        let resid = lopc_serve::interp::rel_resid(p, &exact);
+        assert!(resid <= 1e-3, "{}: residual {resid}", s.kind());
+    }
+    let svc = server.service();
+    assert!(svc.interp().interp_hits() > 0, "sweep must interpolate");
+    assert!(
+        svc.cache().misses() < scenarios.len() as u64,
+        "sweep must cost fewer solves than points"
+    );
+
+    // Single requests accept the field too.
+    let single = client
+        .predict_within(&scenarios[0], 1e-3)
+        .expect("single predict");
+    let exact = lopc_core::scenario::solve(&scenarios[0]).unwrap();
+    assert!(lopc_serve::interp::rel_resid(&single, &exact) <= 1e-3);
+
+    // Metrics surface the interp counters.
+    let metrics = client.metrics().expect("metrics");
+    let interp = metrics.get("interp").expect("interp section");
+    assert!(interp.get("hits").unwrap().as_num().unwrap() > 0.0);
+
+    // Malformed tolerances are a 400, not a silent exact solve.
+    let bad = r#"{"kind":"all_to_all","machine":{"p":32,"st":25,"so":200,"c2":0},"w":1000,"max_rel_err":-0.5}"#;
+    let (status, _) = client
+        .request("POST", "/v1/predict", bad.as_bytes())
+        .unwrap();
+    assert_eq!(status, 400);
+    let bad = r#"{"scenarios":[],"max_rel_err":2.0}"#;
+    let (status, _) = client
+        .request("POST", "/v1/predict/batch", bad.as_bytes())
+        .unwrap();
+    assert_eq!(status, 400);
 
     server.shutdown();
 }

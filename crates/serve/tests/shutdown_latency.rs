@@ -1,0 +1,82 @@
+//! Regression gate on server shutdown latency.
+//!
+//! Worker threads poll the shutdown flag between requests through a 50 ms
+//! read-timeout `fill_buf` (see `server::IDLE_POLL`), and the accept loop
+//! is unblocked by a throwaway connection. Shutdown must therefore
+//! complete — every thread joined — well inside 200 ms even with idle
+//! keep-alive connections pinning every worker. If this assert starts
+//! failing, tighten the poll interval (or replace the poll with a real
+//! readiness mechanism) rather than loosening the bound: slow shutdown
+//! breaks test suites and rolling restarts alike.
+
+use std::time::{Duration, Instant};
+
+use lopc_core::{Machine, Scenario};
+use lopc_serve::server::{start, ServerConfig};
+use lopc_serve::Client;
+
+const BOUND: Duration = Duration::from_millis(200);
+
+fn config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn idle_server_shuts_down_quickly() {
+    let server = start(config()).expect("bind");
+    let t0 = Instant::now();
+    server.shutdown();
+    let took = t0.elapsed();
+    assert!(
+        took < BOUND,
+        "idle shutdown took {took:?} (bound {BOUND:?})"
+    );
+}
+
+#[test]
+fn shutdown_with_idle_keepalive_connections_pinning_every_worker() {
+    let server = start(config()).expect("bind");
+    // Two workers, two connections mid-keep-alive: both workers sit in the
+    // between-requests poll loop when shutdown arrives.
+    let scenario = Scenario::AllToAll {
+        machine: Machine::new(32, 25.0, 200.0).with_c2(0.0),
+        w: 1000.0,
+    };
+    let mut clients = Vec::new();
+    for _ in 0..2 {
+        let mut c = Client::connect(server.addr()).expect("connect");
+        c.predict(&scenario).expect("predict");
+        clients.push(c); // keep the connection open and idle
+    }
+    let t0 = Instant::now();
+    server.shutdown();
+    let took = t0.elapsed();
+    assert!(
+        took < BOUND,
+        "shutdown with idle keep-alive connections took {took:?} (bound {BOUND:?})"
+    );
+    drop(clients);
+}
+
+#[test]
+fn shutdown_after_traffic_bursts() {
+    let server = start(config()).expect("bind");
+    let addr = server.addr();
+    // A burst of short-lived connections that have already closed: the
+    // conn queue may still hold drained entries; shutdown must not wait on
+    // them beyond the poll interval.
+    for _ in 0..8 {
+        let mut c = Client::connect(addr).expect("connect");
+        let _ = c.metrics().expect("metrics");
+    }
+    let t0 = Instant::now();
+    server.shutdown();
+    let took = t0.elapsed();
+    assert!(
+        took < BOUND,
+        "post-burst shutdown took {took:?} (bound {BOUND:?})"
+    );
+}

@@ -58,5 +58,5 @@ pub use paired::paired_diff_summary;
 pub use sequential::{
     run_paired_to_decision, run_to_precision, PairedOutcome, SequentialOutcome, StoppingRule,
 };
-pub use summary::Summary;
+pub use summary::{minmax, Summary};
 pub use tquantile::{t_quantile, Confidence};

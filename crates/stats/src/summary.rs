@@ -2,6 +2,18 @@
 
 use crate::tquantile::{t_quantile, Confidence};
 
+/// Smallest and largest non-NaN observation in a sample, or `None` when
+/// every value is NaN (or the sample is empty). NaNs are skipped rather
+/// than poisoning the extrema — residual sweeps legitimately produce
+/// undefined entries (components a model variant does not define).
+/// Infinities are *kept*: an unbounded observation (e.g. an untrusted
+/// certificate) is a legitimate, reportable extremum, not missing data.
+pub fn minmax(xs: &[f64]) -> Option<(f64, f64)> {
+    let mut it = xs.iter().copied().filter(|x| !x.is_nan());
+    let first = it.next()?;
+    Some(it.fold((first, first), |(lo, hi), x| (lo.min(x), hi.max(x))))
+}
+
 /// Mean and dispersion of a sample of independent replications, with
 /// t-based confidence intervals.
 #[derive(Clone, Copy, Debug)]
@@ -143,5 +155,19 @@ mod tests {
     fn rel_half_width_zero_mean_is_infinite() {
         let s = Summary::from_samples(&[-1.0, 1.0]);
         assert!(s.rel_half_width(Confidence::P95).is_infinite());
+    }
+
+    #[test]
+    fn minmax_skips_nans_and_handles_edges() {
+        assert_eq!(minmax(&[3.0, -1.0, 2.0]), Some((-1.0, 3.0)));
+        assert_eq!(minmax(&[f64::NAN, 5.0, f64::NAN, 7.0]), Some((5.0, 7.0)));
+        assert_eq!(minmax(&[42.0]), Some((42.0, 42.0)));
+        assert_eq!(minmax(&[]), None);
+        assert_eq!(minmax(&[f64::NAN]), None);
+        assert_eq!(
+            minmax(&[f64::INFINITY, 0.0]),
+            Some((0.0, f64::INFINITY)),
+            "infinities are legitimate extrema (untrusted certificates)"
+        );
     }
 }

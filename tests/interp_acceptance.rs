@@ -1,0 +1,142 @@
+//! Acceptance: the sweep-accuracy and solve-budget gate for certified
+//! interpolation (the CI `interp-accuracy` job runs exactly this suite).
+//!
+//! The headline claim of the interpolation layer, asserted end to end over
+//! a real socket:
+//!
+//! * a 1 000-point `W`-sweep through `POST /v1/predict/batch` with
+//!   `max_rel_err = 1e-3` performs **at most 15 %** of the exact solves the
+//!   cache-cold exact path would (each distinct sweep point used to cost
+//!   one solve);
+//! * **every** returned prediction is within `1e-3` relative error of the
+//!   scenario's exact library solve;
+//! * with the field omitted, responses remain bit-identical to
+//!   `lopc_core::scenario::solve` — the `tests/serve_vs_library.rs`
+//!   contract is untouched.
+
+use lopc::prelude::*;
+use lopc_serve::interp::rel_resid;
+use lopc_serve::server::{start, ServerConfig};
+use lopc_serve::{predictions_identical, Client};
+
+fn sweep_machine() -> Machine {
+    // The canonical thesis machine: P = 32, St = 25, So = 200, C² = 0.
+    // Its parameters sit on the reference grid, so the sweep builds 1-D
+    // cells along W (two corners + one centre probe each).
+    Machine::new(32, 25.0, 200.0).with_c2(0.0)
+}
+
+/// 1 000 distinct W values spanning 500..1500 cycles — the knee region of
+/// Figure 5-1, where contention still bends the response curve.
+fn w_sweep() -> Vec<Scenario> {
+    (0..1000)
+        .map(|i| Scenario::AllToAll {
+            machine: sweep_machine(),
+            w: 500.0 + 1000.0 * i as f64 / 999.0,
+        })
+        .collect()
+}
+
+#[test]
+fn thousand_point_sweep_meets_budget_and_tolerance() {
+    let scenarios = w_sweep();
+    let tolerance = 1e-3;
+
+    let server = start(ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let served = client
+        .predict_batch_within(&scenarios, tolerance)
+        .expect("batch");
+    assert_eq!(served.len(), scenarios.len());
+
+    // Solve budget: every exact solve the server performed is an
+    // exact-cache miss; the cache-cold exact path would have done 1 000.
+    let solves = server.service().cache().misses();
+    let budget = scenarios.len() as u64 * 15 / 100;
+    assert!(
+        solves <= budget,
+        "sweep performed {solves} exact solves; budget is {budget} (15 % of {})",
+        scenarios.len()
+    );
+    let interp_hits = server.service().interp().interp_hits();
+    assert!(
+        interp_hits >= 800,
+        "expected the vast majority of the sweep interpolated, got {interp_hits}"
+    );
+
+    // Accuracy: every prediction within 1e-3 of its own exact solve — both
+    // on the headline fields and under the full certified metric.
+    let mut worst = 0.0f64;
+    for (s, p) in scenarios.iter().zip(&served) {
+        let exact = lopc::model::scenario::solve(s).expect("exact solve");
+        let r_err = (p.r - exact.r).abs() / exact.r;
+        let x_err = (p.x - exact.x).abs() / exact.x;
+        let full = rel_resid(p, &exact);
+        worst = worst.max(full);
+        assert!(
+            r_err <= tolerance && x_err <= tolerance && full <= tolerance,
+            "W-sweep point {s:?}: r_err {r_err:.2e}, x_err {x_err:.2e}, full {full:.2e} > {tolerance:.0e}"
+        );
+    }
+    println!(
+        "sweep: {solves} solves for {} points ({interp_hits} interpolated), worst residual {worst:.2e}",
+        scenarios.len()
+    );
+    server.shutdown();
+}
+
+#[test]
+fn omitting_the_field_stays_bit_identical_to_the_library() {
+    // Same sweep shape, no tolerance: the pre-interpolation contract. Run
+    // against a server that has *already* served the sweep approximately,
+    // so exact mode is checked on a populated grid, not a fresh process.
+    let scenarios: Vec<Scenario> = w_sweep().into_iter().step_by(100).collect();
+    let server = start(ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client
+        .predict_batch_within(&scenarios, 1e-3)
+        .expect("approximate warm-up");
+
+    for s in &scenarios {
+        let served = client.predict(s).expect("predict");
+        let exact = lopc::model::scenario::solve(s).expect("solve");
+        assert!(
+            predictions_identical(&served, &exact),
+            "{}: exact-mode answer drifted: {served:?} != {exact:?}",
+            s.kind()
+        );
+    }
+    let batch = client.predict_batch(&scenarios).expect("batch");
+    for (s, p) in scenarios.iter().zip(&batch) {
+        let exact = lopc::model::scenario::solve(s).expect("solve");
+        assert!(predictions_identical(p, &exact), "batch {}", s.kind());
+    }
+    server.shutdown();
+}
+
+#[test]
+fn tighter_tolerance_trades_solves_for_accuracy() {
+    // The knob works both ways: asking for a tolerance below the
+    // certificate floor forces the exact path (one solve per distinct
+    // point), while the 1e-3 sweep above stays under 15 %. This pins the
+    // *mechanism* (certificates gate interpolation), not just the happy
+    // path.
+    let scenarios: Vec<Scenario> = w_sweep().into_iter().take(50).collect();
+    let server = start(ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let served = client
+        .predict_batch_within(&scenarios, 1e-9)
+        .expect("batch");
+    for (s, p) in scenarios.iter().zip(&served) {
+        let exact = lopc::model::scenario::solve(s).expect("solve");
+        assert!(
+            predictions_identical(p, &exact),
+            "below-floor tolerance must serve exact answers"
+        );
+    }
+    assert!(
+        server.service().cache().misses() >= 50,
+        "each distinct point must have been solved exactly"
+    );
+    server.shutdown();
+}
