@@ -170,6 +170,25 @@ impl Client {
             .collect()
     }
 
+    /// Bound how long [`Client::wait_for_eof`] (or any read) blocks.
+    pub fn set_read_timeout(&self, dur: Option<std::time::Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(dur)
+    }
+
+    /// Block until the server closes the connection. `Ok(true)` is a clean
+    /// EOF at a response boundary (how the server's keep-alive idle
+    /// timeout manifests client-side); `Ok(false)` means unexpected bytes
+    /// arrived instead.
+    pub fn wait_for_eof(&mut self) -> io::Result<bool> {
+        use std::io::Read;
+        let mut byte = [0u8; 1];
+        match self.reader.read(&mut byte) {
+            Ok(0) => Ok(true),
+            Ok(_) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
     /// `GET /metrics`.
     pub fn metrics(&mut self) -> Result<Json, ClientError> {
         self.request_json("GET", "/metrics", b"")

@@ -49,7 +49,7 @@ fn bad<T>(msg: impl Into<String>) -> Result<T, HttpError> {
 }
 
 /// One parsed request.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Request {
     /// Method verb, upper-cased as received (`GET`, `POST`, …).
     pub method: String,
@@ -113,14 +113,10 @@ fn read_line(r: &mut impl BufRead, remaining: &mut usize) -> Result<Option<Strin
     }
 }
 
-/// Read one request. `Ok(None)` means the peer closed cleanly between
-/// requests (normal keep-alive teardown).
-pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
-    let mut budget = MAX_HEADER_BYTES;
-    let request_line = match read_line(r, &mut budget)? {
-        None => return Ok(None),
-        Some(l) => l,
-    };
+/// Parse `METHOD TARGET VERSION` and split the query string off the
+/// target. Shared by the one-shot and incremental parsers so both reject
+/// (and word) malformed request lines identically.
+fn parse_request_line(request_line: &str) -> Result<(String, String, Option<String>), HttpError> {
     let mut parts = request_line.split_whitespace();
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(p), Some(v), None) => (m.to_string(), p, v),
@@ -136,32 +132,23 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> 
         Some((path, query)) => (path.to_string(), Some(query.to_string())),
         None => (target.to_string(), None),
     };
+    Ok((method, path, query))
+}
 
-    let mut headers = Vec::new();
-    loop {
-        let line = match read_line(r, &mut budget)? {
-            None => return bad("connection closed inside headers"),
-            Some(l) => l,
-        };
-        if line.is_empty() {
-            break;
-        }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| HttpError::Bad(format!("malformed header {line:?}")))?;
-        if name.is_empty() || name.contains(' ') {
-            return bad(format!("malformed header name {name:?}"));
-        }
-        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+/// Parse one `name: value` header line. Shared by both parsers.
+fn parse_header_line(line: &str) -> Result<(String, String), HttpError> {
+    let (name, value) = line
+        .split_once(':')
+        .ok_or_else(|| HttpError::Bad(format!("malformed header {line:?}")))?;
+    if name.is_empty() || name.contains(' ') {
+        return bad(format!("malformed header name {name:?}"));
     }
+    Ok((name.to_ascii_lowercase(), value.trim().to_string()))
+}
 
-    let req = Request {
-        method,
-        path,
-        query,
-        headers,
-        body: Vec::new(),
-    };
+/// Validate framing headers and return the declared body length. Shared by
+/// both parsers; check order matters for identical error wording.
+fn body_length(req: &Request) -> Result<usize, HttpError> {
     if req.header("transfer-encoding").is_some() {
         return bad("transfer-encoding is not supported");
     }
@@ -186,10 +173,215 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> 
     if len > MAX_BODY_BYTES {
         return bad(format!("body of {len} bytes exceeds {MAX_BODY_BYTES}"));
     }
+    Ok(len)
+}
+
+/// Read one request, blocking until it is complete. `Ok(None)` means the
+/// peer closed cleanly between requests (normal keep-alive teardown).
+///
+/// This is the *reference* parser: simplest possible control flow, one
+/// blocking pass. The server's reactor uses the incremental
+/// [`RequestParser`] instead; `tests/parser_props.rs` pins the two
+/// byte-for-byte against each other across every corpus split.
+pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+    let mut budget = MAX_HEADER_BYTES;
+    let request_line = match read_line(r, &mut budget)? {
+        None => return Ok(None),
+        Some(l) => l,
+    };
+    let (method, path, query) = parse_request_line(&request_line)?;
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(r, &mut budget)? {
+            None => return bad("connection closed inside headers"),
+            Some(l) => l,
+        };
+        if line.is_empty() {
+            break;
+        }
+        headers.push(parse_header_line(&line)?);
+    }
+
+    let req = Request {
+        method,
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+    let len = body_length(&req)?;
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)
         .map_err(|_| HttpError::Bad("connection closed inside body".into()))?;
     Ok(Some(Request { body, ..req }))
+}
+
+/// Incremental (resumable, non-blocking) request parser: the reactor's
+/// per-connection read state machine.
+///
+/// Bytes arrive whenever the socket is readable ([`RequestParser::push`]);
+/// [`RequestParser::poll`] advances the state machine as far as the
+/// buffered bytes allow and yields a complete [`Request`] when one is
+/// framed, `Ok(None)` when more bytes are needed, or the same
+/// [`HttpError::Bad`] the one-shot [`read_request`] would produce on the
+/// equivalent stream. Consecutive keep-alive requests flow through one
+/// parser: leftover bytes after a complete request (a pipelined follow-up)
+/// stay buffered and are consumed by the next `poll`.
+#[derive(Debug)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Start of the not-yet-consumed region of `buf`.
+    consumed: usize,
+    /// Header-byte budget remaining for the in-progress request.
+    budget: usize,
+    state: ParseState,
+}
+
+#[derive(Debug)]
+enum ParseState {
+    RequestLine,
+    Headers(Request),
+    Body(Request, usize),
+    /// A framing error was reported; the stream is unreliable from here.
+    Failed,
+}
+
+impl Default for RequestParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RequestParser {
+    /// Fresh parser at a request boundary.
+    pub fn new() -> RequestParser {
+        RequestParser {
+            buf: Vec::new(),
+            consumed: 0,
+            budget: MAX_HEADER_BYTES,
+            state: ParseState::RequestLine,
+        }
+    }
+
+    /// Buffer freshly read socket bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a completed request — the
+    /// reactor's flow-control input (stop reading when a hostile peer
+    /// pumps data faster than responses drain).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Is the parser mid-request? (EOF now would truncate a request; at a
+    /// boundary it is a clean keep-alive close.)
+    pub fn mid_request(&self) -> bool {
+        !matches!(self.state, ParseState::RequestLine) || self.buffered() > 0
+    }
+
+    /// Extract the next complete line (terminated by `\n`, tolerating
+    /// `\r\n`), enforcing the same header-byte budget as the one-shot
+    /// parser: a line that cannot complete within the remaining budget is
+    /// an error *now* (the blocking parser would hit the same wall on the
+    /// byte after the budget).
+    fn take_line(&mut self) -> Result<Option<String>, HttpError> {
+        let avail = &self.buf[self.consumed..];
+        match avail.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                let with_terminator = nl + 1;
+                if with_terminator > self.budget {
+                    return bad(format!("headers exceed {MAX_HEADER_BYTES} bytes"));
+                }
+                self.budget -= with_terminator;
+                let mut line = &avail[..nl];
+                if line.last() == Some(&b'\r') {
+                    line = &line[..nl - 1];
+                }
+                let line = std::str::from_utf8(line)
+                    .map_err(|_| HttpError::Bad("header line is not UTF-8".into()))?
+                    .to_string();
+                self.consumed += with_terminator;
+                Ok(Some(line))
+            }
+            None if avail.len() >= self.budget => {
+                // Even if a newline arrived next, consuming it would
+                // overrun the budget — fail exactly like the one-shot
+                // parser reading its (budget+1)-th header byte.
+                bad(format!("headers exceed {MAX_HEADER_BYTES} bytes"))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Advance as far as the buffered bytes allow. `Ok(Some(_))` yields one
+    /// complete request and resets to the next request boundary;
+    /// `Ok(None)` means more bytes are needed. After an `Err` the
+    /// connection must be torn down — HTTP framing is unreliable past a
+    /// parse failure, so the parser latches into a failed state.
+    pub fn poll(&mut self) -> Result<Option<Request>, HttpError> {
+        match self.poll_inner() {
+            Err(e) => {
+                self.state = ParseState::Failed;
+                Err(e)
+            }
+            ok => ok,
+        }
+    }
+
+    fn poll_inner(&mut self) -> Result<Option<Request>, HttpError> {
+        loop {
+            match std::mem::replace(&mut self.state, ParseState::RequestLine) {
+                ParseState::RequestLine => match self.take_line()? {
+                    None => return Ok(None),
+                    Some(line) => {
+                        let (method, path, query) = parse_request_line(&line)?;
+                        self.state = ParseState::Headers(Request {
+                            method,
+                            path,
+                            query,
+                            headers: Vec::new(),
+                            body: Vec::new(),
+                        });
+                    }
+                },
+                ParseState::Headers(mut req) => match self.take_line()? {
+                    None => {
+                        self.state = ParseState::Headers(req);
+                        return Ok(None);
+                    }
+                    Some(line) if line.is_empty() => {
+                        let len = body_length(&req)?;
+                        self.state = ParseState::Body(req, len);
+                    }
+                    Some(line) => {
+                        req.headers.push(parse_header_line(&line)?);
+                        self.state = ParseState::Headers(req);
+                    }
+                },
+                ParseState::Body(mut req, len) => {
+                    if self.buffered() < len {
+                        self.state = ParseState::Body(req, len);
+                        return Ok(None);
+                    }
+                    req.body = self.buf[self.consumed..self.consumed + len].to_vec();
+                    self.consumed += len;
+                    // Request boundary: compact the buffer (leftover bytes
+                    // are a pipelined follow-up) and reset the budget.
+                    self.buf.drain(..self.consumed);
+                    self.consumed = 0;
+                    self.budget = MAX_HEADER_BYTES;
+                    return Ok(Some(req));
+                }
+                ParseState::Failed => {
+                    self.state = ParseState::Failed;
+                    return bad("request stream already failed");
+                }
+            }
+        }
+    }
 }
 
 /// Standard reason phrase for the status codes this server emits.

@@ -20,9 +20,16 @@
 //!   multilinear interpolation between cached exact solves when the
 //!   surrounding grid cell's certificate is within the tolerance (see
 //!   DESIGN.md §12);
-//! * [`http`] — a dependency-free HTTP/1.1 subset on `std::net`;
-//! * [`server`] — the accept loop, worker pool, and the three endpoints
-//!   (`POST /v1/predict`, `POST /v1/predict/batch`, `GET /metrics`);
+//! * [`http`] — a dependency-free HTTP/1.1 subset on `std::net`, with
+//!   both a blocking reference parser and the incremental
+//!   [`RequestParser`](http::RequestParser) the reactor resumes
+//!   byte-by-byte;
+//! * [`sys`] — a thin `libc`-free shim over the raw Linux syscalls the
+//!   reactor needs (`epoll_*`, `eventfd2`, `prlimit64`);
+//! * [`server`] — the epoll reactor + worker-pool server and the three
+//!   endpoints (`POST /v1/predict`, `POST /v1/predict/batch`,
+//!   `GET /metrics`), multiplexing thousands of idle keep-alive
+//!   connections on one thread;
 //! * [`client`] — the in-repo blocking test client (smoke tests, CI, the
 //!   load-generator bench).
 //!
@@ -60,7 +67,9 @@ pub mod http;
 pub mod interp;
 pub mod json;
 pub mod metrics;
+pub(crate) mod reactor;
 pub mod server;
+pub mod sys;
 
 pub use cache::SolutionCache;
 pub use client::{Client, ClientError};

@@ -37,13 +37,21 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| die("--cache-capacity must be an integer"))
             }
+            "--idle-timeout-ms" => {
+                config.idle_timeout = std::time::Duration::from_millis(
+                    value_for("--idle-timeout-ms")
+                        .parse()
+                        .unwrap_or_else(|_| die("--idle-timeout-ms must be an integer")),
+                )
+            }
             "--help" | "-h" => {
                 println!(
                     "lopc-serve: LoPC prediction service\n\n\
                      options:\n  --addr HOST:PORT    bind address (default 127.0.0.1:7070; port 0 = ephemeral)\n  \
                      --workers N         worker threads (default: available parallelism)\n  \
                      --cache-shards N    cache shard count (default 16)\n  \
-                     --cache-capacity N  cache entries per shard (default 256)"
+                     --cache-capacity N  cache entries per shard (default 256)\n  \
+                     --idle-timeout-ms N close keep-alive connections idle this long (default 30000)"
                 );
                 return;
             }

@@ -102,6 +102,13 @@ pub struct Metrics {
     server_err_5xx: AtomicU64,
     scenarios_solved: AtomicU64,
     latency: Histogram,
+    conns_opened: AtomicU64,
+    conns_closed: AtomicU64,
+    conns_idle_closed: AtomicU64,
+    /// Requests currently dispatched to workers (gauge).
+    dispatched_now: AtomicU64,
+    reactor_wakeups: AtomicU64,
+    reactor_events: AtomicU64,
 }
 
 impl Metrics {
@@ -141,6 +148,55 @@ impl Metrics {
     /// Scenarios answered (batch requests count each element).
     pub fn scenarios_solved(&self) -> u64 {
         self.scenarios_solved.load(Ordering::Relaxed)
+    }
+
+    /// The reactor accepted a connection.
+    pub fn conn_opened(&self) {
+        self.conns_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The reactor tore a connection down (`idle` when the keep-alive idle
+    /// timeout fired, rather than peer close / protocol error / shutdown).
+    pub fn conn_closed(&self, idle: bool) {
+        self.conns_closed.fetch_add(1, Ordering::Relaxed);
+        if idle {
+            self.conns_idle_closed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A parsed request left the reactor for the worker pool.
+    pub fn conn_dispatched(&self) {
+        self.dispatched_now.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A dispatched request completed (response written or failed).
+    pub fn conn_undispatched(&self) {
+        self.dispatched_now.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// One reactor `epoll_wait` return delivering `events` events.
+    pub fn reactor_wakeup(&self, events: u64) {
+        self.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+        self.reactor_events.fetch_add(events, Ordering::Relaxed);
+    }
+
+    /// Connections currently open (gauge).
+    pub fn open_connections(&self) -> u64 {
+        self.conns_opened
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.conns_closed.load(Ordering::Relaxed))
+    }
+
+    /// Open connections with no request in flight (gauge): the keep-alive
+    /// population parked in the reactor, costing no worker thread.
+    pub fn idle_connections(&self) -> u64 {
+        self.open_connections()
+            .saturating_sub(self.dispatched_now.load(Ordering::Relaxed))
+    }
+
+    /// Connections closed by the idle timeout, in total.
+    pub fn idle_timeouts(&self) -> u64 {
+        self.conns_idle_closed.load(Ordering::Relaxed)
     }
 
     /// Snapshot as the `/metrics` JSON document (cache counters are passed
@@ -189,6 +245,23 @@ impl Metrics {
                         "cells_built".into(),
                         Json::Num(cache.interp_cells_built as f64),
                     ),
+                ]),
+            ),
+            (
+                "connections".into(),
+                Json::Object(vec![
+                    ("open".into(), Json::Num(self.open_connections() as f64)),
+                    ("idle".into(), Json::Num(self.idle_connections() as f64)),
+                    ("opened_total".into(), load(&self.conns_opened)),
+                    ("closed_total".into(), load(&self.conns_closed)),
+                    ("idle_timeouts_total".into(), load(&self.conns_idle_closed)),
+                ]),
+            ),
+            (
+                "reactor".into(),
+                Json::Object(vec![
+                    ("wakeups_total".into(), load(&self.reactor_wakeups)),
+                    ("events_total".into(), load(&self.reactor_events)),
                 ]),
             ),
             (
@@ -279,6 +352,48 @@ impl Metrics {
             "Interpolation cells built (corner+centre solve batches).",
             "counter",
             &[("".into(), cache.interp_cells_built as f64)],
+        );
+        family(
+            "lopc_open_connections",
+            "Connections currently open.",
+            "gauge",
+            &[("".into(), self.open_connections() as f64)],
+        );
+        family(
+            "lopc_idle_connections",
+            "Open connections with no request in flight.",
+            "gauge",
+            &[("".into(), self.idle_connections() as f64)],
+        );
+        family(
+            "lopc_connections_opened_total",
+            "Connections accepted by the reactor.",
+            "counter",
+            &[("".into(), load(&self.conns_opened) as f64)],
+        );
+        family(
+            "lopc_connections_closed_total",
+            "Connections torn down.",
+            "counter",
+            &[("".into(), load(&self.conns_closed) as f64)],
+        );
+        family(
+            "lopc_idle_timeouts_total",
+            "Connections closed by the keep-alive idle timeout.",
+            "counter",
+            &[("".into(), load(&self.conns_idle_closed) as f64)],
+        );
+        family(
+            "lopc_reactor_wakeups_total",
+            "Reactor epoll_wait returns.",
+            "counter",
+            &[("".into(), load(&self.reactor_wakeups) as f64)],
+        );
+        family(
+            "lopc_reactor_events_total",
+            "Readiness events delivered to the reactor.",
+            "counter",
+            &[("".into(), load(&self.reactor_events) as f64)],
         );
         let quantiles: Vec<(String, f64)> = [(0.5, "0.5"), (0.99, "0.99")]
             .iter()
@@ -375,6 +490,43 @@ mod tests {
             .unwrap()
             .as_num()
             .is_some());
+    }
+
+    #[test]
+    fn connection_gauges_track_reactor_lifecycle() {
+        let m = Metrics::new();
+        m.conn_opened();
+        m.conn_opened();
+        m.conn_opened();
+        assert_eq!(m.open_connections(), 3);
+        assert_eq!(m.idle_connections(), 3);
+        m.conn_dispatched();
+        assert_eq!(m.idle_connections(), 2);
+        m.conn_undispatched();
+        assert_eq!(m.idle_connections(), 3);
+        m.conn_closed(false);
+        m.conn_closed(true); // idle timeout
+        assert_eq!(m.open_connections(), 1);
+        assert_eq!(m.idle_timeouts(), 1);
+        m.reactor_wakeup(5);
+        m.reactor_wakeup(0);
+        let doc = m.to_json(&CacheCounters::default());
+        let conns = doc.get("connections").unwrap();
+        assert_eq!(conns.get("open").unwrap().as_num(), Some(1.0));
+        assert_eq!(conns.get("idle").unwrap().as_num(), Some(1.0));
+        assert_eq!(conns.get("opened_total").unwrap().as_num(), Some(3.0));
+        assert_eq!(
+            conns.get("idle_timeouts_total").unwrap().as_num(),
+            Some(1.0)
+        );
+        let reactor = doc.get("reactor").unwrap();
+        assert_eq!(reactor.get("wakeups_total").unwrap().as_num(), Some(2.0));
+        assert_eq!(reactor.get("events_total").unwrap().as_num(), Some(5.0));
+        let text = m.to_prometheus(&CacheCounters::default());
+        assert!(text.contains("lopc_open_connections 1"));
+        assert!(text.contains("lopc_idle_connections 1"));
+        assert!(text.contains("lopc_idle_timeouts_total 1"));
+        assert!(text.contains("lopc_reactor_wakeups_total 2"));
     }
 
     #[test]

@@ -7,12 +7,17 @@
 //! | `POST /v1/predict/batch` | `{"scenarios": [...]}` | `{"predictions": [...]}` |
 //! | `GET /metrics` | — | counters, cache hit rate, p50/p99 latency |
 //!
-//! Threading model: the accept thread pushes connections onto a
-//! `Mutex<VecDeque>` + `Condvar` queue; each of `workers` threads pops one
-//! connection and serves its whole keep-alive session before taking the
-//! next (connection-per-worker, so one slow client cannot head-of-line
-//! block another worker's connection). *Within* a batch request the
-//! scenario list is fanned out over scoped threads through the same
+//! Threading model: a single **reactor** thread multiplexes every
+//! connection over epoll (see the `reactor` module) — accepting, reading,
+//! incrementally parsing, and writing, all non-blocking — and hands each
+//! *complete parsed request* to a fixed pool of `workers` threads over a
+//! request queue. A worker computes the reply, writes the response bytes
+//! straight to the socket, and posts a completion back through an eventfd
+//! so the reactor re-arms the connection. Idle keep-alive connections
+//! therefore cost a few kilobytes of reactor state instead of a blocked
+//! worker thread: the concurrent-connection ceiling is the fd limit, not
+//! the worker count. *Within* a batch request the scenario list is fanned
+//! out over scoped threads through the same
 //! [`WorkQueue`](lopc_solver::steal::WorkQueue) claim-cursor idiom the
 //! replication runner uses — idle cores steal the next unsolved scenario,
 //! so one expensive general-model entry does not serialize the batch.
@@ -21,19 +26,19 @@
 //! unknown path, `405` wrong method, `422` well-formed but unsolvable
 //! scenario (model validation/solver failure), `500` never intentionally.
 
-use std::collections::VecDeque;
-use std::io::{BufReader, BufWriter};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::cache::SolutionCache;
 use crate::codec::{max_rel_err_from_json, prediction_to_json, scenario_from_json};
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::http::{write_response, Request};
 use crate::interp::InterpCache;
 use crate::json::{parse, Json};
 use crate::metrics::{CacheCounters, Endpoint, Metrics};
+use crate::reactor::{Completion, Done, Reactor, Shared};
 use lopc_core::Scenario;
 
 /// Server tunables; the defaults suit tests and the quickstart binary.
@@ -47,6 +52,8 @@ pub struct ServerConfig {
     pub cache_shards: usize,
     /// Cache capacity per shard.
     pub cache_capacity_per_shard: usize,
+    /// Close a keep-alive connection after this long with no request.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +63,7 @@ impl Default for ServerConfig {
             workers: 0,
             cache_shards: 16,
             cache_capacity_per_shard: 256,
+            idle_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -349,45 +357,13 @@ impl Service {
     }
 }
 
-/// Connection hand-off queue between the accept loop and the workers.
-struct ConnQueue {
-    queue: Mutex<VecDeque<TcpStream>>,
-    ready: Condvar,
-}
-
-impl ConnQueue {
-    fn push(&self, conn: TcpStream) {
-        self.queue
-            .lock()
-            .expect("conn queue poisoned")
-            .push_back(conn);
-        self.ready.notify_one();
-    }
-
-    /// Block for the next connection; `None` once shutdown is flagged and
-    /// the queue is drained.
-    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
-        let mut q = self.queue.lock().expect("conn queue poisoned");
-        loop {
-            if let Some(conn) = q.pop_front() {
-                return Some(conn);
-            }
-            if shutdown.load(Ordering::Acquire) {
-                return None;
-            }
-            q = self.ready.wait(q).expect("conn queue poisoned");
-        }
-    }
-}
-
 /// A running server; dropping the handle leaks the threads, so call
 /// [`ServerHandle::shutdown`] (tests) or hold it forever (the binary).
 pub struct ServerHandle {
     addr: SocketAddr,
     service: Arc<Service>,
-    shutdown: Arc<AtomicBool>,
-    conns: Arc<ConnQueue>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    shared: Arc<Shared>,
+    reactor_thread: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -402,19 +378,16 @@ impl ServerHandle {
         &self.service
     }
 
-    /// Stop accepting, drain the workers, join every thread.
+    /// Stop the server: shutdown is an *event*, not a poll. Flag + eventfd
+    /// wake the reactor out of `epoll_wait`; it closes the listener and
+    /// every idle connection immediately, waits only for requests already
+    /// dispatched to workers, and exits. Workers drain the request queue
+    /// and park out. Every thread is joined on return.
     pub fn shutdown(mut self) {
-        // Store the flag and notify while HOLDING the queue mutex: a worker
-        // that checked the flag and is about to wait must not miss the
-        // wake-up (the classic lost-wakeup window between check and wait).
-        {
-            let _guard = self.conns.queue.lock().expect("conn queue poisoned");
-            self.shutdown.store(true, Ordering::Release);
-            self.conns.ready.notify_all();
-        }
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.wake.signal();
+        self.shared.jobs.wake_all();
+        if let Some(t) = self.reactor_thread.take() {
             let _ = t.join();
         }
         for w in self.workers.drain(..) {
@@ -423,100 +396,75 @@ impl ServerHandle {
     }
 }
 
-/// How often an idle worker re-checks the shutdown flag.
-const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(50);
-
-/// Block until the next request's first byte is buffered (true), the peer
-/// closed (false), or shutdown was flagged (false). Uses the stream's read
-/// timeout as the poll interval; `fill_buf` never consumes, so the request
-/// parser sees an intact stream.
-fn wait_for_data(reader: &mut BufReader<TcpStream>, shutdown: &AtomicBool) -> bool {
-    use std::io::BufRead;
-    loop {
-        if shutdown.load(Ordering::Acquire) {
-            return false;
-        }
-        match reader.fill_buf() {
-            Ok(buf) => return !buf.is_empty(),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                continue
-            }
-            Err(_) => return false,
-        }
-    }
-}
-
-/// Serve one connection's whole keep-alive session. Between requests the
-/// worker polls `shutdown`, so a long-lived idle connection cannot pin a
-/// worker past [`ServerHandle::shutdown`]. (A peer that stalls *mid*-request
-/// longer than the poll interval is dropped as a bad client — the parser
-/// sees the read timeout as an error; the in-repo client always writes
-/// requests in one burst.)
-fn serve_connection(service: &Service, conn: TcpStream, shutdown: &AtomicBool) {
-    // Nagle + delayed ACK stalls multi-segment JSON bodies by ~40 ms per
-    // round trip; a request/response service always wants NODELAY.
-    let _ = conn.set_nodelay(true);
-    if conn.set_read_timeout(Some(IDLE_POLL)).is_err() {
-        return;
-    }
-    let peer_writer = match conn.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
+/// Compute and write one response directly to the (non-blocking) socket.
+/// The direct write is the fast path — the thread that computed the reply
+/// also sends it; only a filled socket buffer falls back to the reactor's
+/// `EPOLLOUT` machinery via [`Done::Partial`].
+fn run_request(service: &Service, stream: &TcpStream, req: &Request) -> Done {
+    let reply = service.handle_request(
+        &req.method,
+        &req.path,
+        req.query.as_deref(),
+        req.header("accept"),
+        &req.body,
+    );
+    let keep_alive = req.keep_alive();
+    // RFC 9110 §9.3.2: responses to HEAD must carry no body, or a
+    // conforming client desyncs on the kept-alive connection.
+    let body = if req.method == "HEAD" {
+        ""
+    } else {
+        &reply.body
     };
-    let mut reader = BufReader::new(conn);
-    let mut writer = BufWriter::new(peer_writer);
-    loop {
-        if !wait_for_data(&mut reader, shutdown) {
-            return;
-        }
-        match read_request(&mut reader) {
-            Ok(None) => return, // clean close between requests
-            Ok(Some(req)) => {
-                let Request {
-                    method,
-                    path,
-                    query,
-                    body,
-                    ..
-                } = &req;
-                let reply = service.handle_request(
-                    method,
-                    path,
-                    query.as_deref(),
-                    req.header("accept"),
-                    body,
-                );
-                let keep = req.keep_alive();
-                // RFC 9110 §9.3.2: responses to HEAD must carry no body, or
-                // a conforming client desyncs on the kept-alive connection.
-                let body = if method == "HEAD" { "" } else { &reply.body };
-                if write_response(&mut writer, reply.status, reply.content_type, body, keep)
-                    .is_err()
-                    || !keep
-                {
-                    return;
+    let mut bytes = Vec::with_capacity(128 + body.len());
+    write_response(
+        &mut bytes,
+        reply.status,
+        reply.content_type,
+        body,
+        keep_alive,
+    )
+    .expect("in-memory write");
+    let mut pos = 0;
+    while pos < bytes.len() {
+        match (&*stream).write(&bytes[pos..]) {
+            Ok(0) => return Done::Failed,
+            Ok(n) => pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                return Done::Partial {
+                    rest: bytes[pos..].to_vec(),
+                    keep_alive,
                 }
             }
-            Err(HttpError::Bad(msg)) => {
-                // Protocol violations get one best-effort 400, then close —
-                // framing is unreliable after a parse failure.
-                let reply = Reply::error(400, msg);
-                let _ = write_response(
-                    &mut writer,
-                    reply.status,
-                    reply.content_type,
-                    &reply.body,
-                    false,
-                );
-                return;
-            }
-            Err(HttpError::Io(_)) => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Done::Failed,
         }
+    }
+    Done::Written { keep_alive }
+}
+
+/// Serve one parsed request end to end (handler + response write), with
+/// panics contained to [`Done::Failed`]. Called from worker threads for
+/// solver-heavy jobs and from the reactor itself on the inline fast path —
+/// either way a panicking handler must cost one connection, not a thread.
+pub(crate) fn execute(service: &Service, stream: &TcpStream, request: &Request) -> Done {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_request(service, stream, request)
+    }))
+    .unwrap_or(Done::Failed)
+}
+
+/// Worker thread body: pop parsed requests until shutdown drains the
+/// queue. A completion is *always* posted — even when the handler panics —
+/// so the reactor's shutdown drain can never wait on a job that will not
+/// report back.
+fn worker_loop(service: &Service, shared: &Shared) {
+    while let Some(job) = shared.jobs.pop(&shared.shutdown) {
+        let done = execute(service, &job.stream, &job.request);
+        shared.complete(Completion {
+            token: job.token,
+            done,
+        });
     }
 }
 
@@ -528,11 +476,10 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         config.cache_shards,
         config.cache_capacity_per_shard,
     ));
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let conns = Arc::new(ConnQueue {
-        queue: Mutex::new(VecDeque::new()),
-        ready: Condvar::new(),
-    });
+    let shared = Arc::new(Shared::new()?);
+    // Many-connection serving is fd-bound; lift the soft limit as far as
+    // the environment allows (best effort — C10K needs ~10k fds).
+    let _ = crate::sys::raise_nofile_limit(65536);
 
     let workers_n = if config.workers == 0 {
         std::thread::available_parallelism()
@@ -544,36 +491,23 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let mut workers = Vec::with_capacity(workers_n);
     for _ in 0..workers_n {
         let service = Arc::clone(&service);
-        let shutdown = Arc::clone(&shutdown);
-        let conns = Arc::clone(&conns);
-        workers.push(std::thread::spawn(move || {
-            while let Some(conn) = conns.pop(&shutdown) {
-                serve_connection(&service, conn, &shutdown);
-            }
-        }));
+        let shared = Arc::clone(&shared);
+        workers.push(std::thread::spawn(move || worker_loop(&service, &shared)));
     }
 
-    let accept_thread = {
-        let shutdown = Arc::clone(&shutdown);
-        let conns = Arc::clone(&conns);
-        std::thread::spawn(move || {
-            for conn in listener.incoming() {
-                if shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                if let Ok(conn) = conn {
-                    conns.push(conn);
-                }
-            }
-        })
-    };
+    let reactor = Reactor::new(
+        listener,
+        Arc::clone(&service),
+        Arc::clone(&shared),
+        config.idle_timeout,
+    )?;
+    let reactor_thread = std::thread::spawn(move || reactor.run());
 
     Ok(ServerHandle {
         addr,
         service,
-        shutdown,
-        conns,
-        accept_thread: Some(accept_thread),
+        shared,
+        reactor_thread: Some(reactor_thread),
         workers,
     })
 }

@@ -124,6 +124,8 @@ fn response_schemas_do_not_drift() {
             "scenarios_solved",
             "cache",
             "interp",
+            "connections",
+            "reactor",
             "latency_ns"
         ]
     );
@@ -143,7 +145,24 @@ fn response_schemas_do_not_drift() {
         keys(doc.get("interp").unwrap()),
         vec!["hits", "fallbacks", "cells_built"]
     );
+    assert_eq!(
+        keys(doc.get("connections").unwrap()),
+        vec![
+            "open",
+            "idle",
+            "opened_total",
+            "closed_total",
+            "idle_timeouts_total"
+        ]
+    );
+    assert_eq!(
+        keys(doc.get("reactor").unwrap()),
+        vec!["wakeups_total", "events_total"]
+    );
     assert_eq!(keys(doc.get("latency_ns").unwrap()), vec!["p50", "p99"]);
+    // The client's own connection is open (and mid-request, so not idle).
+    let conns = doc.get("connections").unwrap();
+    assert!(conns.get("open").unwrap().as_num().unwrap() >= 1.0);
 
     server.shutdown();
 }
@@ -180,6 +199,13 @@ fn prometheus_exposition_schema_does_not_drift() {
             "lopc_interp_hits_total",
             "lopc_interp_fallbacks_total",
             "lopc_interp_cells_built_total",
+            "lopc_open_connections",
+            "lopc_idle_connections",
+            "lopc_connections_opened_total",
+            "lopc_connections_closed_total",
+            "lopc_idle_timeouts_total",
+            "lopc_reactor_wakeups_total",
+            "lopc_reactor_events_total",
             "lopc_request_latency_ns",
         ]
     );

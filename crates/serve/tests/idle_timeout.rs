@@ -1,0 +1,120 @@
+//! The keep-alive idle timeout: a connection with no request for
+//! `idle_timeout` is closed by the reactor's timer wheel, and the peer
+//! sees a clean EOF — not a reset, not a hang. Without this, every client
+//! that forgets to close (or dies mid-keep-alive) parks a connection in
+//! the reactor forever.
+
+use std::time::{Duration, Instant};
+
+use lopc_core::{Machine, Scenario};
+use lopc_serve::server::{start, ServerConfig};
+use lopc_serve::Client;
+
+fn scenario() -> Scenario {
+    Scenario::AllToAll {
+        machine: Machine::new(32, 25.0, 200.0).with_c2(0.0),
+        w: 1000.0,
+    }
+}
+
+#[test]
+fn idle_connection_is_closed_with_clean_eof() {
+    let idle_timeout = Duration::from_millis(150);
+    let server = start(ServerConfig {
+        workers: 2,
+        idle_timeout,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.predict(&scenario()).expect("predict");
+
+    // Go idle. The reactor must close us once the timeout elapses; the
+    // close arrives as EOF at a response boundary.
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let t0 = Instant::now();
+    let eof = client.wait_for_eof().expect("read until close");
+    let waited = t0.elapsed();
+    assert!(eof, "expected clean EOF, got stray bytes");
+    assert!(
+        waited >= idle_timeout.mul_div(3, 4),
+        "closed after only {waited:?}, before the {idle_timeout:?} timeout"
+    );
+    assert!(
+        waited < Duration::from_secs(5),
+        "idle close took {waited:?}, timer wheel never fired"
+    );
+    assert_eq!(server.service().metrics().idle_timeouts(), 1);
+    assert_eq!(server.service().metrics().open_connections(), 0);
+
+    server.shutdown();
+}
+
+#[test]
+fn active_connection_outlives_the_idle_timeout() {
+    let idle_timeout = Duration::from_millis(200);
+    let server = start(ServerConfig {
+        workers: 2,
+        idle_timeout,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+
+    // Keep issuing requests across several timeout windows: activity
+    // resets the deadline, so the connection must survive throughout.
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let t0 = Instant::now();
+    while t0.elapsed() < idle_timeout * 4 {
+        client.predict(&scenario()).expect("keep-alive request");
+        std::thread::sleep(idle_timeout / 4);
+    }
+    assert_eq!(server.service().metrics().idle_timeouts(), 0);
+
+    server.shutdown();
+}
+
+#[test]
+fn only_the_idle_connection_is_reaped() {
+    let idle_timeout = Duration::from_millis(200);
+    let server = start(ServerConfig {
+        workers: 2,
+        idle_timeout,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+
+    let mut idle = Client::connect(server.addr()).expect("connect idle");
+    idle.predict(&scenario()).expect("predict");
+    idle.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    let mut active = Client::connect(server.addr()).expect("connect active");
+    let t0 = Instant::now();
+    while t0.elapsed() < idle_timeout * 3 {
+        active.predict(&scenario()).expect("active request");
+        std::thread::sleep(idle_timeout / 5);
+    }
+
+    // The idle peer was reaped...
+    assert!(idle.wait_for_eof().expect("idle sees close"));
+    assert_eq!(server.service().metrics().idle_timeouts(), 1);
+    // ...and the active one still works.
+    active.predict(&scenario()).expect("still serving");
+
+    server.shutdown();
+}
+
+/// `Duration::mul_div` does not exist on stable; tiny helper for the
+/// fraction-of-timeout assertion.
+trait MulDiv {
+    fn mul_div(self, num: u32, den: u32) -> Duration;
+}
+
+impl MulDiv for Duration {
+    fn mul_div(self, num: u32, den: u32) -> Duration {
+        self * num / den
+    }
+}

@@ -20,7 +20,7 @@ use rand::{Rng, SeedableRng};
 use std::io::BufReader;
 
 use lopc_core::{GeneralModel, Machine, Scenario};
-use lopc_serve::http::{read_request, read_response};
+use lopc_serve::http::{read_request, read_response, HttpError, Request, RequestParser};
 use lopc_serve::json::{parse, Json};
 use lopc_serve::{scenario_from_json, scenario_to_json};
 
@@ -250,6 +250,205 @@ fn http_parsers_fuzz_never_panic() {
             });
         }
     }
+}
+
+// -- incremental vs one-shot parser ---------------------------------------
+//
+// The reactor parses requests with the resumable `RequestParser`, fed
+// whatever fragments the socket delivers; `read_request` is the blocking
+// reference. The two must agree *byte for byte* on every input and every
+// split, or served behaviour would depend on TCP segmentation.
+
+/// Reference result: the one-shot blocking parser over the whole input.
+fn oneshot(input: &[u8]) -> Result<Option<Request>, HttpError> {
+    read_request(&mut BufReader::new(input))
+}
+
+/// Feed `input` to the incremental parser in `chunk`-byte pieces, polling
+/// after every piece; `Ok(None)` means the input ran out mid-request.
+fn drip(input: &[u8], chunk: usize) -> Result<Option<Request>, HttpError> {
+    let mut parser = RequestParser::new();
+    for piece in input.chunks(chunk.max(1)) {
+        parser.push(piece);
+        match parser.poll() {
+            Ok(None) => continue,
+            done => return done,
+        }
+    }
+    Ok(None)
+}
+
+/// EOF-truncation errors only the blocking parser can see: it knows the
+/// stream ended, while the incremental parser just reports "need more
+/// bytes" (EOF is the reactor's signal, out of band from parsing). Every
+/// other error must match word for word.
+fn is_eof_truncation(e: &HttpError) -> bool {
+    matches!(e, HttpError::Bad(m) if m == "truncated header line"
+        || m == "connection closed inside headers"
+        || m == "connection closed inside body")
+}
+
+/// Assert the incremental parse of `input` split into `chunk`-byte pieces
+/// is byte-for-byte equivalent to the one-shot reference.
+fn assert_parsers_agree(input: &[u8], chunk: usize) {
+    let reference = oneshot(input);
+    let incremental = drip(input, chunk);
+    match (&reference, &incremental) {
+        // Complete request: identical parse, field for field, byte for
+        // byte (Request derives Eq).
+        (Ok(Some(a)), Ok(Some(b))) => assert_eq!(
+            a,
+            b,
+            "chunk={chunk}: parses differ on {:?}",
+            String::from_utf8_lossy(input)
+        ),
+        // Clean empty input: both report "nothing yet".
+        (Ok(None), Ok(None)) => {}
+        // The stream died mid-request: the blocking parser reports the
+        // truncation; the incremental one is still waiting for bytes that
+        // will never come (the reactor turns that EOF into a close).
+        (Err(e), Ok(None)) if is_eof_truncation(e) => {}
+        // Any other error: same error, same wording.
+        (Err(HttpError::Bad(a)), Err(HttpError::Bad(b))) => assert_eq!(
+            a,
+            b,
+            "chunk={chunk}: error wording differs on {:?}",
+            String::from_utf8_lossy(input)
+        ),
+        _ => panic!(
+            "chunk={chunk}: one-shot {reference:?} vs incremental {incremental:?} on {:?}",
+            String::from_utf8_lossy(input)
+        ),
+    }
+}
+
+fn valid_request_corpus() -> Vec<Vec<u8>> {
+    let mut corpus: Vec<Vec<u8>> = (0..10u64)
+        .map(|i| {
+            let mut vr = SmallRng::seed_from_u64(i);
+            let body = scenario_to_json(&random_scenario(&mut vr)).to_compact();
+            format!(
+                "POST /v1/predict HTTP/1.1\r\nhost: x\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .into_bytes()
+        })
+        .collect();
+    corpus.push(b"GET /metrics HTTP/1.1\r\n\r\n".to_vec());
+    corpus.push(
+        b"GET /metrics?format=prom HTTP/1.1\r\naccept: text/plain\r\nconnection: close\r\n\r\n"
+            .to_vec(),
+    );
+    corpus.push(b"GET / HTTP/1.1\nhost: x\n\n".to_vec()); // bare-LF lines
+    corpus.push(b"HEAD /v1/predict? HTTP/1.1\r\nx: \xc3\xa9\r\n\r\n".to_vec());
+    corpus
+}
+
+fn malformed_request_corpus() -> Vec<Vec<u8>> {
+    [
+        &b"GARBAGE\r\n\r\n"[..],
+        b"GET /\r\n\r\n",
+        b"GET / HTTP/2.0\r\n\r\n",
+        b"GET / HTTP/1.1 extra\r\n\r\n",
+        b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+        b"GET / HTTP/1.1\r\n: empty\r\n\r\n",
+        b"GET / HTTP/1.1\r\nbad name: x\r\n\r\n",
+        b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+        b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        b"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 50\r\n\r\nhello",
+        b"GET / HTTP/1.1\r\ntrunc",
+        b"\xff\xfe GET / HTTP/1.1\r\n\r\n",
+        b"",
+    ]
+    .iter()
+    .map(|b| b.to_vec())
+    .collect()
+}
+
+/// Every corpus request, dripped one byte at a time — every byte boundary
+/// is a resume point — plus a spread of other chunk sizes.
+#[test]
+fn incremental_parser_matches_oneshot_at_every_boundary() {
+    let mut corpus = valid_request_corpus();
+    corpus.extend(malformed_request_corpus());
+    for input in &corpus {
+        for chunk in [1, 2, 3, 7, input.len().max(1)] {
+            assert_parsers_agree(input, chunk);
+        }
+    }
+}
+
+/// Two-piece splits at *every* position: the resume happens exactly once,
+/// at each possible boundary (request line, header, separator, body).
+#[test]
+fn incremental_parser_matches_oneshot_for_every_two_piece_split() {
+    for input in valid_request_corpus() {
+        let reference = oneshot(&input)
+            .expect("corpus is valid")
+            .expect("non-empty");
+        for split in 0..=input.len() {
+            let mut parser = RequestParser::new();
+            parser.push(&input[..split]);
+            let early = parser.poll();
+            let got = match early {
+                Ok(Some(req)) => {
+                    assert_eq!(split, input.len(), "request completed before all bytes");
+                    req
+                }
+                Ok(None) => {
+                    parser.push(&input[split..]);
+                    parser
+                        .poll()
+                        .unwrap_or_else(|e| panic!("split {split}: {e}"))
+                        .unwrap_or_else(|| panic!("split {split}: incomplete"))
+                }
+                Err(e) => panic!("split {split}: {e}"),
+            };
+            assert_eq!(got, reference, "split at byte {split}");
+        }
+    }
+}
+
+/// Random corruptions of valid requests, dripped at several chunk sizes:
+/// the two parsers must classify every mutation identically.
+#[test]
+fn corrupted_requests_classify_identically_under_drip() {
+    let mut rng = SmallRng::seed_from_u64(0xd21b);
+    let corpus = valid_request_corpus();
+    for round in 0..1500 {
+        let mutated = corrupt(&corpus[round % corpus.len()], &mut rng);
+        for chunk in [1, 3, 17] {
+            assert_parsers_agree(&mutated, chunk);
+        }
+    }
+}
+
+/// Pipelined keep-alive traffic: several requests pushed through one
+/// parser in 1-byte drips come out identical to sequential one-shot reads
+/// of the same stream.
+#[test]
+fn pipelined_requests_drip_out_in_order() {
+    let corpus = valid_request_corpus();
+    let stream: Vec<u8> = corpus.iter().flatten().copied().collect();
+
+    let mut reference = Vec::new();
+    let mut reader = BufReader::new(&stream[..]);
+    while let Some(req) = read_request(&mut reader).expect("valid stream") {
+        reference.push(req);
+    }
+    assert_eq!(reference.len(), corpus.len());
+
+    let mut parser = RequestParser::new();
+    let mut incremental = Vec::new();
+    for byte in &stream {
+        parser.push(std::slice::from_ref(byte));
+        while let Some(req) = parser.poll().expect("valid stream") {
+            incremental.push(req);
+        }
+    }
+    assert_eq!(incremental, reference);
+    assert!(!parser.mid_request(), "stream must end at a boundary");
 }
 
 /// Corruptions of a *valid* scenario document must decode, or fail with an

@@ -1,13 +1,14 @@
 //! Regression gate on server shutdown latency.
 //!
-//! Worker threads poll the shutdown flag between requests through a 50 ms
-//! read-timeout `fill_buf` (see `server::IDLE_POLL`), and the accept loop
-//! is unblocked by a throwaway connection. Shutdown must therefore
-//! complete — every thread joined — well inside 200 ms even with idle
-//! keep-alive connections pinning every worker. If this assert starts
-//! failing, tighten the poll interval (or replace the poll with a real
-//! readiness mechanism) rather than loosening the bound: slow shutdown
-//! breaks test suites and rolling restarts alike.
+//! Shutdown is an *event*: the flag plus an eventfd doorbell wake the
+//! reactor out of `epoll_wait`, it closes the listener and every idle
+//! connection immediately, waits only for requests already dispatched to
+//! workers, and joins. There is no poll interval anywhere on the path, so
+//! shutdown must complete — every thread joined — well inside 50 ms even
+//! with a thousand idle keep-alive connections parked in the reactor. If
+//! this assert starts failing, something on the shutdown path has regressed
+//! into waiting on a timeout; fix that rather than loosening the bound —
+//! slow shutdown breaks test suites and rolling restarts alike.
 
 use std::time::{Duration, Instant};
 
@@ -15,7 +16,7 @@ use lopc_core::{Machine, Scenario};
 use lopc_serve::server::{start, ServerConfig};
 use lopc_serve::Client;
 
-const BOUND: Duration = Duration::from_millis(200);
+const BOUND: Duration = Duration::from_millis(50);
 
 fn config() -> ServerConfig {
     ServerConfig {
@@ -37,10 +38,10 @@ fn idle_server_shuts_down_quickly() {
 }
 
 #[test]
-fn shutdown_with_idle_keepalive_connections_pinning_every_worker() {
+fn shutdown_with_idle_keepalive_connections() {
     let server = start(config()).expect("bind");
-    // Two workers, two connections mid-keep-alive: both workers sit in the
-    // between-requests poll loop when shutdown arrives.
+    // Connections mid-keep-alive: they cost the reactor a slab slot each,
+    // never a worker thread, and shutdown closes them without waiting.
     let scenario = Scenario::AllToAll {
         machine: Machine::new(32, 25.0, 200.0).with_c2(0.0),
         w: 1000.0,
@@ -62,12 +63,50 @@ fn shutdown_with_idle_keepalive_connections_pinning_every_worker() {
 }
 
 #[test]
+fn shutdown_with_a_thousand_idle_connections() {
+    let server = start(config()).expect("bind");
+    let addr = server.addr();
+    // A C10K-style population: 1000 established, idle, keep-alive
+    // connections. Event-driven teardown closes them all inside the bound;
+    // under the old thread-per-connection core this many idle peers was
+    // structurally impossible to even hold with 2 workers.
+    let conns: Vec<std::net::TcpStream> = (0..1000)
+        .map(|i| std::net::TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect #{i}: {e}")))
+        .collect();
+    // Let the reactor finish accepting the tail of the burst.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.service().metrics().open_connections() < 1000 {
+        assert!(
+            Instant::now() < deadline,
+            "reactor never accepted 1000 conns"
+        );
+        std::thread::yield_now();
+    }
+    let t0 = Instant::now();
+    server.shutdown();
+    let took = t0.elapsed();
+    assert!(
+        took < BOUND,
+        "shutdown with 1000 idle connections took {took:?} (bound {BOUND:?})"
+    );
+    // Every peer sees the close as a clean EOF, not a hang.
+    for (i, conn) in conns.into_iter().enumerate() {
+        use std::io::Read;
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = [0u8; 1];
+        let n = (&conn)
+            .read(&mut buf)
+            .unwrap_or_else(|e| panic!("conn #{i}: {e}"));
+        assert_eq!(n, 0, "conn #{i}: expected EOF, got a byte");
+    }
+}
+
+#[test]
 fn shutdown_after_traffic_bursts() {
     let server = start(config()).expect("bind");
     let addr = server.addr();
-    // A burst of short-lived connections that have already closed: the
-    // conn queue may still hold drained entries; shutdown must not wait on
-    // them beyond the poll interval.
+    // A burst of short-lived connections that have already closed: stale
+    // slab slots and queued completions must not delay shutdown.
     for _ in 0..8 {
         let mut c = Client::connect(addr).expect("connect");
         let _ = c.metrics().expect("metrics");
