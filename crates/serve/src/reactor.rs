@@ -55,11 +55,20 @@ const EVENT_BATCH: usize = 1024;
 /// Reactor-side read chunk.
 const READ_CHUNK: usize = 16 * 1024;
 
-/// Stop reading from a connection whose parser has buffered this much
-/// while a request is already in flight (flow control against a peer that
-/// pumps pipelined data faster than responses drain); reading resumes when
-/// the in-flight response completes.
-const DISPATCHED_BUFFER_CAP: usize = 64 * 1024;
+/// Stop reading from a busy connection (request in flight or response
+/// pending) whose parser has buffered this much — flow control against a
+/// peer that pumps pipelined data faster than responses drain; reading
+/// resumes when the in-flight response completes or the write buffer
+/// empties.
+const BUSY_BUFFER_CAP: usize = 64 * 1024;
+
+/// Most bytes one [`Reactor::pump`] call reads before yielding. Without a
+/// cap, a peer that delivers data as fast as the reactor can read it
+/// (localhost, fast LAN) keeps its socket perpetually readable and starves
+/// every other connection. A capped pump parks the connection on the
+/// re-pump list instead and resumes on the next loop iteration — after the
+/// rest of the event batch has been served.
+const PUMP_BUDGET: usize = 256 * 1024;
 
 /// One complete parsed request, on its way to a worker.
 pub(crate) struct Job {
@@ -146,6 +155,18 @@ impl JobQueue {
         let _guard = self.queue.lock().expect("job queue poisoned");
         self.ready.notify_all();
     }
+
+    /// Take every queued job without blocking. Shutdown only: workers exit
+    /// the moment they see the flag over an empty queue, so jobs the
+    /// reactor dispatched while handling its final event batch can be
+    /// stranded here with nobody left to run them.
+    pub fn take_all(&self) -> Vec<Job> {
+        self.queue
+            .lock()
+            .expect("job queue poisoned")
+            .drain(..)
+            .collect()
+    }
 }
 
 /// State shared between the reactor, the workers, and the server handle.
@@ -229,7 +250,11 @@ impl TimerWheel {
         if self.len == 0 {
             return None;
         }
-        let next = self.epoch + self.tick * self.cursor as u32;
+        // u64 nanosecond math: a u32 tick count wraps after ~2^32 ticks
+        // (under 50 days of uptime at the 1 ms minimum tick), which would
+        // put the deadline in the past and wake the reactor every tick.
+        let next = self.epoch
+            + Duration::from_nanos((self.tick.as_nanos() as u64).saturating_mul(self.cursor));
         Some(next.saturating_duration_since(now))
     }
 
@@ -291,6 +316,12 @@ enum ConnFate {
     Closed,
 }
 
+/// How long the listener stays deregistered after the process runs out of
+/// file descriptors (`EMFILE`/`ENFILE`). The pending connection keeps a
+/// level-triggered listener readable, so accepting again immediately would
+/// busy-spin the reactor at 100% CPU until fds free up.
+const LISTENER_PAUSE: Duration = Duration::from_millis(100);
+
 pub(crate) struct Reactor {
     epoll: Epoll,
     listener: TcpListener,
@@ -303,6 +334,13 @@ pub(crate) struct Reactor {
     wheel: TimerWheel,
     /// Requests currently dispatched to workers.
     in_flight: usize,
+    /// Connections whose pump hit [`PUMP_BUDGET`] with data likely still
+    /// queued; re-pumped each loop iteration (edge-triggered epoll will
+    /// not re-announce bytes that were already readable).
+    repump: Vec<u64>,
+    /// When set, the listener is deregistered after fd exhaustion and
+    /// re-armed once this instant passes.
+    listener_resume: Option<Instant>,
 }
 
 fn token_of(index: usize, generation: u32) -> u64 {
@@ -339,6 +377,8 @@ impl Reactor {
             free: Vec::new(),
             wheel: TimerWheel::new(idle_timeout, Instant::now()),
             in_flight: 0,
+            repump: Vec::new(),
+            listener_resume: None,
         })
     }
 
@@ -351,9 +391,19 @@ impl Reactor {
                 break;
             }
             let now = Instant::now();
-            let timeout_ms = match self.wheel.next_wait(now) {
-                None => -1,
-                Some(d) => d.as_millis().min(i32::MAX as u128) as i32 + 1,
+            self.maybe_resume_listener(now);
+            let mut wait = self.wheel.next_wait(now);
+            if let Some(at) = self.listener_resume {
+                let until = at.saturating_duration_since(now);
+                wait = Some(wait.map_or(until, |w| w.min(until)));
+            }
+            let timeout_ms = if !self.repump.is_empty() {
+                0
+            } else {
+                match wait {
+                    None => -1,
+                    Some(d) => d.as_millis().min(i32::MAX as u128) as i32 + 1,
+                }
             };
             let n = match self.epoll.wait(&mut events, timeout_ms) {
                 Ok(n) => n,
@@ -372,6 +422,13 @@ impl Reactor {
                     token => self.conn_event(token, ready),
                 }
             }
+            // Budget-capped connections get their next read slice now that
+            // the whole event batch has been served once.
+            for token in std::mem::take(&mut self.repump) {
+                if let Some(index) = self.lookup(token) {
+                    self.pump(index);
+                }
+            }
             self.expire_idle(Instant::now());
         }
         self.drain_and_exit(&mut events);
@@ -388,6 +445,19 @@ impl Reactor {
             if close_now {
                 self.close(index, CloseReason::Normal);
             }
+        }
+        // Jobs pushed during the final event batch may have nobody to run
+        // them: workers exit as soon as they observe the shutdown flag over
+        // an empty queue, and that can happen before this reactor pushed
+        // its last job. Run any stragglers here — the queue is mutex-owned,
+        // so each job goes to exactly one executor — and post their
+        // completions so the in-flight count below always reaches zero.
+        for job in self.shared.jobs.take_all() {
+            let done = crate::server::execute(&self.service, &job.stream, &job.request);
+            self.shared.complete(Completion {
+                token: job.token,
+                done,
+            });
         }
         while self.in_flight > 0 {
             match self.epoll.wait(events, 1000) {
@@ -424,14 +494,48 @@ impl Reactor {
     // -- accept ------------------------------------------------------------
 
     fn accept_ready(&mut self) {
+        /// `ENFILE`: the system file table is full.
+        const ENFILE: i32 = 23;
+        /// `EMFILE`: the per-process fd limit is hit.
+        const EMFILE: i32 = 24;
         loop {
             match self.listener.accept() {
                 Ok((stream, _)) => self.register(stream),
                 Err(e) if would_block(&e) => return,
-                // Transient accept errors (ECONNABORTED, EMFILE...): drop
-                // that connection attempt, keep serving.
+                Err(e) if matches!(e.raw_os_error(), Some(EMFILE) | Some(ENFILE)) => {
+                    // Out of fds. The undrained connection keeps the
+                    // (level-triggered) listener readable, so returning
+                    // here would make every subsequent epoll_wait fire
+                    // instantly — a 100% CPU spin for as long as fds stay
+                    // exhausted. Deregister and re-arm after a pause;
+                    // pending connections simply wait in the accept queue.
+                    let _ = self.epoll.del(self.listener.as_raw_fd());
+                    self.listener_resume = Some(Instant::now() + LISTENER_PAUSE);
+                    return;
+                }
+                // Transient accept errors (ECONNABORTED...) consume the
+                // failed attempt: drop it, keep serving.
                 Err(_) => return,
             }
+        }
+    }
+
+    /// Re-register a paused listener once its back-off deadline passes.
+    fn maybe_resume_listener(&mut self, now: Instant) {
+        let Some(at) = self.listener_resume else {
+            return;
+        };
+        if now < at {
+            return;
+        }
+        if self
+            .epoll
+            .add(self.listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)
+            .is_ok()
+        {
+            self.listener_resume = None;
+        } else {
+            self.listener_resume = Some(now + LISTENER_PAUSE);
         }
     }
 
@@ -573,14 +677,28 @@ impl Reactor {
     /// transition.
     fn pump(&mut self, index: usize) {
         let mut chunk = [0u8; READ_CHUNK];
+        let mut budget = PUMP_BUDGET;
         loop {
             let conn = match &mut self.slots[index] {
                 Some(c) => c,
                 None => return,
             };
-            if conn.dispatched && conn.parser.buffered() > DISPATCHED_BUFFER_CAP {
+            let busy = conn.dispatched || conn.wpos < conn.wbuf.len();
+            if busy && conn.parser.buffered() > BUSY_BUFFER_CAP {
                 // Flow control: leave the rest in the kernel buffer (TCP
-                // backpressure); the completion path resumes reading.
+                // backpressure); the completion/flush path resumes reading.
+                // (An idle connection is never capped here — its buffered
+                // bytes are an incomplete request that needs more data to
+                // progress, and the parser's own header/body limits bound
+                // how large it can grow.)
+                break;
+            }
+            if budget == 0 {
+                // Fairness: this pump has read its fill. The socket may
+                // still hold data, and edge-triggered epoll will not
+                // re-announce it, so park the connection for an explicit
+                // re-pump after the rest of the event batch is served.
+                self.repump.push(token_of(index, conn.generation));
                 break;
             }
             match (&*conn.stream).read(&mut chunk) {
@@ -589,6 +707,7 @@ impl Reactor {
                     break;
                 }
                 Ok(n) => {
+                    budget = budget.saturating_sub(n);
                     conn.parser.push(&chunk[..n]);
                     conn.last_activity = Instant::now();
                 }
@@ -784,5 +903,86 @@ impl Reactor {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_executes_jobs_stranded_after_workers_exit() {
+        // Deterministic reconstruction of the shutdown race: the reactor
+        // can dispatch a job while processing the event batch that
+        // delivered the shutdown doorbell, after the last worker — seeing
+        // the flag over a then-empty queue — has already exited. Build
+        // that end state directly: one job queued, nobody to pop it, one
+        // dispatch counted in flight. drain_and_exit must execute the
+        // stranded job itself; if it only waited for a completion, it
+        // would spin on the in-flight count forever.
+        let service = Arc::new(Service::new(1, 16));
+        let shared = Arc::new(Shared::new().expect("shared"));
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let mut reactor = Reactor::new(
+            listener,
+            Arc::clone(&service),
+            Arc::clone(&shared),
+            Duration::from_secs(30),
+        )
+        .expect("reactor");
+
+        // A real socket pair so the stranded job has somewhere to write.
+        let aux = TcpListener::bind("127.0.0.1:0").expect("bind aux");
+        let client = TcpStream::connect(aux.local_addr().expect("addr")).expect("connect");
+        let (server_side, _) = aux.accept().expect("accept");
+        server_side.set_nonblocking(true).expect("nonblocking");
+
+        let mut parser = RequestParser::new();
+        parser.push(b"GET /metrics HTTP/1.1\r\n\r\n");
+        let request = parser.poll().expect("parse").expect("complete request");
+
+        reactor.in_flight = 1;
+        shared.jobs.push(Job {
+            token: token_of(0, 0),
+            stream: Arc::new(server_side),
+            request,
+        });
+        shared.shutdown.store(true, Ordering::Release);
+        shared.wake.signal();
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            reactor.run();
+            let _ = tx.send(());
+        });
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("drain hung on the stranded job");
+
+        // Executed, not dropped: the peer receives the response.
+        use std::io::Read;
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let mut status = [0u8; 12];
+        (&client).read_exact(&mut status).expect("read response");
+        assert_eq!(&status, b"HTTP/1.1 200");
+    }
+
+    #[test]
+    fn timer_wheel_next_wait_survives_u32_tick_counts() {
+        let epoch = Instant::now();
+        // idle_timeout of 32 ms gives the minimum 1 ms tick.
+        let mut wheel = TimerWheel::new(Duration::from_millis(32), epoch);
+        assert_eq!(wheel.tick, Duration::from_millis(1));
+        // Past 2^32 ticks (~49.7 days of 1 ms ticks) the old u32 deadline
+        // math wrapped to an instant in the past, waking the reactor every
+        // tick forever.
+        wheel.cursor = (1u64 << 32) + 5;
+        wheel.len = 1;
+        let wait = wheel.next_wait(epoch).expect("entry scheduled");
+        assert!(
+            wait > Duration::from_secs(40 * 24 * 3600),
+            "next_wait truncated the cursor: {wait:?}"
+        );
     }
 }

@@ -102,6 +102,43 @@ fn shutdown_with_a_thousand_idle_connections() {
 }
 
 #[test]
+fn shutdown_races_batch_dispatch_without_hanging() {
+    // Regression: a batch job the reactor dispatches while handling the
+    // very event batch that delivered the shutdown doorbell can land in
+    // the queue after the last worker — seeing the flag over an empty
+    // queue — has already exited. The reactor must execute such stranded
+    // jobs itself during its drain; before it did, shutdown joined a
+    // reactor spinning on an in-flight count that could never reach zero.
+    // The window is microseconds wide, so hammer the interleaving.
+    use std::io::Write;
+    let body = r#"{"scenarios":[{"kind":"all_to_all","machine":{"p":32,"st":25.0,"so":200.0,"c2":0.0},"w":77.0}]}"#;
+    let request = format!(
+        "POST /v1/predict/batch HTTP/1.1\r\nhost: x\r\ncontent-length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    for round in 0..40 {
+        let server = start(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let mut conn = std::net::TcpStream::connect(server.addr()).expect("connect");
+        conn.write_all(request.as_bytes()).expect("write");
+        // Deliberately no synchronisation: the request's readability and
+        // the shutdown doorbell race into the same epoll batch.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            server.shutdown();
+            let _ = tx.send(());
+        });
+        rx.recv_timeout(Duration::from_secs(10))
+            .unwrap_or_else(|_| panic!("round {round}: shutdown hung on a stranded batch job"));
+        drop(conn);
+    }
+}
+
+#[test]
 fn shutdown_after_traffic_bursts() {
     let server = start(config()).expect("bind");
     let addr = server.addr();
