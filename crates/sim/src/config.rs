@@ -7,6 +7,13 @@ use lopc_dist::ServiceTime;
 /// Index of a processing node (0-based).
 pub type NodeId = usize;
 
+/// Upper bound on `p` (2²⁰ nodes): the engine packs the creating node's id
+/// into the high bits of each event's 64-bit tie-break key so that event
+/// ordering is independent of how nodes are partitioned into logical
+/// processes (see DESIGN.md §13), which leaves 20 bits for the node id and
+/// 44 bits for the per-node creation counter.
+pub const MAX_NODES: usize = 1 << 20;
+
 /// Simulated time in cycles.
 pub type Time = f64;
 
@@ -105,8 +112,11 @@ pub struct SimConfig {
     /// Stop condition / measurement mode.
     pub stop: StopCondition,
     /// RNG seed; equal seeds give bit-identical runs — independent of the
-    /// pending-event [`Scheduler`](crate::sched::Scheduler) and of how many
-    /// threads [`run_replications`](crate::runner::run_replications) uses.
+    /// pending-event [`Scheduler`](crate::sched::Scheduler), of how many
+    /// threads [`run_replications`](crate::runner::run_replications) uses,
+    /// and of the LP partition / worker count of the parallel engine
+    /// ([`par::run_par`](crate::par::run_par)): every node draws from its
+    /// own counter-split RNG stream derived from this seed.
     pub seed: u64,
 }
 
@@ -115,6 +125,8 @@ pub struct SimConfig {
 pub enum ConfigError {
     /// Fewer than two nodes.
     TooFewNodes,
+    /// More than [`MAX_NODES`] nodes (the event-key packing limit).
+    TooManyNodes,
     /// `threads.len() != p`.
     ThreadCountMismatch,
     /// Negative or non-finite network latency.
@@ -139,6 +151,7 @@ impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let msg = match self {
             ConfigError::TooFewNodes => "at least 2 nodes are required",
+            ConfigError::TooManyNodes => "at most 2^20 nodes are supported",
             ConfigError::ThreadCountMismatch => "threads.len() must equal p",
             ConfigError::BadLatency => "net_latency must be finite and >= 0",
             ConfigError::ZeroHops => "hops must be >= 1",
@@ -160,6 +173,9 @@ impl SimConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.p < 2 {
             return Err(ConfigError::TooFewNodes);
+        }
+        if self.p > MAX_NODES {
+            return Err(ConfigError::TooManyNodes);
         }
         if self.threads.len() != self.p {
             return Err(ConfigError::ThreadCountMismatch);
@@ -261,6 +277,15 @@ mod tests {
         c.p = 1;
         c.threads.truncate(1);
         assert_eq!(c.validate(), Err(ConfigError::TooFewNodes));
+    }
+
+    #[test]
+    fn too_many_nodes_rejected() {
+        let mut c = base();
+        c.p = MAX_NODES + 1;
+        // threads.len() is checked after p's range, so the mismatch does not
+        // mask the packing limit.
+        assert_eq!(c.validate(), Err(ConfigError::TooManyNodes));
     }
 
     #[test]

@@ -1,0 +1,508 @@
+//! Conservative parallel discrete-event simulation (the `lopc_sim::par`
+//! engine).
+//!
+//! The node set is partitioned into contiguous blocks, one per **logical
+//! process** (LP); each LP is a private `Core` — its own pending-event
+//! queue (calendar or heap, chosen per LP by
+//! [`Scheduler::auto_for_lp`]), its own nodes, its own clock. LPs
+//! synchronize with a conservative windowing protocol in the
+//! Chandy–Misra–Bryant family (synchronous variant, after the adevs
+//! `ParSimulator` exemplar):
+//!
+//! 1. **Lookahead.** Every cross-node event is a message arrival paying at
+//!    least [`lookahead`] time units of wire delay (`net_latency`, or the
+//!    infimum of the latency distribution). An LP whose earliest pending
+//!    event is at `t` therefore cannot affect another LP before `t + L`.
+//! 2. **Null messages.** Each round, every LP posts that bound on each of
+//!    its outbound channels — a promise carrying no payload, only time.
+//! 3. **Safe window.** Each LP then processes every local event strictly
+//!    below `min(min_j bound_j, M + 2L)`, where the first term is the
+//!    minimum over its inbound channel bounds (covering *direct* future
+//!    messages: one hop from an event already queued at a peer) and `M` is
+//!    the global minimum next-event time (covering *transitive* ones: a
+//!    peer that is empty now may still receive and then forward, paying at
+//!    least two wire hops). Emitted cross-LP events are ferried over the
+//!    channels and can, by construction, never arrive in an LP's past.
+//!
+//! Rounds repeat until the global minimum next-event time passes the
+//! horizon (or the queues drain, in makespan mode). `L > 0` guarantees
+//! every round advances the global clock by at least `L`, so the protocol
+//! is deadlock-free; a zero-lookahead configuration (a latency distribution
+//! that can sample 0) transparently falls back to the sequential engine.
+//!
+//! **Determinism.** Parallel runs are *bit-identical* to sequential ones —
+//! same [`SimReport`], same cycle trace — for any LP count and any worker
+//! count, because event outcomes never depend on the partition: every node
+//! draws from its own counter-split RNG stream, event tie-breaks are keyed
+//! by `(creating node, per-node counter)`, and reports are assembled in
+//! node order (DESIGN.md §13). `tests/par_differential.rs` proves this
+//! across random topologies × LP counts × thread counts × schedulers.
+//!
+//! # Example
+//!
+//! ```
+//! use lopc_sim::{par, SimConfig, StopCondition, ThreadSpec};
+//! use lopc_dist::ServiceTime;
+//!
+//! let cfg = SimConfig {
+//!     p: 32,
+//!     net_latency: 25.0,
+//!     request_handler: ServiceTime::exponential(100.0),
+//!     reply_handler: ServiceTime::exponential(100.0),
+//!     threads: vec![ThreadSpec::worker(ServiceTime::exponential(500.0)); 32],
+//!     protocol_processor: false,
+//!     latency_dist: None,
+//!     stop: StopCondition::CyclesPerThread { n: 10 },
+//!     seed: 42,
+//! };
+//! let opts = par::ParOptions {
+//!     lps: 4,
+//!     threads: 2,
+//!     ..Default::default()
+//! };
+//! let parallel = par::run_par(&cfg, &opts).unwrap();
+//! let sequential = lopc_sim::run(&cfg).unwrap();
+//! assert_eq!(parallel, sequential); // bit-identical, not approximately
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+use crate::config::{ConfigError, SimConfig, StopCondition, Time};
+use crate::engine::{finalize_report, Core, Engine, Ev};
+use crate::sched::Scheduler;
+use crate::stats::SimReport;
+use lopc_dist::Distribution;
+use lopc_solver::steal::WorkQueue;
+
+/// The conservative lookahead of a configuration: the minimum time any
+/// cross-node interaction takes. Every inter-node event is a message
+/// arrival delayed by the wire, so this is `net_latency` for constant
+/// latency, or the infimum of the latency distribution
+/// ([`Distribution::min_value`]) when wire times are sampled.
+///
+/// A zero lookahead (e.g. exponential wire times) means no LP can ever
+/// promise anything about its future output and [`run_par`] falls back to
+/// the sequential engine.
+pub fn lookahead(cfg: &SimConfig) -> f64 {
+    match &cfg.latency_dist {
+        None => cfg.net_latency,
+        Some(d) => d.min_value(),
+    }
+}
+
+/// Options for [`run_par`]. `Default` (all zeros / `None`) sizes both the
+/// LP count and the worker pool from the machine's available parallelism.
+#[derive(Clone, Debug, Default)]
+pub struct ParOptions {
+    /// Number of logical processes to partition the nodes into (contiguous
+    /// blocks of `p / lps` nodes). `0` picks the worker count (at least 2);
+    /// values above `p` are clamped to `p`. `1` runs sequentially.
+    pub lps: usize,
+    /// OS worker threads driving the LPs (each claims LPs work-stealing
+    /// style every phase). `0` picks the available parallelism; clamped to
+    /// the LP count.
+    pub threads: usize,
+    /// Pending-event scheduler for every LP queue. `None` resolves like the
+    /// sequential engine — the `LOPC_TEST_SCHEDULER` override if set, else
+    /// adaptively via [`Scheduler::auto_for_lp`] on the *per-LP* share of
+    /// the pending-event population.
+    pub scheduler: Option<Scheduler>,
+    /// Record the pooled per-cycle response-time trace
+    /// ([`SimReport::cycle_trace`]), exactly as
+    /// [`Engine::with_cycle_trace`] would.
+    pub trace: bool,
+}
+
+/// One directed inter-LP channel: the null-message bound plus the payload
+/// events in flight. Written by the source LP, read by the destination —
+/// never both in the same phase, so the mutex is uncontended.
+struct Channel {
+    /// Promise: no future event on this channel carries `t` below this.
+    bound: Time,
+    msgs: Vec<Ev>,
+}
+
+/// Run the leader-reset closure between two barrier waits: every worker
+/// arrives, exactly one runs `f`, every worker leaves after `f` finished.
+fn sync(barrier: &Barrier, f: impl FnOnce()) {
+    if barrier.wait().is_leader() {
+        f();
+    }
+    barrier.wait();
+}
+
+#[inline]
+fn load_time(a: &AtomicU64) -> Time {
+    // Barriers order every store before every load; Relaxed suffices.
+    f64::from_bits(a.load(Ordering::Relaxed))
+}
+
+/// Run one simulation on the conservative parallel engine.
+///
+/// Produces a report bit-identical to
+/// `Engine::new(cfg)?.run_to_completion()` (plus the cycle trace when
+/// `opts.trace` is set) for **any** `lps`/`threads` combination — the
+/// partition and the worker pool are pure performance knobs. Falls back to
+/// the sequential engine when the partition degenerates (`lps <= 1` after
+/// clamping) or the configuration has zero lookahead.
+pub fn run_par(cfg: &SimConfig, opts: &ParOptions) -> Result<SimReport, ConfigError> {
+    cfg.validate()?;
+    let la = lookahead(cfg);
+    let threads_req = if opts.threads == 0 {
+        lopc_solver::steal::worker_count(cfg.p)
+    } else {
+        opts.threads
+    };
+    let n = if opts.lps == 0 {
+        threads_req.max(2)
+    } else {
+        opts.lps
+    }
+    .min(cfg.p);
+    let threads = threads_req.clamp(1, n);
+
+    if n <= 1 || la <= 0.0 {
+        return run_sequential(cfg, opts.scheduler, opts.trace);
+    }
+
+    let scheduler = opts
+        .scheduler
+        .or_else(crate::validate::env_scheduler)
+        .unwrap_or_else(|| Scheduler::auto_for_lp(cfg.pending_hint(), n));
+    let horizon_end = match cfg.stop {
+        StopCondition::Horizon { end, .. } => Some(end),
+        StopCondition::CyclesPerThread { .. } => None,
+    };
+
+    // Contiguous balanced blocks: LP i owns nodes [i·p/n, (i+1)·p/n).
+    let p = cfg.p;
+    let bounds: Vec<usize> = (0..=n).map(|i| i * p / n).collect();
+    let mut node_lp = vec![0usize; p];
+    for i in 0..n {
+        for slot in &mut node_lp[bounds[i]..bounds[i + 1]] {
+            *slot = i;
+        }
+    }
+
+    let shared = Arc::new(cfg.clone());
+    let cores: Vec<Mutex<Core>> = (0..n)
+        .map(|i| {
+            Mutex::new(Core::new(
+                shared.clone(),
+                bounds[i],
+                bounds[i + 1] - bounds[i],
+                scheduler,
+                opts.trace,
+            ))
+        })
+        .collect();
+
+    // channels[src · n + dst]; the diagonal is never used.
+    let channels: Vec<Mutex<Channel>> = (0..n * n)
+        .map(|_| {
+            Mutex::new(Channel {
+                bound: f64::INFINITY,
+                msgs: Vec::new(),
+            })
+        })
+        .collect();
+    let next_times: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let barrier = Barrier::new(threads);
+    // One claim queue per phase kind, leader-reset while the other drains.
+    let qa = WorkQueue::new(n);
+    let qb = WorkQueue::new(n);
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                loop {
+                    // Phase A: deliver ferried events, then advertise this
+                    // round's null messages (next local event + lookahead).
+                    while let Some(lp) = qa.claim() {
+                        let mut core = cores[lp].lock().unwrap();
+                        for src in 0..n {
+                            if src == lp {
+                                continue;
+                            }
+                            let mut ch = channels[src * n + lp].lock().unwrap();
+                            for ev in ch.msgs.drain(..) {
+                                core.receive(ev);
+                            }
+                        }
+                        let nt = core.next_time();
+                        next_times[lp].store(nt.to_bits(), Ordering::Relaxed);
+                        for dst in 0..n {
+                            if dst == lp {
+                                continue;
+                            }
+                            channels[lp * n + dst].lock().unwrap().bound = nt + la;
+                        }
+                    }
+                    sync(&barrier, || qb.reset());
+
+                    // Global termination: every worker sees the same
+                    // minimum (all stores happened before the barrier).
+                    let m = next_times
+                        .iter()
+                        .map(load_time)
+                        .fold(f64::INFINITY, f64::min);
+                    let done = match horizon_end {
+                        Some(end) => m > end,
+                        None => m == f64::INFINITY,
+                    };
+                    if done {
+                        break;
+                    }
+
+                    // Phase B: process the safe window, ferry the output.
+                    while let Some(lp) = qb.claim() {
+                        let mut core = cores[lp].lock().unwrap();
+                        let mut safe = f64::INFINITY;
+                        for src in 0..n {
+                            if src == lp {
+                                continue;
+                            }
+                            safe = safe.min(channels[src * n + lp].lock().unwrap().bound);
+                        }
+                        // The channel bounds only cover *direct* future
+                        // messages (one inter-LP hop from an event already
+                        // queued at `src`). A message can also reach this LP
+                        // transitively — src receives first, then forwards —
+                        // paying at least two wire hops beyond the global
+                        // minimum next-event time. Without this cap an LP
+                        // whose peers are all momentarily empty would see
+                        // +inf bounds and run ahead of replies to its own
+                        // requests.
+                        let safe = safe.min(m + 2.0 * la);
+                        core.process_until(safe);
+                        for ev in core.take_outbox() {
+                            let dst = node_lp[ev.node];
+                            channels[lp * n + dst].lock().unwrap().msgs.push(ev);
+                        }
+                    }
+                    sync(&barrier, || qa.reset());
+                }
+            });
+        }
+    });
+
+    let cores: Vec<Core> = cores.into_iter().map(|m| m.into_inner().unwrap()).collect();
+    Ok(finalize_report(cores))
+}
+
+/// The degenerate path: one LP (or zero lookahead) is just the sequential
+/// engine with the same scheduler/trace resolution.
+fn run_sequential(
+    cfg: &SimConfig,
+    scheduler: Option<Scheduler>,
+    trace: bool,
+) -> Result<SimReport, ConfigError> {
+    let engine = match scheduler {
+        Some(s) => Engine::with_scheduler(cfg.clone(), s)?,
+        None => Engine::new(cfg.clone())?,
+    };
+    let engine = if trace {
+        engine.with_cycle_trace()
+    } else {
+        engine
+    };
+    Ok(engine.run_to_completion())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{StopCondition, ThreadSpec};
+    use lopc_dist::ServiceTime;
+
+    fn base(p: usize, stop: StopCondition) -> SimConfig {
+        SimConfig {
+            p,
+            net_latency: 25.0,
+            request_handler: ServiceTime::exponential(100.0),
+            reply_handler: ServiceTime::exponential(100.0),
+            threads: vec![ThreadSpec::worker(ServiceTime::exponential(500.0)); p],
+            protocol_processor: false,
+            latency_dist: None,
+            stop,
+            seed: 4242,
+        }
+    }
+
+    fn seq(cfg: &SimConfig, trace: bool) -> SimReport {
+        let e = Engine::new(cfg.clone()).unwrap();
+        let e = if trace { e.with_cycle_trace() } else { e };
+        e.run_to_completion()
+    }
+
+    #[test]
+    fn lookahead_contract_per_latency_family() {
+        let mut cfg = base(4, StopCondition::CyclesPerThread { n: 1 });
+        assert_eq!(lookahead(&cfg), 25.0, "constant wire = net_latency");
+        cfg.latency_dist = Some(ServiceTime::uniform(15.0, 35.0));
+        assert_eq!(lookahead(&cfg), 15.0, "uniform wire = lower endpoint");
+        cfg.latency_dist = Some(ServiceTime::exponential(25.0));
+        assert_eq!(lookahead(&cfg), 0.0, "exponential wire has no lookahead");
+    }
+
+    /// The headline determinism guarantee, unit-test sized: repartitioning
+    /// the same configuration across 1..=8 LPs (including a count that does
+    /// not divide `p`) changes nothing — not one bit of the report.
+    #[test]
+    fn repartitioning_is_invisible() {
+        for stop in [
+            StopCondition::CyclesPerThread { n: 20 },
+            StopCondition::Horizon {
+                warmup: 2_000.0,
+                end: 20_000.0,
+            },
+        ] {
+            let cfg = base(10, stop);
+            let reference = seq(&cfg, true);
+            for lps in [1, 2, 3, 4, 8] {
+                let opts = ParOptions {
+                    lps,
+                    threads: 2,
+                    trace: true,
+                    ..Default::default()
+                };
+                let par = run_par(&cfg, &opts).unwrap();
+                assert_eq!(par, reference, "lps = {lps}, stop = {stop:?}");
+            }
+        }
+    }
+
+    /// Worker-pool size is a pure performance knob.
+    #[test]
+    fn thread_count_is_invisible() {
+        let cfg = base(
+            8,
+            StopCondition::Horizon {
+                warmup: 1_000.0,
+                end: 15_000.0,
+            },
+        );
+        let reference = seq(&cfg, false);
+        for threads in [1, 2, 3, 4, 8] {
+            let opts = ParOptions {
+                lps: 4,
+                threads,
+                ..Default::default()
+            };
+            assert_eq!(
+                run_par(&cfg, &opts).unwrap(),
+                reference,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    /// Sampled wire times with a positive infimum keep a positive lookahead;
+    /// the parallel path must still match bit-for-bit.
+    #[test]
+    fn sampled_latency_with_positive_floor_matches() {
+        let mut cfg = base(6, StopCondition::CyclesPerThread { n: 15 });
+        cfg.latency_dist = Some(ServiceTime::uniform(15.0, 35.0));
+        let reference = seq(&cfg, false);
+        let opts = ParOptions {
+            lps: 3,
+            threads: 2,
+            ..Default::default()
+        };
+        assert_eq!(run_par(&cfg, &opts).unwrap(), reference);
+    }
+
+    /// Zero lookahead falls back to the sequential engine (trivially equal,
+    /// but the path must exist and not deadlock in round logic).
+    #[test]
+    fn zero_lookahead_falls_back_to_sequential() {
+        let mut cfg = base(6, StopCondition::CyclesPerThread { n: 10 });
+        cfg.latency_dist = Some(ServiceTime::exponential(25.0));
+        let reference = seq(&cfg, false);
+        let opts = ParOptions {
+            lps: 4,
+            threads: 4,
+            ..Default::default()
+        };
+        assert_eq!(run_par(&cfg, &opts).unwrap(), reference);
+    }
+
+    /// Tiny per-LP queues (one node per LP, a handful of events each) walk
+    /// the calendar queue's low-occupancy edge paths; force Calendar on
+    /// every LP and cross-check against both the heap-par and sequential
+    /// runs. Constant service times make the schedule tie-heavy on top.
+    #[test]
+    fn per_lp_calendar_small_queues_match_heap_and_sequential() {
+        let mut cfg = base(6, StopCondition::CyclesPerThread { n: 25 });
+        cfg.request_handler = ServiceTime::constant(100.0);
+        cfg.reply_handler = ServiceTime::constant(100.0);
+        for t in &mut cfg.threads {
+            t.work = Some(ServiceTime::constant(500.0));
+            t.fanout = 3;
+        }
+        let reference = seq(&cfg, false);
+        for scheduler in [Scheduler::Calendar, Scheduler::BinaryHeap] {
+            let opts = ParOptions {
+                lps: 6, // one node per LP
+                threads: 2,
+                scheduler: Some(scheduler),
+                ..Default::default()
+            };
+            assert_eq!(
+                run_par(&cfg, &opts).unwrap(),
+                reference,
+                "scheduler = {scheduler:?}"
+            );
+        }
+    }
+
+    /// Defaults: lps/threads resolve from the machine, clamped sanely, and
+    /// oversubscription (more LPs than nodes, more threads than LPs) clamps
+    /// instead of panicking.
+    #[test]
+    fn oversubscribed_options_clamp() {
+        let cfg = base(4, StopCondition::CyclesPerThread { n: 5 });
+        let reference = seq(&cfg, false);
+        let opts = ParOptions {
+            lps: 64,     // > p: clamped to 4
+            threads: 64, // > lps: clamped
+            ..Default::default()
+        };
+        assert_eq!(run_par(&cfg, &opts).unwrap(), reference);
+        assert_eq!(
+            run_par(&cfg, &ParOptions::default()).unwrap(),
+            reference,
+            "all-default options must also match"
+        );
+    }
+
+    /// Client-server topologies put pure servers (no initial events) on
+    /// some LPs: their queues start empty and fill only through inter-LP
+    /// channels.
+    #[test]
+    fn server_only_lps_fill_through_channels() {
+        let mut cfg = base(
+            8,
+            StopCondition::Horizon {
+                warmup: 1_000.0,
+                end: 12_000.0,
+            },
+        );
+        cfg.threads[0] = ThreadSpec::server();
+        cfg.threads[1] = ThreadSpec::server();
+        for t in cfg.threads.iter_mut().skip(2) {
+            t.dest = crate::routing::DestChooser::UniformAmong(vec![0, 1]);
+        }
+        let reference = seq(&cfg, true);
+        // lps = 4 puts nodes {0,1} (both servers) alone on LP 0.
+        let opts = ParOptions {
+            lps: 4,
+            threads: 3,
+            trace: true,
+            ..Default::default()
+        };
+        assert_eq!(run_par(&cfg, &opts).unwrap(), reference);
+        assert!(reference.nodes[0].requests_served > 0);
+    }
+}

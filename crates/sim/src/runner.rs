@@ -8,10 +8,42 @@ use crate::sched::Scheduler;
 use crate::stats::SimReport;
 use lopc_stats::{Confidence, PairedOutcome, StoppingRule, Summary};
 
+/// One simulation run, honouring the `LOPC_TEST_THREADS` override: when the
+/// environment forces a worker count, route through the conservative
+/// parallel engine (bit-identical by construction — that's what the CI
+/// matrix is verifying); otherwise run the sequential engine directly.
+fn run_single(
+    cfg: &SimConfig,
+    scheduler: Option<Scheduler>,
+    traced: bool,
+) -> Result<SimReport, ConfigError> {
+    if let Some(threads) = crate::validate::env_threads() {
+        return crate::par::run_par(
+            cfg,
+            &crate::par::ParOptions {
+                lps: 0,
+                threads,
+                scheduler,
+                trace: traced,
+            },
+        );
+    }
+    let engine = match scheduler {
+        None => Engine::new(cfg.clone())?,
+        Some(s) => Engine::with_scheduler(cfg.clone(), s)?,
+    };
+    let engine = if traced {
+        engine.with_cycle_trace()
+    } else {
+        engine
+    };
+    Ok(engine.run_to_completion())
+}
+
 /// Run one simulation to completion with the adaptive default scheduler
 /// (see [`Engine::new`]).
 pub fn run(cfg: &SimConfig) -> Result<SimReport, ConfigError> {
-    Ok(Engine::new(cfg.clone())?.run_to_completion())
+    run_single(cfg, None, false)
 }
 
 /// Run one simulation with an explicit pending-event [`Scheduler`].
@@ -20,7 +52,7 @@ pub fn run(cfg: &SimConfig) -> Result<SimReport, ConfigError> {
 /// configuration and seed; this entry point exists for differential tests
 /// and scheduler benchmarks.
 pub fn run_with_scheduler(cfg: &SimConfig, scheduler: Scheduler) -> Result<SimReport, ConfigError> {
-    Ok(Engine::with_scheduler(cfg.clone(), scheduler)?.run_to_completion())
+    run_single(cfg, Some(scheduler), false)
 }
 
 /// Run one simulation recording the per-cycle response-time series
@@ -29,9 +61,7 @@ pub fn run_with_scheduler(cfg: &SimConfig, scheduler: Scheduler) -> Result<SimRe
 /// 5+ replications are unaffordable. Identical to [`run`] in every other
 /// respect (same seed → same report, trace or not).
 pub fn run_traced(cfg: &SimConfig) -> Result<SimReport, ConfigError> {
-    Ok(Engine::new(cfg.clone())?
-        .with_cycle_trace()
-        .run_to_completion())
+    run_single(cfg, None, true)
 }
 
 /// Mean with a Student-t 95 % confidence half-width across replications.
@@ -111,13 +141,9 @@ fn run_index_range(
         let mut c = cfg.clone();
         c.seed = cfg.seed.wrapping_add((base + i) as u64);
         // Config validated by the caller; the per-replication clone only
-        // changes the seed.
-        match scheduler {
-            None => Engine::new(c),
-            Some(s) => Engine::with_scheduler(c, s),
-        }
-        .expect("validated config")
-        .run_to_completion()
+        // changes the seed. Routing through run_single keeps replications
+        // under the LOPC_TEST_THREADS override too.
+        run_single(&c, scheduler, false).expect("validated config")
     };
 
     let threads = lopc_solver::steal::worker_count(count);

@@ -12,8 +12,9 @@
 //!   default. The design and resize policy are documented in DESIGN.md §4.
 //!
 //! Both orderings are **total and identical**: events pop in ascending
-//! `(time, seq)` order, where `seq` is the engine's monotone insertion
-//! counter. Equal-time events therefore pop in FIFO scheduling order and a
+//! `(time, seq)` order, where `seq` is a unique tie-break key (the engine
+//! packs the creating node and its per-node event counter into it). Equal-
+//! time events therefore pop in one fixed deterministic order and a
 //! simulation run is bit-reproducible regardless of the scheduler — the
 //! property the differential proptests in `tests/differential.rs` pin down.
 //!
@@ -89,17 +90,27 @@ impl Scheduler {
             Scheduler::Calendar
         }
     }
+
+    /// Adaptive choice for one of `n_lps` logical processes sharing the
+    /// machine-wide pending population: each per-LP queue holds roughly
+    /// `pending_hint / n_lps` events, so the crossover is evaluated on that
+    /// share (rounded up — an over-estimate can only pick the calendar
+    /// queue earlier, which degrades gracefully). `n_lps <= 1` is exactly
+    /// [`Scheduler::auto_for`].
+    pub fn auto_for_lp(pending_hint: usize, n_lps: usize) -> Scheduler {
+        Scheduler::auto_for(pending_hint.div_ceil(n_lps.max(1)))
+    }
 }
 
-/// A schedulable item: a fire time plus a unique, monotone insertion
-/// sequence number used to break ties deterministically.
+/// A schedulable item: a fire time plus a unique sequence number used to
+/// break ties deterministically.
 ///
 /// The engine guarantees `seq` values are unique; queue behaviour is
 /// unspecified (but memory-safe) if two live items share a `seq`.
 pub trait Keyed {
     /// When the item fires. Must be finite.
     fn time(&self) -> Time;
-    /// Unique insertion sequence; earlier insertions have smaller values.
+    /// Unique tie-break key; items sharing a time pop in ascending `seq`.
     fn seq(&self) -> u64;
 }
 
@@ -791,6 +802,34 @@ mod tests {
         assert_eq!(Scheduler::auto_for(1024), Scheduler::Calendar);
     }
 
+    /// Pins the per-LP crossover: the hint each LP sees is its *share* of
+    /// the machine-wide pending population, rounded up. 64 events over 2
+    /// LPs is 32 per LP — exactly the heap's limit — while 66 over 2 is 33
+    /// and tips to the calendar queue; a lone LP degenerates to `auto_for`.
+    #[test]
+    fn adaptive_crossover_accounts_for_lp_share() {
+        assert_eq!(
+            Scheduler::auto_for_lp(64, 2),
+            Scheduler::BinaryHeap,
+            "64/2 = 32 pending per LP stays on the heap"
+        );
+        assert_eq!(
+            Scheduler::auto_for_lp(66, 2),
+            Scheduler::Calendar,
+            "66/2 = 33 pending per LP crosses over"
+        );
+        // Rounding is up: 65/2 -> 33, not 32.
+        assert_eq!(Scheduler::auto_for_lp(65, 2), Scheduler::Calendar);
+        // Large machine, many LPs: the per-LP share is what matters.
+        assert_eq!(Scheduler::auto_for_lp(256, 8), Scheduler::BinaryHeap);
+        assert_eq!(Scheduler::auto_for_lp(1024, 8), Scheduler::Calendar);
+        // Degenerate cases mirror auto_for.
+        for hint in [0, 1, 32, 33, 1024] {
+            assert_eq!(Scheduler::auto_for_lp(hint, 1), Scheduler::auto_for(hint));
+            assert_eq!(Scheduler::auto_for_lp(hint, 0), Scheduler::auto_for(hint));
+        }
+    }
+
     // -----------------------------------------------------------------
     // Calendar-queue edge cases not reachable through the differential
     // suite's random interleavings.
@@ -941,5 +980,81 @@ mod tests {
         });
         assert_eq!(q.pop().unwrap().seq, 2);
         assert_eq!(q.jumps, 0, "a clean pop must reset the counter");
+    }
+
+    /// Shrink at low occupancy: drain a large population down to a handful
+    /// of stragglers and verify the wheel contracts (the parallel engine's
+    /// per-LP queues live near this regime — a few events per LP), while
+    /// the survivors still pop in key order.
+    #[test]
+    fn shrink_at_low_occupancy_preserves_order_and_contracts() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        let mut q = CalendarQueue::new();
+        for s in 0..4096u64 {
+            q.push(Item {
+                t: rng.random::<f64>() * 1e5,
+                seq: s,
+            });
+        }
+        let grown = q.buckets.len();
+        assert!(grown > MIN_BUCKETS, "4096 items must grow the wheel");
+        // Pop down to 3 stragglers: crosses len < OCCUPANCY·nb/4 repeatedly.
+        let mut last = (f64::NEG_INFINITY, 0u64);
+        while q.len() > 3 {
+            let it = q.pop().unwrap();
+            assert!((it.t, it.seq) > last, "order violated during shrink");
+            last = (it.t, it.seq);
+        }
+        assert!(
+            q.buckets.len() < grown,
+            "wheel must shrink back toward MIN_BUCKETS (now {})",
+            q.buckets.len()
+        );
+        let rest = drain(&mut q);
+        assert_eq!(rest.len(), 3);
+        assert!(rest.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Tie-heavy width estimation: when the rebuild's width sample is
+    /// dominated by tied timestamps (constant service times produce exactly
+    /// this), the estimate must count *distinct* gaps only — a zero or
+    /// collapsed width would exile everything to overflow or spin on empty
+    /// buckets. Drain order must match the heap regardless.
+    #[test]
+    fn tie_heavy_width_estimation_stays_positive() {
+        // 64 distinct times, 16-way tied each: crosses the grow threshold
+        // with a width sample that is 15/16 ties.
+        let mut items = Vec::new();
+        let mut seq = 0;
+        for step in 0..64 {
+            for _ in 0..16 {
+                items.push(Item {
+                    t: step as f64 * 3.0,
+                    seq,
+                });
+                seq += 1;
+            }
+        }
+        let mut q = CalendarQueue::new();
+        for &i in &items {
+            q.push(i);
+        }
+        assert!(
+            q.width.is_finite() && q.width > 0.0,
+            "tie-heavy rebuild collapsed the width to {}",
+            q.width
+        );
+        both_agree(items);
+
+        // Degenerate: every single item at one timestamp (distinct_steps ==
+        // 0 keeps the previous width, any positive value works).
+        let all_tied: Vec<Item> = (0..512).map(|s| Item { t: 7.0, seq: s }).collect();
+        let mut q = CalendarQueue::new();
+        for &i in &all_tied {
+            q.push(i);
+        }
+        assert!(q.width.is_finite() && q.width > 0.0);
+        let seqs: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|i| i.seq).collect();
+        assert_eq!(seqs, (0..512).collect::<Vec<_>>(), "ties pop in seq order");
     }
 }

@@ -210,7 +210,11 @@ impl Default for NodeStats {
 }
 
 /// Summary of one node at the end of a run.
-#[derive(Clone, Copy, Debug)]
+///
+/// `PartialEq` compares every field bit-for-bit (`f64` equality, no
+/// tolerance) — this is deliberate: the differential suites assert that
+/// schedulers and the parallel engine reproduce *exactly* the same numbers.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NodeSummary {
     /// Mean cycle response time `R` (0 if the node completed no cycles).
     pub mean_r: f64,
@@ -241,7 +245,10 @@ pub struct NodeSummary {
 }
 
 /// Complete result of one simulation run.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` is exact (bit-for-bit on every float, including the full
+/// cycle trace); see [`NodeSummary`].
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimReport {
     /// Per-node summaries.
     pub nodes: Vec<NodeSummary>,
@@ -267,7 +274,9 @@ pub struct SimReport {
 }
 
 /// Pooled statistics across nodes.
-#[derive(Clone, Copy, Debug)]
+///
+/// `PartialEq` is exact (bit-for-bit); see [`NodeSummary`].
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Aggregate {
     /// Mean cycle response time `R`.
     pub mean_r: f64,

@@ -89,12 +89,14 @@ fn naive_ci_on_the_trace_undercovers_but_batch_means_does_not() {
     // independent nodes (which dilutes the correlation), so this claim is
     // demonstrated where the correlation physically lives: a work-pile with
     // ONE shared server, whose persistent queue length couples every
-    // cycle's response to its neighbours'.
+    // cycle's response to its neighbours'. Short client work keeps the
+    // server heavily loaded, so the queue — and the correlation — persists
+    // across cycles regardless of the seed.
     let p = 8;
     let mut threads = vec![ThreadSpec::server()];
     for _ in 1..p {
         threads.push(ThreadSpec {
-            work: Some(ServiceTime::exponential(300.0)),
+            work: Some(ServiceTime::exponential(150.0)),
             dest: DestChooser::Fixed(0),
             hops: 1,
             fanout: 1,
