@@ -1,0 +1,116 @@
+//! Batched SoA fixed-point kernel vs the scalar solver on the serving
+//! layer's hottest shape: a 1000-point W sweep through one machine.
+//!
+//! An equivalence pre-flight gates the timing: every batched lane must be
+//! bit-identical to the scalar path (the same invariant the
+//! `batch_differential` suite pins) before its throughput means anything —
+//! a fast wrong kernel would otherwise look like a win.
+//!
+//! Results are persisted as the `batch_solver` section of `BENCH_sim.json`
+//! at the repository root: `ns/solve` for the scalar and batched sweeps,
+//! the `batched_speedup` headline, and `sweep_solves_per_point` — how many
+//! exact solves the interpolating cache spends per served sweep point when
+//! the same sweep goes through `predict_batch` with a tolerance.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lopc_bench::baseline::{self, Section};
+use lopc_bench::params::fig5_machine;
+use lopc_core::scenario::{solve, solve_batch, Scenario};
+use lopc_serve::cache::SolutionCache;
+use lopc_serve::interp::InterpCache;
+use std::hint::black_box;
+
+const POINTS: usize = 1000;
+
+/// The 1000-point W sweep: the §5 machine swept across three decades of
+/// per-cycle work, the shape `/v1/predict/batch` sees from sweep clients.
+fn sweep() -> Vec<Scenario> {
+    let machine = fig5_machine();
+    (0..POINTS)
+        .map(|i| Scenario::AllToAll {
+            machine,
+            w: 50.0 + 4000.0 * i as f64 / (POINTS - 1) as f64,
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let lanes = sweep();
+
+    // Equivalence pre-flight: bit-identical lane for lane, or no numbers.
+    let batched = solve_batch(&lanes);
+    for (i, (s, b)) in lanes.iter().zip(&batched).enumerate() {
+        let a = solve(s).expect("sweep scenario solves");
+        let b = b.as_ref().expect("batched lane solves");
+        assert!(
+            b.r.to_bits() == a.r.to_bits()
+                && b.x.to_bits() == a.x.to_bits()
+                && b.iterations == a.iterations,
+            "lane {i} (w={:.1}): batched diverged from scalar",
+            match &lanes[i] {
+                Scenario::AllToAll { w, .. } => *w,
+                _ => unreachable!(),
+            }
+        );
+    }
+    println!("[batch_solver] equivalence pre-flight: {POINTS} lanes bit-identical to scalar");
+
+    let mut g = c.benchmark_group("batch_solver");
+    g.throughput(Throughput::Elements(POINTS as u64));
+    g.bench_function("scalar_sweep_1000", |b| {
+        b.iter(|| {
+            lanes
+                .iter()
+                .map(|s| solve(black_box(s)).unwrap().r)
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("batched_sweep_1000", |b| {
+        b.iter(|| {
+            solve_batch(black_box(&lanes))
+                .iter()
+                .map(|r| r.as_ref().unwrap().r)
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+
+    // The interpolating cache over the same sweep: exact solves spent per
+    // served point (certificate tolerance 1e-3, fresh cache).
+    let cache = InterpCache::new(SolutionCache::new(8, 4096), 8, 1024);
+    let out = cache.predict_batch(&lanes, 1e-3);
+    assert!(out.iter().all(|r| r.is_ok()));
+    let solves_per_point = cache.cache().misses() as f64 / POINTS as f64;
+    println!(
+        "[batch_solver] interp sweep: {} solves / {POINTS} points ({solves_per_point:.3} per point)",
+        cache.cache().misses()
+    );
+
+    let mut section = Section::new("batch_solver");
+    let results = criterion::take_results();
+    for r in &results {
+        section.entry(
+            format!("{}/{}", r.group, r.id),
+            r.ns_per_iter,
+            r.elements_per_iter,
+        );
+    }
+    let ns = |id: &str| {
+        results
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.ns_per_iter)
+            .unwrap_or(f64::NAN)
+    };
+    let speedup = ns("scalar_sweep_1000") / ns("batched_sweep_1000");
+    section.derived("batched_speedup", speedup);
+    section.derived("sweep_solves_per_point", solves_per_point);
+    println!("[batch_solver] batched sweep speedup {speedup:.2}x over scalar");
+    match baseline::update(&baseline::default_path(), section) {
+        Ok(path) => println!("[batch_solver] baseline written to {}", path.display()),
+        Err(e) => eprintln!("[batch_solver] could not write baseline: {e}"),
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -36,7 +36,7 @@
 
 use crate::error::ModelError;
 use crate::params::Machine;
-use lopc_solver::{bisect, bracket_upward};
+use lopc_solver::{bisect, bracket_upward, Root};
 
 /// The homogeneous all-to-all model (§5).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -189,16 +189,23 @@ impl AllToAll {
         let g = |r: f64| self.eval_f(r) - r;
         let hi = bracket_upward(g, lower, (4.0 + self.machine.c2) * so, 64)?;
         let root = bisect(g, lower, hi, 1e-10 * lower.max(1.0), 200)?;
-        let r = root.x;
+        Ok(self.decompose_at(root))
+    }
 
-        // Recompute the decomposition at the fixed point.
+    /// Recompute the Figure 4-4 decomposition at a solved fixed point of
+    /// `F[R] − R`. Shared by [`AllToAll::solve`] and the batched
+    /// `scenario::solve_batch` path, so both produce the same numbers by
+    /// construction.
+    pub(crate) fn decompose_at(&self, root: Root) -> AllToAllSolution {
+        let so = self.machine.s_o;
+        let r = root.x;
         let a = so / r;
         let det = 1.0 - a - a * a;
         let beta = self.machine.beta();
         let rq = so * (1.0 + 2.0 * beta * a + a + beta * a * a) / det;
         let ry = so * (1.0 + beta * a + beta * a * a) / det;
         let rw = (self.w + so * rq / r) / (1.0 - a);
-        Ok(AllToAllSolution {
+        AllToAllSolution {
             r,
             rw,
             rq,
@@ -208,9 +215,9 @@ impl AllToAll {
             uq: a,
             uy: a,
             x_per_node: 1.0 / r,
-            contention: r - lower,
+            contention: r - self.contention_free(),
             iterations: root.iterations,
-        })
+        }
     }
 
     /// Total application runtime for `n` requests per node (`n·R*`).

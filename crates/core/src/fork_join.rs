@@ -35,7 +35,7 @@
 
 use crate::error::ModelError;
 use crate::params::Machine;
-use lopc_solver::{bisect, bracket_upward};
+use lopc_solver::{bisect, bracket_upward, Root};
 
 /// Homogeneous all-to-all with per-cycle fan-out `k` (fork-join).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -156,6 +156,14 @@ impl ForkJoin {
         let g = |r: f64| self.eval_f(r) - r;
         let hi = bracket_upward(g, lower, (4.0 + self.machine.c2) * k * so, 96)?;
         let root = bisect(g, lower, hi, 1e-10 * lower.max(1.0), 200)?;
+        Ok(self.decompose_at(root))
+    }
+
+    /// Recompose the solution at a solved fixed point of `F[R] − R`. Shared
+    /// by [`ForkJoin::solve`] and the batched `scenario::solve_batch` path.
+    pub(crate) fn decompose_at(&self, root: Root) -> ForkJoinSolution {
+        let so = self.machine.s_o;
+        let k = self.k as f64;
         let r = root.x;
         let a = so / r;
         let det = (1.0 - k * a) * (1.0 - (k - 1.0) * a) - k * k * a * a;
@@ -165,7 +173,7 @@ impl ForkJoin {
         let rq = (rhs_q * (1.0 - (k - 1.0) * a) + k * a * rhs_y) / det;
         let ry = ((1.0 - k * a) * rhs_y + k * a * rhs_q) / det;
         let rw = (self.w + k * a * rq) / (1.0 - k * a);
-        Ok(ForkJoinSolution {
+        ForkJoinSolution {
             r,
             rw,
             rq,
@@ -173,7 +181,7 @@ impl ForkJoin {
             uq: k * a,
             x_requests: k / r,
             iterations: root.iterations,
-        })
+        }
     }
 
     /// Speedup of overlapping over issuing the same `k` requests as serial

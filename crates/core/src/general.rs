@@ -199,13 +199,36 @@ impl GeneralModel {
     }
 
     /// Solve the Appendix A system.
-    #[allow(clippy::needless_range_loop)] // indexing several parallel arrays
     pub fn solve(&self) -> Result<GeneralSolution, ModelError> {
+        let x0 = self.initial_state()?;
+        let conv = solve_damped(
+            x0,
+            |state, out| self.apply_f(state, out),
+            &Self::fixed_point_options(),
+        )?;
+        Ok(self.decompose(&conv.x, conv.iterations))
+    }
+
+    /// The damping schedule of the Appendix A iteration; one source of truth
+    /// for the scalar and batched solve paths.
+    pub(crate) fn fixed_point_options() -> FixedPointOptions {
+        FixedPointOptions {
+            damping: 0.5,
+            tol: 1e-11,
+            max_iter: 200_000,
+        }
+    }
+
+    /// Entry checks plus the contention-free initial state: everything the
+    /// scalar solve does before its first fixed-point iteration.
+    ///
+    /// State layout: `[rq[0..p] | ry[0..p] | r[0..p]]`; idle threads keep a
+    /// pinned r of 1.0 that nothing reads.
+    pub(crate) fn initial_state(&self) -> Result<Vec<f64>, ModelError> {
         self.validate()?;
         let p = self.machine.p;
         let so = self.machine.s_o;
         let st = self.machine.s_l;
-        let beta = self.machine.beta();
 
         // Contention-free initial response per active thread.
         let init_r = |c: usize| -> f64 {
@@ -219,78 +242,85 @@ impl GeneralModel {
             }
         }
 
-        // State layout: [rq[0..p] | ry[0..p] | r[0..p]]; idle threads keep a
-        // pinned r of 1.0 that nothing reads.
         let mut x0 = vec![so.max(1e-12); 2 * p];
         for c in 0..p {
             x0.push(if self.w[c].is_some() { init_r(c) } else { 1.0 });
         }
+        Ok(x0)
+    }
 
+    /// One application of the Appendix A map `F` at `state`, written into
+    /// `out`. This is the function handed to the fixed-point driver — scalar
+    /// and batched paths share it, so their per-iteration arithmetic is
+    /// identical by construction.
+    #[allow(clippy::needless_range_loop)] // indexing several parallel arrays
+    pub(crate) fn apply_f(&self, state: &[f64], out: &mut [f64]) {
+        let p = self.machine.p;
+        let so = self.machine.s_o;
+        let st = self.machine.s_l;
+        let beta = self.machine.beta();
         let eps = 1e-9;
-        let f = |state: &[f64], out: &mut [f64]| {
-            let (rq, rest) = state.split_at(p);
-            let (ry, r) = rest.split_at(p);
+        let (rq, rest) = state.split_at(p);
+        let (ry, r) = rest.split_at(p);
 
-            // Throughputs.
-            let mut x = vec![0.0; p];
-            for c in 0..p {
-                if self.w[c].is_some() {
-                    x[c] = 1.0 / r[c].max(eps);
+        // Throughputs.
+        let mut x = vec![0.0; p];
+        for c in 0..p {
+            if self.w[c].is_some() {
+                x[c] = 1.0 / r[c].max(eps);
+            }
+        }
+        // Arrival rates of requests (lambda_q) and replies (lambda_y).
+        let mut lambda_q = vec![0.0; p];
+        for c in 0..p {
+            if x[c] > 0.0 {
+                for k in 0..p {
+                    lambda_q[k] += self.v[c][k] * x[c];
                 }
             }
-            // Arrival rates of requests (lambda_q) and replies (lambda_y).
-            let mut lambda_q = vec![0.0; p];
-            for c in 0..p {
-                if x[c] > 0.0 {
+        }
+        for k in 0..p {
+            let lq = lambda_q[k];
+            let ly = x[k];
+            let uqk = so * lq;
+            let uyk = so * ly;
+            let qqk = rq[k] * lq;
+            let qyk = ry[k] * ly;
+            out[k] = so * (1.0 + qqk + qyk + beta * (uqk + uyk));
+            out[p + k] = so * (1.0 + qqk + beta * uqk);
+        }
+        for c in 0..p {
+            out[2 * p + c] = match self.w[c] {
+                None => 1.0,
+                Some(w) => {
+                    let lq = lambda_q[c];
+                    let uqc = (so * lq).min(1.0 - eps);
+                    let qqc = rq[c] * lq;
+                    let rw = if self.protocol_processor {
+                        w
+                    } else {
+                        (w + so * qqc) / (1.0 - uqc)
+                    };
+                    let mut total = rw + st + ry[c];
                     for k in 0..p {
-                        lambda_q[k] += self.v[c][k] * x[c];
-                    }
-                }
-            }
-            for k in 0..p {
-                let lq = lambda_q[k];
-                let ly = x[k];
-                let uqk = so * lq;
-                let uyk = so * ly;
-                let qqk = rq[k] * lq;
-                let qyk = ry[k] * ly;
-                out[k] = so * (1.0 + qqk + qyk + beta * (uqk + uyk));
-                out[p + k] = so * (1.0 + qqk + beta * uqk);
-            }
-            for c in 0..p {
-                out[2 * p + c] = match self.w[c] {
-                    None => 1.0,
-                    Some(w) => {
-                        let lq = lambda_q[c];
-                        let uqc = (so * lq).min(1.0 - eps);
-                        let qqc = rq[c] * lq;
-                        let rw = if self.protocol_processor {
-                            w
-                        } else {
-                            (w + so * qqc) / (1.0 - uqc)
-                        };
-                        let mut total = rw + st + ry[c];
-                        for k in 0..p {
-                            let vck = self.v[c][k];
-                            if vck > 0.0 {
-                                total += vck * (st + rq[k]);
-                            }
+                        let vck = self.v[c][k];
+                        if vck > 0.0 {
+                            total += vck * (st + rq[k]);
                         }
-                        total
                     }
-                };
-            }
-        };
+                    total
+                }
+            };
+        }
+    }
 
-        let opts = FixedPointOptions {
-            damping: 0.5,
-            tol: 1e-11,
-            max_iter: 200_000,
-        };
-        let conv = solve_damped(x0, f, &opts)?;
-
-        // Unpack and recompute the derived quantities at the fixed point.
-        let state = conv.x;
+    /// Unpack a converged state vector and recompute the derived quantities
+    /// at the fixed point.
+    #[allow(clippy::needless_range_loop)] // indexing several parallel arrays
+    pub(crate) fn decompose(&self, state: &[f64], iterations: usize) -> GeneralSolution {
+        let p = self.machine.p;
+        let so = self.machine.s_o;
+        let eps = 1e-9;
         let rq = state[..p].to_vec();
         let ry = state[p..2 * p].to_vec();
         let mut r = vec![f64::NAN; p];
@@ -330,7 +360,7 @@ impl GeneralModel {
             }
         }
 
-        Ok(GeneralSolution {
+        GeneralSolution {
             r,
             x,
             rw,
@@ -340,8 +370,8 @@ impl GeneralModel {
             uy,
             qq,
             qy,
-            iterations: conv.iterations,
-        })
+            iterations,
+        }
     }
 }
 

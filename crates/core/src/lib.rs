@@ -66,6 +66,7 @@ pub mod general;
 pub mod logp;
 pub mod params;
 pub mod scenario;
+mod scenario_batch;
 
 pub use all_to_all::{AllToAll, AllToAllSolution};
 pub use client_server::{ClientServer, CsPoint};
@@ -74,7 +75,7 @@ pub use fork_join::{ForkJoin, ForkJoinSolution};
 pub use general::{GeneralModel, GeneralSolution};
 pub use logp::LogPParams;
 pub use params::{Algorithm, Machine};
-pub use scenario::{solve, Prediction, Scenario};
+pub use scenario::{solve, solve_batch, Prediction, Scenario};
 
 #[cfg(test)]
 mod tests {

@@ -24,6 +24,8 @@
 //! assert!(pred.r > machine.contention_free_response(1000.0));
 //! ```
 
+pub use crate::scenario_batch::{is_retryable, solve_batch};
+
 use crate::all_to_all::AllToAll;
 use crate::client_server::ClientServer;
 use crate::error::ModelError;

@@ -286,6 +286,84 @@ impl SolutionCache {
         Ok(solved)
     }
 
+    /// Batched [`SolutionCache::get_or_solve`]: look every lane up, dedupe
+    /// the misses by quantized key, solve the unique representatives
+    /// through the SoA batch kernel
+    /// ([`lopc_core::scenario::solve_batch`]), insert the successes, and
+    /// fan results back out to duplicate lanes.
+    ///
+    /// Counter semantics mirror the scalar lane-at-a-time sequence exactly:
+    /// resident keys are hits, each unique solved key is one miss, and a
+    /// duplicate lane of a solved key is a hit (in the scalar sequence it
+    /// would have found the answer the first lane inserted). Errors are
+    /// propagated per lane, never cached, and count neither way.
+    pub fn solve_batch(&self, scenarios: &[Scenario]) -> Vec<Result<Prediction, ModelError>> {
+        let n = scenarios.len();
+        let keys: Vec<CacheKey> = scenarios.iter().map(CacheKey::of).collect();
+        let mut out: Vec<Option<Result<Prediction, ModelError>>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+
+        // Partition lanes: resident -> answered now; first lane of each
+        // missing key -> representative; later duplicates -> fan-out.
+        let mut rep_of: HashMap<&CacheKey, usize> = HashMap::new();
+        let mut reps: Vec<usize> = Vec::new();
+        let mut dup_of: Vec<usize> = vec![usize::MAX; n];
+        for i in 0..n {
+            if let Some(&rep) = rep_of.get(&keys[i]) {
+                dup_of[i] = rep;
+                continue;
+            }
+            let hit = self
+                .shard_for(&keys[i])
+                .lock()
+                .expect("cache shard poisoned")
+                .get(&keys[i]);
+            match hit {
+                Some(p) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    out[i] = Some(Ok(p));
+                }
+                None => {
+                    rep_of.insert(&keys[i], i);
+                    reps.push(i);
+                }
+            }
+        }
+
+        // One batched solve over the unique misses (outside every lock).
+        if !reps.is_empty() {
+            let lanes: Vec<Scenario> = reps.iter().map(|&i| scenarios[i].clone()).collect();
+            for (&lane, result) in reps.iter().zip(lopc_core::scenario::solve_batch(&lanes)) {
+                if let Ok(p) = &result {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.shard_for(&keys[lane])
+                        .lock()
+                        .expect("cache shard poisoned")
+                        .insert(keys[lane].clone(), *p);
+                }
+                out[lane] = Some(result);
+            }
+        }
+
+        // Fan representative answers out to their duplicate lanes.
+        for i in 0..n {
+            if out[i].is_some() {
+                continue;
+            }
+            let r = out[dup_of[i]]
+                .as_ref()
+                .expect("representative lane resolved")
+                .clone();
+            if r.is_ok() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every lane resolved"))
+            .collect()
+    }
+
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -621,5 +699,57 @@ mod tests {
         assert!(cache.get_or_solve(&bad).is_err());
         assert!(cache.is_empty());
         assert_eq!(cache.misses(), 0, "failed solves are not misses");
+    }
+
+    #[test]
+    fn solve_batch_matches_scalar_sequence_and_counters() {
+        // The batched path must agree lane for lane — answers *and*
+        // counters — with running get_or_solve over the lanes in order.
+        let lanes = vec![
+            a2a(100.0),
+            a2a(500.0),
+            a2a(100.0),       // duplicate of lane 0: fan-out hit
+            a2a(100.0000001), // quantizes onto lane 0's key too
+            a2a(900.0),
+        ];
+        let batched_cache = SolutionCache::new(4, 16);
+        let batched = batched_cache.solve_batch(&lanes);
+        let scalar_cache = SolutionCache::new(4, 16);
+        for (b, s) in batched.iter().zip(&lanes) {
+            let want = scalar_cache.get_or_solve(s).unwrap();
+            assert_eq!(b.as_ref().unwrap().r.to_bits(), want.r.to_bits());
+        }
+        assert_eq!(batched_cache.misses(), scalar_cache.misses());
+        assert_eq!(batched_cache.hits(), scalar_cache.hits());
+        assert_eq!(batched_cache.misses(), 3, "three unique keys");
+        assert_eq!(batched_cache.hits(), 2, "two duplicate lanes fan out");
+        // A second identical batch is all hits.
+        batched_cache.solve_batch(&lanes);
+        assert_eq!(batched_cache.misses(), 3);
+        assert_eq!(batched_cache.hits(), 7);
+    }
+
+    #[test]
+    fn solve_batch_propagates_errors_without_caching_or_counting() {
+        let cache = SolutionCache::new(2, 8);
+        let bad = Scenario::AllToAll {
+            machine: Machine::new(1, 0.0, 1.0),
+            w: 1.0,
+        };
+        let out = cache.solve_batch(&[a2a(250.0), bad.clone(), bad.clone(), a2a(250.0)]);
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err());
+        assert_eq!(out[1], out[2], "duplicate error lanes carry the same error");
+        assert!(out[3].is_ok());
+        assert_eq!(cache.len(), 1, "only the solvable key is resident");
+        assert_eq!(cache.misses(), 1, "failed lanes are not misses");
+        assert_eq!(cache.hits(), 1, "only the solvable duplicate fans out");
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let cache = SolutionCache::new(1, 4);
+        assert!(cache.solve_batch(&[]).is_empty());
+        assert_eq!(cache.hits() + cache.misses(), 0);
     }
 }

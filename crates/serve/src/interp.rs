@@ -19,12 +19,14 @@
 //!    grid point are *degenerate* and contribute no corners, so a `W`-sweep
 //!    at a round-valued machine builds 1-D cells (two corners), not 4-D
 //!    ones (sixteen).
-//! 2. On first touch the cell is **built**: every corner is solved exactly
-//!    (through the shared [`SolutionCache`], so adjacent cells reuse
-//!    corners), then the cell **centre** is probed with one more exact
-//!    solve and compared against its own interpolation. The observed
-//!    centre residual, inflated by [`SAFETY_FACTOR`] and floored at
-//!    [`CERT_FLOOR`], becomes the cell's certified relative error. The
+//! 2. On first touch the cell is **built**: every corner, the cell
+//!    **centre**, and (for cells spanning ≥ 2 axes) every **face
+//!    midpoint** are solved exactly in *one batch* through the shared
+//!    [`SolutionCache::solve_batch`] — the SoA fixed-point kernel iterates
+//!    all lanes together, and adjacent cells still reuse corners through
+//!    the cache. Each probe is compared against its own interpolation; the
+//!    worst observed residual, inflated by [`SAFETY_FACTOR`] and floored
+//!    at [`CERT_FLOOR`], becomes the cell's certified relative error. The
 //!    safety factor is calibrated offline by the `interp_err` bench
 //!    (`BENCH_sim.json`, `interp_err` section), which sweeps all four
 //!    closed-form variants and verifies the certificate dominates the true
@@ -33,6 +35,13 @@
 //!    `certificate <= max_rel_err`; otherwise they fall back to the exact
 //!    path. `max_rel_err = 0` (the default) never consults the cell index
 //!    at all and stays bit-identical to [`lopc_core::scenario::solve`].
+//! 4. Two consecutive serving cells that share their discrete identity and
+//!    differ by one axis bracket advancing reveal a **sweep direction**:
+//!    the next cell along it is pre-built immediately, so the sweep's next
+//!    first touch finds a finished cell instead of paying build latency.
+//!    Prefetched cells are ordinary cells — same build, same certificate
+//!    gate; a wrong guess costs one speculative build, never a wrong
+//!    answer.
 //!
 //! Cells that cannot be trusted — a corner fails to solve, corners
 //! disagree on the discrete optimal `ps`, or a component is `NaN` in some
@@ -62,12 +71,21 @@ use lopc_core::{ModelError, Prediction, Scenario};
 /// `BENCH_sim.json`, `interp_err.worst_true_over_center`).
 pub const SAFETY_FACTOR: f64 = 4.0;
 
-/// Lower bound on any finite certificate. The centre probe can observe a
-/// residual of zero (locally linear response) while the true in-cell error
-/// is merely *small*; the floor covers those higher-order leftovers plus
+/// Lower bound on any finite certificate. The probes can observe residuals
+/// of zero (locally linear response) while the true in-cell error is merely
+/// *small*; the floor covers those higher-order leftovers plus
 /// key-quantization noise. Callers asking for tolerances below the floor
 /// always get exact solves.
-pub const CERT_FLOOR: f64 = 2e-4;
+///
+/// The floor sits at `1e-4` because the probe set captures the full
+/// quadratic error structure of multilinear interpolation: in 1-D the
+/// interpolation error of a smooth response peaks (to leading order) at
+/// the cell centre, which the centre probe observes directly; in higher
+/// dimensions curvature contributions of opposite sign can *cancel* at the
+/// centre (`f = x² − y²` interpolates exactly there while being maximally
+/// wrong at the face midpoints), so cell builds probe every face midpoint
+/// too and certify against the worst residual over all probes.
+pub const CERT_FLOOR: f64 = 1e-4;
 
 /// How a prediction was produced.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -273,15 +291,27 @@ impl CellShard {
     }
 }
 
+/// Sweep-cursor state for predictive prefetch: the last cell that served
+/// an interpolated answer. Two *consecutive* serving cells that share
+/// their discrete identity and differ by exactly one axis bracket
+/// advancing reveal a sweep direction; the cell one step further ahead is
+/// then built before the cursor reaches it.
+struct SweepCursor {
+    key: CellKey,
+    brackets: [AxisBracket; INTERP_AXES],
+}
+
 /// The interpolating cache: the sharded exact [`SolutionCache`] plus the
 /// certified cell index layered over it. One instance per server; share by
 /// reference.
 pub struct InterpCache {
     cache: SolutionCache,
     shards: Vec<Mutex<CellShard>>,
+    cursor: Mutex<Option<SweepCursor>>,
     interp_hits: AtomicU64,
     interp_fallbacks: AtomicU64,
     cells_built: AtomicU64,
+    cells_prefetched: AtomicU64,
 }
 
 impl InterpCache {
@@ -300,9 +330,11 @@ impl InterpCache {
                     })
                 })
                 .collect(),
+            cursor: Mutex::new(None),
             interp_hits: AtomicU64::new(0),
             interp_fallbacks: AtomicU64::new(0),
             cells_built: AtomicU64::new(0),
+            cells_prefetched: AtomicU64::new(0),
         }
     }
 
@@ -323,9 +355,15 @@ impl InterpCache {
         self.interp_fallbacks.load(Ordering::Relaxed)
     }
 
-    /// Cells built (corner + centre solve batches performed).
+    /// Cells built (corner + probe solve batches performed).
     pub fn cells_built(&self) -> u64 {
         self.cells_built.load(Ordering::Relaxed)
+    }
+
+    /// Cells built speculatively by the sweep-direction prefetcher (a
+    /// subset of [`InterpCache::cells_built`]).
+    pub fn cells_prefetched(&self) -> u64 {
+        self.cells_prefetched.load(Ordering::Relaxed)
     }
 
     /// Cells currently resident across all shards.
@@ -381,6 +419,52 @@ impl InterpCache {
         }
     }
 
+    /// Batched [`InterpCache::predict`]: every lane is answered by the same
+    /// policy (exact mode, resident-exact shortcut, certified
+    /// interpolation, exact fallback), but all lanes that end up needing an
+    /// exact solve go through one key-deduped
+    /// [`SolutionCache::solve_batch`] call — the SoA kernel — instead of
+    /// lane-at-a-time solves.
+    pub fn predict_batch(
+        &self,
+        scenarios: &[Scenario],
+        max_rel_err: f64,
+    ) -> Vec<Result<Prediction, ModelError>> {
+        // Exact mode for the whole batch (the contract is per-request).
+        if !max_rel_err.is_finite() || max_rel_err <= 0.0 {
+            return self.cache.solve_batch(scenarios);
+        }
+        let n = scenarios.len();
+        let mut out: Vec<Option<Result<Prediction, ModelError>>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, s) in scenarios.iter().enumerate() {
+            if let Some(p) = self.cache.lookup(s) {
+                out[i] = Some(Ok(p));
+                continue;
+            }
+            match self.try_interpolate(s, max_rel_err) {
+                Some((p, _)) => {
+                    self.interp_hits.fetch_add(1, Ordering::Relaxed);
+                    out[i] = Some(Ok(p));
+                }
+                None => {
+                    self.interp_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    misses.push(i);
+                }
+            }
+        }
+        if !misses.is_empty() {
+            let lanes: Vec<Scenario> = misses.iter().map(|&i| scenarios[i].clone()).collect();
+            for (&i, r) in misses.iter().zip(self.cache.solve_batch(&lanes)) {
+                out[i] = Some(r);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every lane resolved"))
+            .collect()
+    }
+
     /// The interpolation path; `None` means "serve exactly instead".
     fn try_interpolate(
         &self,
@@ -416,6 +500,7 @@ impl InterpCache {
             self.build_cell(scenario, brackets)
         });
         if cell.cert <= max_rel_err {
+            self.advance_cursor(scenario, &axes, &key, &brackets);
             Some((
                 cell.interpolate(&axes),
                 Served::Interpolated {
@@ -427,14 +512,143 @@ impl InterpCache {
         }
     }
 
-    /// Solve the cell's corners and centre probe, derive the certificate.
+    /// Record the serving cell in the sweep cursor; when the previous and
+    /// current serving cells are adjacent (same discrete identity, exactly
+    /// one axis bracket advanced), pre-build the next cell along the same
+    /// direction so the sweep's next first-touch finds it already built.
+    ///
+    /// Prefetched cells go through [`InterpCache::build_cell`] like any
+    /// other — they carry a real certificate (or stay untrusted) and are
+    /// gated by the same `cert <= max_rel_err` check when a query actually
+    /// lands in them. A wrong sweep guess costs one speculative build,
+    /// never a wrong answer.
+    fn advance_cursor(
+        &self,
+        scenario: &Scenario,
+        axes: &[AxisValue; INTERP_AXES],
+        key: &CellKey,
+        brackets: &[AxisBracket; INTERP_AXES],
+    ) {
+        let prev = {
+            let mut cursor = self.cursor.lock().expect("sweep cursor poisoned");
+            cursor.replace(SweepCursor {
+                key: key.clone(),
+                brackets: *brackets,
+            })
+        };
+        let Some(prev) = prev else { return };
+        if prev.key == *key {
+            return;
+        }
+        // Same discrete identity (variant, P, ps, k): the bracket words are
+        // the trailing `2 * INTERP_AXES` of the key, everything before them
+        // is discrete.
+        let discrete = key.0.len() - 2 * INTERP_AXES;
+        if prev.key.0.len() != key.0.len() || prev.key.0[..discrete] != key.0[..discrete] {
+            return;
+        }
+        // Exactly one axis advanced by one cell, all others identical.
+        let mut advanced: Option<(usize, bool)> = None;
+        for (i, &c) in brackets.iter().enumerate() {
+            let p = prev.brackets[i];
+            if p == c {
+                continue;
+            }
+            if advanced.is_some() || p.is_degenerate() || c.is_degenerate() {
+                return;
+            }
+            if c.lo == p.hi {
+                advanced = Some((i, true));
+            } else if c.hi == p.lo {
+                advanced = Some((i, false));
+            } else {
+                return;
+            }
+        }
+        let Some((ax, ascending)) = advanced else {
+            return;
+        };
+        // Predict the next cell: probe just past the boundary ahead of the
+        // cursor and snap back onto the grid.
+        let probe = if ascending {
+            brackets[ax].hi * (1.0 + 1e-6)
+        } else if brackets[ax].lo > 0.0 {
+            brackets[ax].lo * (1.0 - 1e-6)
+        } else {
+            return; // the grid ends at 0: nothing ahead
+        };
+        let mut coords: [f64; INTERP_AXES] = std::array::from_fn(|i| axes[i].value);
+        coords[ax] = probe;
+        let Some(next_scenario) = scenario.with_axis_values(coords) else {
+            return;
+        };
+        let mut next_brackets = [AxisBracket { lo: 0.0, hi: 0.0 }; INTERP_AXES];
+        for (i, axis) in next_scenario
+            .interp_axes()
+            .expect("same variant as the serving scenario")
+            .iter()
+            .enumerate()
+        {
+            let (min, max) = axis.kind.valid_range();
+            if !(min..=max).contains(&axis.value) {
+                return;
+            }
+            let Some(b) = axis.kind.bracket(axis.value) else {
+                return;
+            };
+            next_brackets[i] = b;
+        }
+        let Some(next_key) = CellKey::of(&next_scenario, &next_brackets) else {
+            return;
+        };
+        if next_key == *key {
+            return; // probe collapsed back into the serving cell
+        }
+        let slot = {
+            let shard = &self.shards[(next_key.hash64() % self.shards.len() as u64) as usize];
+            shard.lock().expect("cell shard poisoned").slot(&next_key)
+        };
+        if slot.get().is_some() {
+            return; // already built (e.g. the sweep ran here before)
+        }
+        slot.get_or_init(|| {
+            self.cells_built.fetch_add(1, Ordering::Relaxed);
+            self.cells_prefetched.fetch_add(1, Ordering::Relaxed);
+            self.build_cell(&next_scenario, next_brackets)
+        });
+    }
+
+    /// Solve the cell's corners and probes and derive the certificate —
+    /// all exact solves issued as **one batch** through
+    /// [`SolutionCache::solve_batch`], so the whole build runs through the
+    /// SoA fixed-point kernel instead of `2^d + 1 + 2d` sequential solves.
+    ///
+    /// The probe set is the centre plus, for cells spanning two or more
+    /// axes, every face midpoint: in 1-D the leading-order interpolation
+    /// error peaks at the centre, but in higher dimensions curvature terms
+    /// of opposite sign can cancel there while peaking on a face. The
+    /// certificate covers the worst residual over all probes.
     fn build_cell(&self, template: &Scenario, brackets: [AxisBracket; INTERP_AXES]) -> Cell {
         let span_axes: Vec<usize> = (0..INTERP_AXES)
             .filter(|&i| !brackets[i].is_degenerate())
             .collect();
         let d = span_axes.len();
 
-        let mut corners: Vec<Prediction> = Vec::with_capacity(1 << d);
+        let centre_coords: [f64; INTERP_AXES] =
+            std::array::from_fn(|i| 0.5 * (brackets[i].lo + brackets[i].hi));
+        let mut probe_coords: Vec<[f64; INTERP_AXES]> = vec![centre_coords];
+        if d >= 2 {
+            for &ax in &span_axes {
+                for end in [brackets[ax].lo, brackets[ax].hi] {
+                    let mut c = centre_coords;
+                    c[ax] = end;
+                    probe_coords.push(c);
+                }
+            }
+        }
+
+        // Corner lanes first (bitmask order), probe lanes riding along.
+        let mut lanes: Vec<Scenario> = Vec::with_capacity((1 << d) + probe_coords.len());
         for mask in 0..(1u32 << d) {
             let mut coords: [f64; INTERP_AXES] = std::array::from_fn(|i| brackets[i].lo);
             for (j, &ax) in span_axes.iter().enumerate() {
@@ -445,7 +659,19 @@ impl InterpCache {
             let Some(corner) = template.with_axis_values(coords) else {
                 return Cell::untrusted(brackets);
             };
-            match self.cache.get_or_solve(&corner) {
+            lanes.push(corner);
+        }
+        for &coords in &probe_coords {
+            let Some(probe) = template.with_axis_values(coords) else {
+                return Cell::untrusted(brackets);
+            };
+            lanes.push(probe);
+        }
+
+        let mut results = self.cache.solve_batch(&lanes).into_iter();
+        let mut corners: Vec<Prediction> = Vec::with_capacity(1 << d);
+        for _ in 0..(1u32 << d) {
+            match results.next().expect("one result per lane") {
                 Ok(p) => corners.push(p),
                 // A corner outside the solvable region poisons the whole
                 // cell: certificates only cover cells that are smooth
@@ -463,32 +689,31 @@ impl InterpCache {
             }
         }
 
-        // Centre probe: one exact solve at the cell midpoint, compared
-        // against its own interpolation.
-        let centre_coords: [f64; INTERP_AXES] =
-            std::array::from_fn(|i| 0.5 * (brackets[i].lo + brackets[i].hi));
         let cell = Cell {
             brackets,
             span_axes,
             corners,
             cert: f64::INFINITY,
         };
-        let Some(centre) = template.with_axis_values(centre_coords) else {
-            return Cell::untrusted(brackets);
-        };
-        let Ok(exact_centre) = self.cache.get_or_solve(&centre) else {
-            return Cell::untrusted(brackets);
-        };
-        if exact_centre.ps != cell.corners[0].ps {
-            return Cell::untrusted(brackets);
+        let kinds = template.interp_axes().expect("eligible template");
+        let mut worst = 0.0f64;
+        for coords in probe_coords {
+            let Some(Ok(exact)) = results.next() else {
+                // An unsolvable probe means the cell is not smooth
+                // throughout: no certificate.
+                return Cell::untrusted(brackets);
+            };
+            if exact.ps != cell.corners[0].ps {
+                return Cell::untrusted(brackets);
+            }
+            let probe_axes: [AxisValue; INTERP_AXES] = std::array::from_fn(|i| AxisValue {
+                kind: kinds[i].kind,
+                value: coords[i],
+            });
+            worst = worst.max(rel_resid(&cell.interpolate(&probe_axes), &exact));
         }
-        let centre_axes: [AxisValue; INTERP_AXES] = std::array::from_fn(|i| AxisValue {
-            kind: centre.interp_axes().expect("eligible template")[i].kind,
-            value: centre_coords[i],
-        });
-        let resid = rel_resid(&cell.interpolate(&centre_axes), &exact_centre);
         Cell {
-            cert: (resid * SAFETY_FACTOR).max(CERT_FLOOR),
+            cert: (worst * SAFETY_FACTOR).max(CERT_FLOOR),
             ..cell
         }
     }
@@ -702,6 +927,150 @@ mod tests {
         let mut both = e;
         both.rw = f64::NAN;
         assert_eq!(rel_resid(&both, &both), 0.0);
+    }
+
+    #[test]
+    fn predict_batch_exact_mode_is_bit_identical() {
+        let c = interp_cache();
+        let mut lanes: Vec<Scenario> = (0..20).map(|i| a2a(500.0 + 13.7 * i as f64)).collect();
+        let bad = Scenario::AllToAll {
+            machine: Machine::new(1, 25.0, 200.0),
+            w: 10.0,
+        };
+        lanes.push(bad);
+        let out = c.predict_batch(&lanes, 0.0);
+        for (lane, r) in lanes.iter().zip(&out) {
+            match (r, lopc_core::scenario::solve(lane)) {
+                (Ok(p), Ok(e)) => assert_eq!(p.r.to_bits(), e.r.to_bits()),
+                (Err(a), Err(b)) => assert_eq!(a, &b),
+                (r, e) => panic!("batched {r:?} vs library {e:?}"),
+            }
+        }
+        assert_eq!(c.cells(), 0, "exact mode never touches the cell index");
+    }
+
+    #[test]
+    fn predict_batch_sweep_shares_cells_and_solves_misses_in_one_batch() {
+        let c = interp_cache();
+        let b = lopc_core::scenario::AxisKind::Work.bracket(777.7).unwrap();
+        let lanes: Vec<Scenario> = (0..50)
+            .map(|i| a2a(b.lo + (b.hi - b.lo) * (0.05 + 0.9 * i as f64 / 49.0)))
+            .collect();
+        let out = c.predict_batch(&lanes, 1e-2);
+        for (lane, r) in lanes.iter().zip(&out) {
+            let exact = lopc_core::scenario::solve(lane).unwrap();
+            assert!(rel_resid(r.as_ref().unwrap(), &exact) <= 1e-2);
+        }
+        assert_eq!(c.cells_built(), 1);
+        assert!(c.cache().misses() <= 3, "one 1-D cell, one batched build");
+        assert!(c.interp_hits() >= 48);
+        // An unsolvable lane in tolerance mode: its cell is untrusted, the
+        // lane falls back to the exact batch and carries its own error.
+        let bad = Scenario::AllToAll {
+            machine: Machine::new(1, 25.0, 200.0),
+            w: 10.0,
+        };
+        let out = c.predict_batch(&[lanes[0].clone(), bad], 1e-2);
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err());
+    }
+
+    #[test]
+    fn two_axis_cells_probe_face_midpoints() {
+        let c = interp_cache();
+        // St off-grid too: the cell spans W and St (d = 2), so the build
+        // batch is 4 corners + centre + 4 face midpoints.
+        let q = Scenario::AllToAll {
+            machine: Machine::new(32, 26.3, 200.0).with_c2(0.0),
+            w: 777.7,
+        };
+        let (p, served) = c.predict_traced(&q, 1e-2).unwrap();
+        let cert = match served {
+            Served::Interpolated { certified_rel_err } => certified_rel_err,
+            Served::Exact => panic!("smooth 2-D cell must certify"),
+        };
+        assert_eq!(c.cells_built(), 1);
+        assert!(
+            c.cache().misses() <= 9,
+            "2-D cell build is 9 unique lanes, did {}",
+            c.cache().misses()
+        );
+        let exact = lopc_core::scenario::solve(&q).unwrap();
+        assert!(rel_resid(&p, &exact) <= cert);
+    }
+
+    #[test]
+    fn sweep_direction_prefetch_builds_the_next_cell() {
+        let c = interp_cache();
+        // Two consecutive 1-D cells along W establish an ascending sweep;
+        // the third cell must be prefetched before any query lands in it.
+        let (_, s1) = c.predict_traced(&a2a(765.0), 1e-2).unwrap();
+        let (_, s2) = c.predict_traced(&a2a(785.0), 1e-2).unwrap();
+        assert!(matches!(s1, Served::Interpolated { .. }));
+        assert!(matches!(s2, Served::Interpolated { .. }));
+        assert_eq!(c.cells_prefetched(), 1, "ascent detected, next cell built");
+        assert_eq!(c.cells_built(), 3);
+        let misses_before = c.cache().misses();
+        let (p, s3) = c.predict_traced(&a2a(805.0), 1e-2).unwrap();
+        assert!(matches!(s3, Served::Interpolated { .. }));
+        // Serving from the prefetched cell costs no solves of its own; the
+        // only new misses belong to the *next* prefetch (the sweep stays
+        // one cell ahead: corner 840 + centre 830, corner 820 is shared).
+        assert_eq!(c.cells_prefetched(), 2, "steady sweep chains prefetches");
+        assert_eq!(c.cells_built(), 4);
+        assert_eq!(
+            c.cache().misses(),
+            misses_before + 2,
+            "the prefetched cell serves the query without new exact solves"
+        );
+        let exact = lopc_core::scenario::solve(&a2a(805.0)).unwrap();
+        assert!(rel_resid(&p, &exact) <= 1e-2);
+        // Descending works symmetrically.
+        let c = interp_cache();
+        c.predict_traced(&a2a(805.0), 1e-2).unwrap();
+        c.predict_traced(&a2a(785.0), 1e-2).unwrap();
+        assert_eq!(c.cells_prefetched(), 1, "descent detected");
+    }
+
+    #[test]
+    fn prefetched_cells_serve_only_with_a_valid_certificate() {
+        // A client-server sweep with ps = None crosses regions where the
+        // discrete optimum moves: some cells (prefetched ones included)
+        // come out untrusted. Every answer must be within its certificate
+        // when interpolated and bit-identical exact otherwise — a
+        // prefetched cell gets no special trust.
+        let c = interp_cache();
+        let m = Machine::new(32, 50.0, 131.0).with_c2(1.0);
+        let q = |w: f64| Scenario::ClientServer {
+            machine: m,
+            w,
+            ps: None,
+        };
+        for i in 0..80 {
+            let w = 400.0 + 12.5 * i as f64;
+            let (p, served) = c.predict_traced(&q(w), 1e-2).unwrap();
+            let exact = lopc_core::scenario::solve(&q(w)).unwrap();
+            match served {
+                Served::Interpolated { certified_rel_err } => {
+                    assert!(certified_rel_err <= 1e-2);
+                    assert!(
+                        rel_resid(&p, &exact) <= certified_rel_err,
+                        "w={w}: interpolated answer outside its certificate"
+                    );
+                }
+                Served::Exact => {
+                    assert_eq!(
+                        p.r.to_bits(),
+                        exact.r.to_bits(),
+                        "w={w}: untrusted (or uncovered) queries stay exact"
+                    );
+                }
+            }
+        }
+        assert!(
+            c.cells_prefetched() >= 1,
+            "a linear sweep must trigger the prefetcher"
+        );
     }
 
     #[test]

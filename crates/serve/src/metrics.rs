@@ -86,8 +86,11 @@ pub struct CacheCounters {
     pub interp_hits: u64,
     /// Scenarios that asked for interpolation but were served exactly.
     pub interp_fallbacks: u64,
-    /// Interpolation cells built (corner + centre solve batches).
+    /// Interpolation cells built (corner + probe solve batches).
     pub interp_cells_built: u64,
+    /// Cells built speculatively by the sweep-direction prefetcher
+    /// (a subset of `interp_cells_built`).
+    pub interp_cells_prefetched: u64,
 }
 
 /// Process-global service metrics; share by reference.
@@ -245,6 +248,10 @@ impl Metrics {
                         "cells_built".into(),
                         Json::Num(cache.interp_cells_built as f64),
                     ),
+                    (
+                        "cells_prefetched".into(),
+                        Json::Num(cache.interp_cells_prefetched as f64),
+                    ),
                 ]),
             ),
             (
@@ -349,9 +356,15 @@ impl Metrics {
         );
         family(
             "lopc_interp_cells_built_total",
-            "Interpolation cells built (corner+centre solve batches).",
+            "Interpolation cells built (corner+probe solve batches).",
             "counter",
             &[("".into(), cache.interp_cells_built as f64)],
+        );
+        family(
+            "lopc_interp_cells_prefetched_total",
+            "Cells built speculatively by the sweep-direction prefetcher.",
+            "counter",
+            &[("".into(), cache.interp_cells_prefetched as f64)],
         );
         family(
             "lopc_open_connections",
@@ -467,6 +480,7 @@ mod tests {
             interp_hits: 7,
             interp_fallbacks: 2,
             interp_cells_built: 3,
+            interp_cells_prefetched: 1,
         };
         let doc = m.to_json(&counters);
         let req = doc.get("requests").unwrap();
@@ -541,6 +555,7 @@ mod tests {
             interp_hits: 3,
             interp_fallbacks: 1,
             interp_cells_built: 2,
+            interp_cells_prefetched: 1,
         };
         let text = m.to_prometheus(&counters);
         for needle in [
@@ -554,6 +569,7 @@ mod tests {
             "lopc_interp_hits_total 3",
             "lopc_interp_fallbacks_total 1",
             "lopc_interp_cells_built_total 2",
+            "lopc_interp_cells_prefetched_total 1",
             "lopc_request_latency_ns{quantile=\"0.5\"}",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");

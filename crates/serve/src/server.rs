@@ -16,11 +16,12 @@
 //! so the reactor re-arms the connection. Idle keep-alive connections
 //! therefore cost a few kilobytes of reactor state instead of a blocked
 //! worker thread: the concurrent-connection ceiling is the fd limit, not
-//! the worker count. *Within* a batch request the scenario list is fanned
-//! out over scoped threads through the same
-//! [`WorkQueue`](lopc_solver::steal::WorkQueue) claim-cursor idiom the
-//! replication runner uses — idle cores steal the next unsolved scenario,
-//! so one expensive general-model entry does not serialize the batch.
+//! the worker count. *Within* a batch request the scenario list goes
+//! through [`InterpCache::predict_batch`](crate::interp::InterpCache):
+//! cache-resident and certified-interpolated lanes are answered in place,
+//! and the remaining misses are key-deduped and solved together by the
+//! SoA batched fixed-point kernel — one kernel invocation per request
+//! instead of lane-at-a-time work-queue claims.
 //!
 //! Status codes: `200` success, `400` malformed HTTP/JSON/schema, `404`
 //! unknown path, `405` wrong method, `422` well-formed but unsolvable
@@ -150,6 +151,7 @@ impl Service {
             interp_hits: self.interp.interp_hits(),
             interp_fallbacks: self.interp.interp_fallbacks(),
             interp_cells_built: self.interp.cells_built(),
+            interp_cells_prefetched: self.interp.cells_prefetched(),
         }
     }
 
@@ -297,59 +299,22 @@ impl Service {
         }
     }
 
-    /// Solve a batch in parallel: scoped worker threads steal indices from
-    /// a shared [`WorkQueue`](lopc_solver::steal::WorkQueue) cursor, each
-    /// going through the cache.
+    /// Solve a batch through the interpolation layer's batched entry:
+    /// lanes answered by resident exact entries or certified cells are
+    /// served immediately, the remaining cache misses are key-deduped and
+    /// solved together by the SoA fixed-point kernel
+    /// ([`lopc_core::scenario::solve_batch`]) instead of lane-at-a-time
+    /// claims. The first failing lane (smallest index) reports the error.
     fn solve_batch(
         &self,
         scenarios: &[Scenario],
         max_rel_err: f64,
     ) -> Result<Vec<Json>, (usize, lopc_core::ModelError)> {
-        let n = scenarios.len();
-        let threads = lopc_solver::steal::worker_count(n);
-        let mut slots: Vec<Option<Result<Json, lopc_core::ModelError>>> = Vec::with_capacity(n);
-        slots.resize_with(n, || None);
-
-        if threads <= 1 {
-            for (i, slot) in slots.iter_mut().enumerate() {
-                *slot = Some(
-                    self.interp
-                        .predict(&scenarios[i], max_rel_err)
-                        .map(|p| prediction_to_json(&p)),
-                );
-            }
-        } else {
-            let queue = lopc_solver::steal::WorkQueue::new(n);
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(threads);
-                for _ in 0..threads {
-                    let queue = &queue;
-                    let interp = &self.interp;
-                    handles.push(scope.spawn(move || {
-                        let mut local = Vec::new();
-                        while let Some(i) = queue.claim() {
-                            local.push((
-                                i,
-                                interp
-                                    .predict(&scenarios[i], max_rel_err)
-                                    .map(|p| prediction_to_json(&p)),
-                            ));
-                        }
-                        local
-                    }));
-                }
-                for h in handles {
-                    for (i, result) in h.join().expect("batch worker panicked") {
-                        slots[i] = Some(result);
-                    }
-                }
-            });
-        }
-
-        let mut out = Vec::with_capacity(n);
-        for (i, slot) in slots.into_iter().enumerate() {
-            match slot.expect("slot filled") {
-                Ok(v) => out.push(v),
+        let results = self.interp.predict_batch(scenarios, max_rel_err);
+        let mut out = Vec::with_capacity(results.len());
+        for (i, result) in results.into_iter().enumerate() {
+            match result {
+                Ok(p) => out.push(prediction_to_json(&p)),
                 Err(e) => return Err((i, e)),
             }
         }

@@ -1,0 +1,644 @@
+//! Batched (structure-of-arrays) drivers for the scalar solvers.
+//!
+//! The LoPC hot path solves *many* nearly identical scenarios: a sweep is a
+//! thousand fixed points, an interpolation-cell build is `2^k` corners plus
+//! probes, a batch request is whatever the client sent. One
+//! [`bisect`](crate::bisect) solve is latency-bound — each evaluation of the
+//! model recursion is a short chain of dependent divisions, and the next
+//! abscissa depends on the previous sign, so the divider sits idle most of
+//! the time. Batching breaks that chain *across lanes*: every lane still
+//! walks its own bracket/bisect state machine, but each round evaluates all
+//! active lanes' abscissae back to back in one tight loop over
+//! structure-of-arrays parameters, which the compiler can vectorize and the
+//! CPU can pipeline (independent iterations hide division latency).
+//!
+//! Bit-identity is the contract, not an aspiration: per lane, the drivers
+//! replay **exactly** the scalar control flow of
+//! [`bracket_upward`](crate::bracket_upward) + [`bisect`](crate::bisect) and
+//! [`solve_damped`](crate::solve_damped) — same evaluation points, same sign
+//! tests, same early exits, same iteration counts, same errors. A lane's
+//! result is the scalar result, bit for bit; only the *interleaving* of
+//! evaluations across lanes changes (see DESIGN.md §14). Lanes retire
+//! independently: a lane that converges, or fails, in round `i` costs
+//! nothing in round `i + 1`.
+
+use crate::bisection::Root;
+use crate::fixed_point::{Convergence, FixedPointOptions};
+use crate::SolverError;
+
+/// Per-lane parameters of a batched bracket-then-bisect solve: the same
+/// arguments the scalar pair [`bracket_upward`](crate::bracket_upward) /
+/// [`bisect`](crate::bisect) takes, minus the function (supplied once for
+/// the whole batch as a lane-indexed evaluator).
+#[derive(Clone, Copy, Debug)]
+pub struct BracketBisectSpec {
+    /// Lower endpoint: `bracket_upward`'s `lo`, and later `bisect`'s `lo`.
+    pub lo: f64,
+    /// Initial bracketing step (doubled until the sign changes).
+    pub initial_step: f64,
+    /// Bracketing budget (`bracket_upward`'s `max_doublings`).
+    pub max_doublings: usize,
+    /// Absolute tolerance on the bisection interval width.
+    pub tol: f64,
+    /// Bisection iteration budget.
+    pub max_iter: usize,
+}
+
+/// Phase tags of the bracket → bisect life cycle. Lane state is kept in
+/// structure-of-arrays form (`tag`/`a`/`b`/`c`/`cnt`), dense in *active
+/// order* and compacted alongside the lane list, rather than as an enum
+/// indexed by lane: the advance loop runs once per lane per round, and both
+/// gathers and `mem::replace` of a wide enum cost more than the model
+/// evaluation they were bookkeeping for.
+///
+/// Field meaning by phase — `a`, `b`, `c` are reused:
+///
+/// | tag | meaning | a | b | c | cnt |
+/// |---|---|---|---|---|---|
+/// | `BRACKET` | doubling the step until `f ≤ 0` | step | — | — | doublings |
+/// | `EVAL_LO` | bracketed at `b`; evaluating `f(lo)` | — | hi | f_hi | — |
+/// | `BISECT` | bisecting `[a, b]` | lo | hi | f_lo | iter |
+const BRACKET: u8 = 0;
+const EVAL_LO: u8 = 1;
+const BISECT: u8 = 2;
+
+/// Solve many independent `f_l(x) = 0` problems by synchronized-round
+/// bracket + bisect, one lane per spec.
+///
+/// `eval(lanes, xs, out)` must write `f_{lanes[j]}(xs[j])` into `out[j]` for
+/// every `j` — the batched equivalent of the scalar closure, evaluated for
+/// all lanes still in flight this round. The evaluator is called with the
+/// active lanes in ascending order; because each lane's function must be
+/// pure (the scalar solvers assume the same), the cross-lane interleaving
+/// cannot change any lane's trajectory.
+///
+/// Per lane the result — root, iteration count, or error — is bit-identical
+/// to
+/// `bracket_upward(f, lo, initial_step, max_doublings)` followed by
+/// `bisect(f, lo, hi, tol, max_iter)`, with the single economy that `f(hi)`
+/// is not re-evaluated at the bracket point (purity makes the re-evaluation
+/// the value already in hand).
+pub fn bracket_bisect_many<F>(
+    specs: &[BracketBisectSpec],
+    mut eval: F,
+) -> Vec<Result<Root, SolverError>>
+where
+    F: FnMut(&[u32], &[f64], &mut [f64]),
+{
+    let n = specs.len();
+    let mut results: Vec<Option<Result<Root, SolverError>>> = (0..n).map(|_| None).collect();
+
+    // Dense lane state, indexed by *active position* `j` (not lane id) and
+    // compacted in lockstep with `active`: the hot advance loop streams
+    // through contiguous memory with no gathers. `lo`/`tol`/`maxit` are
+    // copies of the spec fields the steady state needs, so the fast pass
+    // below never touches the 40-byte spec structs. `cnt` is f64 so the
+    // whole pass is uniform double lanes for the auto-vectorizer (counts
+    // stay exact: no solve runs anywhere near 2^53 rounds).
+    let mut active = vec![0u32; n];
+    let mut tag = vec![BRACKET; n];
+    let mut a = vec![0.0f64; n];
+    let mut b = vec![0.0f64; n];
+    let mut c = vec![0.0f64; n];
+    let mut cnt = vec![0.0f64; n];
+    let mut lo = vec![0.0f64; n];
+    let mut tol = vec![0.0f64; n];
+    let mut maxit = vec![0.0f64; n];
+    let mut xs = vec![0.0f64; n];
+    let mut fs = vec![0.0f64; n];
+
+    // Shadow buffers for the speculative fast pass: it writes next-round
+    // state here and commits by pointer swap, so a lane that turns out to
+    // retire can fall back to the untouched originals.
+    let mut sh_a = vec![0.0f64; n];
+    let mut sh_b = vec![0.0f64; n];
+    let mut sh_c = vec![0.0f64; n];
+    let mut sh_cnt = vec![0.0f64; n];
+    let mut sh_xs = vec![0.0f64; n];
+
+    // Entry checks, in scalar order: bracket_upward rejects a bad step
+    // before evaluating anything.
+    let mut m = 0usize;
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-rejecting on purpose
+    for (l, spec) in specs.iter().enumerate() {
+        if !(spec.initial_step > 0.0) {
+            results[l] = Some(Err(SolverError::InvalidInput(
+                "bracket_upward requires a positive initial step",
+            )));
+        } else if spec.max_doublings == 0 {
+            // Scalar: the bracketing loop never runs.
+            results[l] = Some(Err(SolverError::NoConvergence {
+                iterations: 0,
+                residual: spec.initial_step,
+            }));
+        } else {
+            active[m] = l as u32;
+            a[m] = spec.initial_step;
+            lo[m] = spec.lo;
+            tol[m] = spec.tol;
+            maxit[m] = spec.max_iter as f64;
+            xs[m] = spec.lo + spec.initial_step;
+            m += 1;
+        }
+    }
+    // Lanes still bracketing or awaiting f(lo); while any exist, rounds take
+    // the general (scalar, per-phase) advance path.
+    let mut nonbisect = m;
+
+    while m > 0 {
+        // One batched evaluation round: the hot loop lives in `eval`.
+        eval(&active[..m], &xs[..m], &mut fs[..m]);
+
+        if nonbisect == 0 {
+            // Fast path: every lane is mid-bisection. Speculate that none
+            // retires this round — the common case; a 1000-lane sweep runs
+            // ~30 all-bisect rounds and only a handful with retirements —
+            // and compute all updates branch-free into the shadow buffers
+            // while OR-folding every retirement condition into one flag.
+            // Branchless selects are exact here: both `f_mid` and `f_lo`
+            // are nonzero non-NaN mid-bisection, so the scalar
+            // `signum() == signum()` test is a sign-bit compare, and the
+            // selected values are bit-identical to the scalar branches.
+            let mut slow = false;
+            {
+                let (fs, a, b, c, cnt, tl, mi, xs) = (
+                    &fs[..m],
+                    &a[..m],
+                    &b[..m],
+                    &c[..m],
+                    &cnt[..m],
+                    &tol[..m],
+                    &maxit[..m],
+                    &xs[..m],
+                );
+                let (sa, sb, sc, scnt, sxs) = (
+                    &mut sh_a[..m],
+                    &mut sh_b[..m],
+                    &mut sh_c[..m],
+                    &mut sh_cnt[..m],
+                    &mut sh_xs[..m],
+                );
+                for j in 0..m {
+                    let f = fs[j];
+                    let ncnt = cnt[j] + 1.0;
+                    slow |= f.is_nan() | (f == 0.0) | (b[j] - a[j] < tl[j]) | (ncnt >= mi[j]);
+                    let same = (f < 0.0) == (c[j] < 0.0);
+                    let na = if same { xs[j] } else { a[j] };
+                    let nb = if same { b[j] } else { xs[j] };
+                    sa[j] = na;
+                    sb[j] = nb;
+                    sc[j] = if same { f } else { c[j] };
+                    scnt[j] = ncnt;
+                    sxs[j] = 0.5 * (na + nb);
+                }
+            }
+            if !slow {
+                std::mem::swap(&mut a, &mut sh_a);
+                std::mem::swap(&mut b, &mut sh_b);
+                std::mem::swap(&mut c, &mut sh_c);
+                std::mem::swap(&mut cnt, &mut sh_cnt);
+                std::mem::swap(&mut xs, &mut sh_xs);
+                continue;
+            }
+            // Some lane retires (or exhausts its budget): discard the
+            // speculative shadow state and let the general path below
+            // replay the round from the untouched originals.
+        }
+
+        // General advance: each lane's scalar state machine, one lane at a
+        // time, compacting retired lanes out of every dense array as we go.
+        let mut write = 0usize;
+        let mut nb_count = 0usize;
+        for j in 0..m {
+            let l = active[j] as usize;
+            let spec = &specs[l];
+            let x = xs[j];
+            let v = fs[j];
+            let mut done: Option<Result<Root, SolverError>> = None;
+            let mut next_x = 0.0f64;
+            let mut t = tag[j];
+            let (mut aj, mut bj, mut cj, mut cntj) = (a[j], b[j], c[j], cnt[j]);
+            match t {
+                BRACKET => {
+                    if v.is_nan() {
+                        done = Some(Err(SolverError::NumericalBreakdown { at: x }));
+                    } else if v <= 0.0 {
+                        // Bracketed: x is the scalar `hi`. Run bisect's
+                        // entry checks before spending an evaluation on
+                        // f(lo).
+                        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                        if !(spec.lo < x) {
+                            done = Some(Err(SolverError::InvalidInput("bisect requires lo < hi")));
+                        } else if !(spec.tol > 0.0) {
+                            done = Some(Err(SolverError::InvalidInput("bisect requires tol > 0")));
+                        } else {
+                            t = EVAL_LO;
+                            bj = x;
+                            cj = v;
+                            next_x = spec.lo;
+                        }
+                    } else {
+                        let step = aj * 2.0;
+                        if cntj as usize + 1 >= spec.max_doublings {
+                            done = Some(Err(SolverError::NoConvergence {
+                                iterations: spec.max_doublings,
+                                residual: step,
+                            }));
+                        } else {
+                            aj = step;
+                            cntj += 1.0;
+                            next_x = spec.lo + step;
+                        }
+                    }
+                }
+                EVAL_LO => {
+                    let (f_lo, hi, f_hi) = (v, bj, cj);
+                    if f_lo.is_nan() {
+                        done = Some(Err(SolverError::NumericalBreakdown { at: spec.lo }));
+                    } else if f_lo == 0.0 {
+                        done = Some(Ok(Root {
+                            x: spec.lo,
+                            f: 0.0,
+                            iterations: 0,
+                        }));
+                    } else if f_hi == 0.0 {
+                        done = Some(Ok(Root {
+                            x: hi,
+                            f: 0.0,
+                            iterations: 0,
+                        }));
+                    } else if f_lo.signum() == f_hi.signum() {
+                        done = Some(Err(SolverError::NoBracket {
+                            lo: spec.lo,
+                            hi,
+                            f_lo,
+                            f_hi,
+                        }));
+                    } else if spec.max_iter == 0 {
+                        // Scalar: the bisection loop never runs.
+                        done = Some(Err(SolverError::NoConvergence {
+                            iterations: 0,
+                            residual: hi - spec.lo,
+                        }));
+                    } else {
+                        t = BISECT;
+                        aj = spec.lo;
+                        cj = f_lo;
+                        cntj = 0.0;
+                        next_x = 0.5 * (aj + bj);
+                    }
+                }
+                _ => {
+                    let (mid, f_mid) = (x, v);
+                    if f_mid.is_nan() {
+                        done = Some(Err(SolverError::NumericalBreakdown { at: mid }));
+                    } else if f_mid == 0.0 || bj - aj < spec.tol {
+                        done = Some(Ok(Root {
+                            x: mid,
+                            f: f_mid,
+                            iterations: cntj as usize + 1,
+                        }));
+                    } else {
+                        // Same branchless select as the fast pass (see the
+                        // exactness note there).
+                        let same = (f_mid < 0.0) == (cj < 0.0);
+                        aj = if same { mid } else { aj };
+                        cj = if same { f_mid } else { cj };
+                        bj = if same { bj } else { mid };
+                        cntj += 1.0;
+                        if cntj as usize >= spec.max_iter {
+                            done = Some(Err(SolverError::NoConvergence {
+                                iterations: spec.max_iter,
+                                residual: bj - aj,
+                            }));
+                        } else {
+                            next_x = 0.5 * (aj + bj);
+                        }
+                    }
+                }
+            }
+            match done {
+                Some(r) => results[l] = Some(r),
+                None => {
+                    active[write] = l as u32;
+                    tag[write] = t;
+                    a[write] = aj;
+                    b[write] = bj;
+                    c[write] = cj;
+                    cnt[write] = cntj;
+                    lo[write] = lo[j];
+                    tol[write] = tol[j];
+                    maxit[write] = maxit[j];
+                    xs[write] = next_x;
+                    nb_count += usize::from(t != BISECT);
+                    write += 1;
+                }
+            }
+        }
+        m = write;
+        nonbisect = nb_count;
+    }
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every lane retires with a result"))
+        .collect()
+}
+
+/// Batched [`solve_damped`](crate::solve_damped): iterate many independent
+/// vector fixed-point systems to joint convergence, with per-lane residuals
+/// and independent retirement.
+///
+/// `f(lane, x, out)` must write `F_lane(x)` into `out` (same length as that
+/// lane's `x0`). Lane state lives in one flat buffer (structure-of-arrays
+/// across lanes), so the damping update runs as a single contiguous loop
+/// over every active element regardless of lane count.
+///
+/// Per lane, the result is bit-identical to
+/// `solve_damped(x0s[lane], |x, out| f(lane, x, out), opts)`: same iterate
+/// sequence, same residual fold order, same convergence iteration, same
+/// errors — including [`SolverError::Exhausted`] with the lane's last
+/// iterate and contraction flag, so callers can retry exhausted lanes
+/// individually instead of failing the whole batch.
+pub fn solve_damped_many<F>(
+    x0s: &[Vec<f64>],
+    mut f: F,
+    opts: &FixedPointOptions,
+) -> Vec<Result<Convergence, SolverError>>
+where
+    F: FnMut(usize, &[f64], &mut [f64]),
+{
+    let n = x0s.len();
+    let mut results: Vec<Option<Result<Convergence, SolverError>>> = (0..n).map(|_| None).collect();
+
+    // Entry checks, in scalar order.
+    for (l, x0) in x0s.iter().enumerate() {
+        if x0.is_empty() {
+            results[l] = Some(Err(SolverError::InvalidInput("empty state vector")));
+        } else if !(opts.damping > 0.0 && opts.damping <= 1.0) {
+            results[l] = Some(Err(SolverError::InvalidInput("damping must be in (0, 1]")));
+        }
+    }
+
+    // Flat state: lane l owns x[offsets[l]..offsets[l + 1]].
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    for x0 in x0s {
+        offsets.push(offsets.last().unwrap() + x0.len());
+    }
+    let mut x: Vec<f64> = x0s.iter().flatten().copied().collect();
+    let mut fx = vec![0.0; x.len()];
+    let mut active: Vec<u32> = (0..n as u32)
+        .filter(|&l| results[l as usize].is_none())
+        .collect();
+    let mut residuals = vec![f64::INFINITY; n];
+    let mut prev_residuals = vec![f64::INFINITY; n];
+
+    let mut iter = 0usize;
+    while !active.is_empty() && iter < opts.max_iter {
+        // Evaluate every active lane, then fold its residual in the scalar
+        // order (NaN check before the max-update, first NaN wins).
+        active.retain(|&lane| {
+            let l = lane as usize;
+            let (s, e) = (offsets[l], offsets[l + 1]);
+            let (xs, fxs) = (&x[s..e], &mut fx[s..e]);
+            f(l, xs, fxs);
+            prev_residuals[l] = residuals[l];
+            let mut residual = 0.0f64;
+            for i in 0..xs.len() {
+                if fxs[i].is_nan() {
+                    results[l] = Some(Err(SolverError::NumericalBreakdown { at: xs[i] }));
+                    return false;
+                }
+                let denom = xs[i].abs().max(1.0);
+                residual = residual.max((fxs[i] - xs[i]).abs() / denom);
+            }
+            residuals[l] = residual;
+            if residual < opts.tol {
+                results[l] = Some(Ok(Convergence {
+                    x: xs.to_vec(),
+                    iterations: iter,
+                    residual,
+                }));
+                return false;
+            }
+            true
+        });
+
+        // Damped update for the survivors — contiguous inner loops the
+        // compiler can vectorize.
+        let (one_minus_a, a) = (1.0 - opts.damping, opts.damping);
+        for &lane in &active {
+            let l = lane as usize;
+            let (s, e) = (offsets[l], offsets[l + 1]);
+            for i in s..e {
+                x[i] = one_minus_a * x[i] + a * fx[i];
+            }
+        }
+        iter += 1;
+    }
+
+    // Whoever is still in flight ran out of budget.
+    for &lane in &active {
+        let l = lane as usize;
+        let (s, e) = (offsets[l], offsets[l + 1]);
+        results[l] = Some(Err(SolverError::Exhausted {
+            x: x[s..e].to_vec(),
+            iterations: opts.max_iter,
+            residual: residuals[l],
+            contracting: residuals[l] < prev_residuals[l],
+        }));
+    }
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every lane retires with a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bisect, bracket_upward, solve_damped};
+
+    /// The scalar reference for one bracket + bisect lane.
+    fn scalar_lane<F: FnMut(f64) -> f64>(
+        mut f: F,
+        spec: &BracketBisectSpec,
+    ) -> Result<Root, SolverError> {
+        let hi = bracket_upward(&mut f, spec.lo, spec.initial_step, spec.max_doublings)?;
+        bisect(&mut f, spec.lo, hi, spec.tol, spec.max_iter)
+    }
+
+    /// A family of LoPC-shaped decreasing recursions g(r) = c/r − r + d,
+    /// parameterised per lane.
+    fn g(lane: usize, r: f64) -> f64 {
+        let c = 100.0 + 37.0 * lane as f64;
+        let d = 1.0 + (lane % 5) as f64;
+        c / r - r + d
+    }
+
+    fn specs(n: usize) -> Vec<BracketBisectSpec> {
+        (0..n)
+            .map(|l| BracketBisectSpec {
+                lo: 0.5 + 0.01 * l as f64,
+                initial_step: 1.0 + (l % 3) as f64,
+                max_doublings: 64,
+                tol: 1e-10,
+                max_iter: 200,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lanes_match_scalar_bit_for_bit() {
+        for n in [1usize, 2, 7, 64, 257] {
+            let specs = specs(n);
+            let batch = bracket_bisect_many(&specs, |lanes, xs, out| {
+                for j in 0..lanes.len() {
+                    out[j] = g(lanes[j] as usize, xs[j]);
+                }
+            });
+            for (l, got) in batch.iter().enumerate() {
+                let want = scalar_lane(|r| g(l, r), &specs[l]);
+                match (got, &want) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.x.to_bits(), b.x.to_bits(), "lane {l} root");
+                        assert_eq!(a.f.to_bits(), b.f.to_bits(), "lane {l} residual");
+                        assert_eq!(a.iterations, b.iterations, "lane {l} iterations");
+                    }
+                    _ => assert_eq!(got, &want, "lane {l}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_lanes_retire_without_poisoning_the_batch() {
+        // Lane 0: bad step. Lane 1: never brackets. Lane 2: NaN. Lane 3: fine.
+        let specs = vec![
+            BracketBisectSpec {
+                lo: 1.0,
+                initial_step: 0.0,
+                max_doublings: 8,
+                tol: 1e-10,
+                max_iter: 100,
+            },
+            BracketBisectSpec {
+                lo: 1.0,
+                initial_step: 1.0,
+                max_doublings: 4,
+                tol: 1e-10,
+                max_iter: 100,
+            },
+            BracketBisectSpec {
+                lo: 1.0,
+                initial_step: 1.0,
+                max_doublings: 8,
+                tol: 1e-10,
+                max_iter: 100,
+            },
+            BracketBisectSpec {
+                lo: 1.0,
+                initial_step: 1.0,
+                max_doublings: 64,
+                tol: 1e-10,
+                max_iter: 200,
+            },
+        ];
+        let f = |lane: usize, x: f64| -> f64 {
+            match lane {
+                1 => 1.0,          // always positive: no bracket
+                2 => f64::NAN,     // immediate breakdown
+                _ => 50.0 / x - x, // ordinary root at sqrt(50)
+            }
+        };
+        let batch = bracket_bisect_many(&specs, |lanes, xs, out| {
+            for j in 0..lanes.len() {
+                out[j] = f(lanes[j] as usize, xs[j]);
+            }
+        });
+        for l in 0..specs.len() {
+            let want = scalar_lane(|x| f(l, x), &specs[l]);
+            assert_eq!(batch[l], want, "lane {l}");
+        }
+        assert!(batch[0].is_err() && batch[1].is_err() && batch[2].is_err());
+        assert!(batch[3].is_ok());
+    }
+
+    #[test]
+    fn damped_lanes_match_scalar_bit_for_bit() {
+        // Mixed dimensions and mixed convergence speeds, including one lane
+        // that converges instantly and one that exhausts the budget.
+        let x0s: Vec<Vec<f64>> = vec![
+            vec![0.0],           // cosine map
+            vec![0.0, 0.0],      // coupled linear system
+            vec![2.0],           // already converged
+            vec![1.0],           // oscillator that exhausts
+            vec![0.0, 0.0, 0.0], // three-variable contraction
+        ];
+        let apply = |lane: usize, x: &[f64], out: &mut [f64]| match lane {
+            0 => out[0] = x[0].cos(),
+            1 => {
+                out[0] = 1.0 + x[1] / 2.0;
+                out[1] = 1.0 + x[0] / 2.0;
+            }
+            2 => out[0] = x[0],
+            3 => out[0] = 10.0 / x[0],
+            _ => {
+                out[0] = 0.5 * x[1] + 0.1;
+                out[1] = 0.5 * x[2] + 0.1;
+                out[2] = 0.5 * x[0] + 0.1;
+            }
+        };
+        let opts = FixedPointOptions {
+            damping: 1.0,
+            tol: 1e-12,
+            max_iter: 300,
+        };
+        let batch = solve_damped_many(&x0s, apply, &opts);
+        for (l, got) in batch.iter().enumerate() {
+            let want = solve_damped(x0s[l].clone(), |x, out| apply(l, x, out), &opts);
+            match (got, &want) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.iterations, b.iterations, "lane {l}");
+                    assert_eq!(a.residual.to_bits(), b.residual.to_bits(), "lane {l}");
+                    let bits = |v: &Vec<f64>| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(bits(&a.x), bits(&b.x), "lane {l}");
+                }
+                _ => assert_eq!(got, &want, "lane {l}"),
+            }
+        }
+        assert!(matches!(batch[3], Err(SolverError::Exhausted { .. })));
+        assert!(batch[0].is_ok() && batch[1].is_ok() && batch[4].is_ok());
+        assert_eq!(batch[2].as_ref().unwrap().iterations, 0);
+    }
+
+    #[test]
+    fn damped_entry_checks_match_scalar() {
+        let x0s: Vec<Vec<f64>> = vec![vec![], vec![1.0]];
+        let out = solve_damped_many(
+            &x0s,
+            |_, x, out| out[0] = x[0],
+            &FixedPointOptions::default(),
+        );
+        assert_eq!(out[0], Err(SolverError::InvalidInput("empty state vector")));
+        assert!(out[1].is_ok());
+
+        let bad = FixedPointOptions {
+            damping: 0.0,
+            ..Default::default()
+        };
+        let out = solve_damped_many(&[vec![1.0]], |_, x, out| out[0] = x[0], &bad);
+        assert_eq!(
+            out[0],
+            Err(SolverError::InvalidInput("damping must be in (0, 1]"))
+        );
+    }
+
+    #[test]
+    fn empty_batches_are_fine() {
+        assert!(bracket_bisect_many(&[], |_, _, _| {}).is_empty());
+        assert!(solve_damped_many(&[], |_, _, _| {}, &FixedPointOptions::default()).is_empty());
+    }
+}

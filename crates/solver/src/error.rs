@@ -28,6 +28,22 @@ pub enum SolverError {
     },
     /// An input argument was invalid (empty state vector, inverted interval…).
     InvalidInput(&'static str),
+    /// A vector fixed-point iteration ran out of its iteration budget. Unlike
+    /// [`SolverError::NoConvergence`] this carries the last iterate, so a
+    /// caller can resume from it or inspect how close it got, and a
+    /// `contracting` flag distinguishing "still converging, just slowly"
+    /// (retry with a larger budget) from "oscillating or diverging" (retrying
+    /// is pointless).
+    Exhausted {
+        /// The last iterate reached when the budget ran out.
+        x: Vec<f64>,
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual at the last iterate.
+        residual: f64,
+        /// True when the residual was still shrinking at exhaustion.
+        contracting: bool,
+    },
 }
 
 impl std::fmt::Display for SolverError {
@@ -48,6 +64,21 @@ impl std::fmt::Display for SolverError {
                 write!(f, "function returned NaN near x = {at}")
             }
             SolverError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            SolverError::Exhausted {
+                iterations,
+                residual,
+                contracting,
+                ..
+            } => write!(
+                f,
+                "iteration budget exhausted after {iterations} iterations \
+                 (residual {residual:e}, {})",
+                if *contracting {
+                    "still contracting"
+                } else {
+                    "not contracting"
+                }
+            ),
         }
     }
 }
@@ -76,5 +107,13 @@ mod tests {
         assert!(e.to_string().contains("NaN"));
         let e = SolverError::InvalidInput("empty");
         assert!(e.to_string().contains("empty"));
+        let e = SolverError::Exhausted {
+            x: vec![1.0],
+            iterations: 7,
+            residual: 0.25,
+            contracting: true,
+        };
+        assert!(e.to_string().contains("7 iterations"));
+        assert!(e.to_string().contains("still contracting"));
     }
 }

@@ -29,7 +29,7 @@ impl Default for FixedPointOptions {
 }
 
 /// Result of a converged fixed-point iteration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Convergence {
     /// The fixed point.
     pub x: Vec<f64>,
@@ -82,8 +82,10 @@ where
     let mut x = x0;
     let mut fx = vec![0.0; x.len()];
     let mut residual = f64::INFINITY;
+    let mut prev_residual = f64::INFINITY;
     for iter in 0..opts.max_iter {
         f(&x, &mut fx);
+        prev_residual = residual;
         residual = 0.0f64;
         for i in 0..x.len() {
             if fx[i].is_nan() {
@@ -103,9 +105,17 @@ where
             x[i] = (1.0 - opts.damping) * x[i] + opts.damping * fx[i];
         }
     }
-    Err(SolverError::NoConvergence {
+    // Budget exhausted: hand back the last iterate rather than discarding
+    // the work, and tell the caller whether the residual was still falling
+    // (a slow contraction a retry with a larger budget would finish) or not
+    // (oscillation/divergence — retrying is pointless). Batched solvers use
+    // this to retry exhausted lanes individually instead of failing a whole
+    // batch.
+    Err(SolverError::Exhausted {
+        x,
         iterations: opts.max_iter,
         residual,
+        contracting: residual < prev_residual,
     })
 }
 
@@ -143,6 +153,48 @@ mod tests {
         };
         let e = solve_damped(vec![1.0], |x, out| out[0] = 10.0 / x[0], &undamped);
         assert!(e.is_err(), "undamped iteration should oscillate forever");
+    }
+
+    #[test]
+    fn exhaustion_returns_last_iterate_and_contraction_flag() {
+        // A genuine contraction cut off early: the flag says "keep going"
+        // and the iterate is partway to the fixed point.
+        let opts = FixedPointOptions {
+            damping: 0.5,
+            tol: 1e-12,
+            max_iter: 3,
+        };
+        let e = solve_damped(vec![0.0], |x, out| out[0] = x[0].cos(), &opts).unwrap_err();
+        match e {
+            SolverError::Exhausted {
+                x,
+                iterations,
+                residual,
+                contracting,
+            } => {
+                assert_eq!(iterations, 3);
+                assert!(contracting, "cosine map contracts");
+                assert!(residual > 0.0 && residual.is_finite());
+                assert!(x[0] > 0.0, "iterate moved off the start: {}", x[0]);
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+
+        // An undamped period-2 oscillation: the flag reports the *final*
+        // step, so cut the budget where the residual just swung back up
+        // (odd budget: the last transition is low-phase → high-phase).
+        let opts = FixedPointOptions {
+            damping: 1.0,
+            tol: 1e-12,
+            max_iter: 101,
+        };
+        let e = solve_damped(vec![1.0], |x, out| out[0] = 10.0 / x[0], &opts).unwrap_err();
+        match e {
+            SolverError::Exhausted { contracting, .. } => {
+                assert!(!contracting, "residual rose in the final step");
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
     }
 
     #[test]
