@@ -1,0 +1,198 @@
+//! Cluster-tier performance: warm serving throughput of a single node
+//! versus a 3-node consistent-hash cluster routed through
+//! [`lopc_serve::ClusterClient`].
+//!
+//! Measured (persisted as the `cluster` section of `BENCH_sim.json`):
+//!
+//! * `cluster_batch/single_node_warm` — one batch of the mixed pool
+//!   against one warmed node over a plain [`Client`]: the no-routing
+//!   baseline;
+//! * `cluster_batch/three_node_warm` — the same batch through the routing
+//!   client against a warmed 3-node ring: lanes partitioned by owner, one
+//!   sub-batch per node, responses reassembled in order;
+//! * `cluster_single/three_node_warm` — single requests round-robin over
+//!   the pool through the router: per-request routing overhead;
+//!
+//! plus the derived headlines `single_node_batch_rps`,
+//! `three_node_batch_rps`, and `three_node_over_single_ratio` (routed
+//! throughput relative to the single-node baseline — fan-out parallelism
+//! vs per-owner request overhead).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lopc_bench::baseline::{self, Section};
+use lopc_core::{Machine, Scenario};
+use lopc_serve::server::{start_on, ServerConfig, ServerHandle};
+use lopc_serve::{Client, ClusterClient};
+use std::hint::black_box;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The mixed pool every topology serves: closed-form variants only (all
+/// cluster-routable), sweep-like parameter spreads.
+fn pool() -> Vec<Scenario> {
+    let m32 = Machine::new(32, 25.0, 200.0).with_c2(0.0);
+    let m16 = Machine::new(16, 50.0, 131.0).with_c2(1.0);
+    let mut scenarios = Vec::with_capacity(64);
+    for i in 0..32 {
+        scenarios.push(Scenario::AllToAll {
+            machine: m32,
+            w: 100.0 * (i + 1) as f64,
+        });
+    }
+    for i in 0..16 {
+        scenarios.push(Scenario::ClientServer {
+            machine: m16,
+            w: 500.0 + 50.0 * i as f64,
+            ps: Some(1 + (i % 8)),
+        });
+    }
+    for i in 0..16 {
+        scenarios.push(Scenario::ForkJoin {
+            machine: m32,
+            w: 2000.0 + 10.0 * i as f64,
+            k: 1 + (i % 4) as u32,
+        });
+    }
+    scenarios
+}
+
+/// Bind `n` ephemeral listeners, then start each node knowing the others.
+fn start_cluster(n: usize) -> Vec<ServerHandle> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    let addrs: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr").to_string())
+        .collect();
+    listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, listener)| {
+            let peers = addrs
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, a)| a.clone())
+                .collect();
+            start_on(
+                listener,
+                ServerConfig {
+                    workers: 4,
+                    peers,
+                    advertise: Some(addrs[i].clone()),
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("start node")
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let scenarios = pool();
+    let n = scenarios.len() as u64;
+
+    // Single node, warmed: the no-routing baseline.
+    let single = start_cluster(1).remove(0);
+    {
+        let mut client = Client::connect(single.addr()).expect("connect");
+        let served = client.predict_batch(&scenarios).expect("warm-up");
+        assert_eq!(served.len(), scenarios.len());
+    }
+
+    // Three nodes, warmed through the router (so each node's cache holds
+    // exactly the keys the ring assigns it).
+    let cluster = start_cluster(3);
+    {
+        let mut router = ClusterClient::connect(cluster[0].addr()).expect("router");
+        let served = router.predict_batch(&scenarios).expect("warm-up");
+        assert_eq!(served.len(), scenarios.len());
+        // Routed warm answers must equal the single node's, bit for bit.
+        let mut client = Client::connect(single.addr()).expect("connect");
+        let reference = client.predict_batch(&scenarios).expect("reference");
+        for (a, b) in served.iter().zip(&reference) {
+            assert!(
+                lopc_serve::predictions_identical(a, b),
+                "cluster and single node disagree"
+            );
+        }
+    }
+
+    let mut g = c.benchmark_group("cluster_batch");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("single_node_warm", |b| {
+        let mut client = Client::connect(single.addr()).expect("connect");
+        b.iter(|| black_box(client.predict_batch(&scenarios).expect("batch").len()))
+    });
+    g.bench_function("three_node_warm", |b| {
+        let mut router = ClusterClient::connect(cluster[0].addr()).expect("router");
+        b.iter(|| black_box(router.predict_batch(&scenarios).expect("batch").len()))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("cluster_single");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(1));
+    let cursor = AtomicU64::new(0);
+    g.bench_function("three_node_warm", |b| {
+        let mut router = ClusterClient::connect(cluster[0].addr()).expect("router");
+        b.iter(|| {
+            let i = cursor.fetch_add(1, Ordering::Relaxed) as usize % scenarios.len();
+            black_box(router.predict(&scenarios[i]).expect("predict").r)
+        })
+    });
+    g.finish();
+
+    // -- Persist the baseline ----------------------------------------------
+    let records = criterion::take_results();
+    let mut section = Section::new("cluster");
+    for r in &records {
+        section.entry(
+            format!("{}/{}", r.group, r.id),
+            r.ns_per_iter,
+            r.elements_per_iter,
+        );
+    }
+    let ns_of = |group: &str, id: &str| {
+        records
+            .iter()
+            .find(|r| r.group == group && r.id == id)
+            .map(|r| r.ns_per_iter)
+    };
+    if let (Some(one), Some(three)) = (
+        ns_of("cluster_batch", "single_node_warm"),
+        ns_of("cluster_batch", "three_node_warm"),
+    ) {
+        let single_rps = n as f64 / one * 1e9;
+        let three_rps = n as f64 / three * 1e9;
+        section.derived("single_node_batch_rps", single_rps);
+        section.derived("three_node_batch_rps", three_rps);
+        section.derived("three_node_over_single_ratio", three_rps / single_rps);
+        println!(
+            "[cluster] warm batch throughput: single node {single_rps:.0}/s, \
+             3-node routed {three_rps:.0}/s ({:.2}x)",
+            three_rps / single_rps
+        );
+    }
+    if let Some(single_req) = ns_of("cluster_single", "three_node_warm") {
+        section.derived("three_node_single_request_us", single_req / 1e3);
+        println!(
+            "[cluster] routed single-request latency (warm): {:.1} us",
+            single_req / 1e3
+        );
+    }
+
+    match baseline::update(&baseline::default_path(), section) {
+        Ok(path) => println!("[cluster] baseline written to {}", path.display()),
+        Err(e) => eprintln!("[cluster] could not write baseline: {e}"),
+    }
+    for handle in cluster {
+        handle.shutdown();
+    }
+    single.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

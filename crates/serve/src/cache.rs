@@ -112,8 +112,12 @@ impl CacheKey {
         CacheKey(words.into_boxed_slice())
     }
 
-    /// FNV-1a over the key words (shard selection).
-    fn hash64(&self) -> u64 {
+    /// FNV-1a over the key words. Shard selection uses it locally; the
+    /// cluster tier uses the same value as the **routing hash** — every
+    /// node and every client must agree on where a quantized key lives on
+    /// the consistent-hash ring, so this function is part of the cluster
+    /// wire contract (DESIGN.md §15).
+    pub fn hash64(&self) -> u64 {
         let mut h: u64 = 0xcbf29ce484222325;
         for &w in self.0.iter() {
             for b in w.to_le_bytes() {

@@ -1,13 +1,37 @@
 //! A minimal blocking HTTP client for the service — the in-repo test
-//! client the smoke suite, the integration tests, and the CI smoke job use
-//! (the build container has no curl crate, and shelling out would not be
-//! portable).
+//! client the smoke suite, the integration tests, the CI smoke job, and
+//! the cluster tier's node-to-node calls use (the build container has no
+//! curl crate, and shelling out would not be portable).
 //!
 //! One [`Client`] owns one keep-alive connection; requests on it are
 //! sequential. For concurrency, open one client per thread.
+//!
+//! # Hardening
+//!
+//! The client is the building block of the cluster router, so it must not
+//! wedge on a sick peer:
+//!
+//! * **Connect timeout** — dialing uses [`TcpStream::connect_timeout`]
+//!   ([`ClientConfig::connect_timeout`]); an unresponsive address fails in
+//!   bounded time instead of blocking for the kernel's SYN-retry eternity.
+//! * **Read timeout** — every read carries
+//!   [`ClientConfig::read_timeout`]; a peer that accepts and goes silent
+//!   costs one timeout, not a hung thread.
+//! * **Bounded retry with jittered backoff** — transient transport errors
+//!   ([`ClientError::is_retryable`]) reconnect and retry up to
+//!   [`RetryPolicy::attempts`] times total, sleeping an exponentially
+//!   growing, jittered backoff between attempts so a recovering server is
+//!   not met by synchronized client stampedes.
+//! * **Never retry after a partial response** — once any response byte
+//!   has been consumed, a failure leaves the request's effect unknowable
+//!   *and* the response unreconstructable, so the error surfaces
+//!   immediately. The one always-safe retry is the stale keep-alive race:
+//!   EOF *before the first response byte* means the server closed the idle
+//!   connection under us and the request can be replayed on a fresh one.
 
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 use crate::codec::{prediction_from_json, scenario_to_json, MAX_REL_ERR_FIELD};
 use crate::http::{read_response, HttpError};
@@ -37,6 +61,35 @@ pub enum ClientError {
     Status(u16, String),
 }
 
+impl ClientError {
+    /// Is this the kind of failure a fresh connection could cure?
+    ///
+    /// Transport-level errors — refused/reset/aborted connections, broken
+    /// pipes, timeouts, unexpected EOF — are transient by nature: the
+    /// server may be restarting, the keep-alive connection may have been
+    /// reaped, the network may have blipped. Protocol errors and error
+    /// statuses are *answers*: the server received the request and
+    /// responded, so replaying it would repeat the same outcome (or worse,
+    /// double-apply it).
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::ConnectionRefused
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::NotConnected
+                    | io::ErrorKind::BrokenPipe
+                    | io::ErrorKind::TimedOut
+                    | io::ErrorKind::WouldBlock
+                    | io::ErrorKind::Interrupted
+                    | io::ErrorKind::UnexpectedEof
+            ),
+            ClientError::Protocol(_) | ClientError::Status(..) => false,
+        }
+    }
+}
+
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -64,41 +117,208 @@ impl From<HttpError> for ClientError {
     }
 }
 
-/// One keep-alive connection to a running server.
-pub struct Client {
+/// Retry budget for transient transport errors.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per request (1 = no retries).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all (the cluster router does its own failover and
+    /// must observe a dead peer quickly, not after a retry storm).
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff before retry number `retry` (1-based), exponential with
+    /// full jitter in `[½, 1]` of the nominal value.
+    fn backoff(&self, retry: u32) -> Duration {
+        let nominal = self
+            .base_backoff
+            .saturating_mul(1u32 << (retry - 1).min(16))
+            .min(self.max_backoff);
+        // Jitter without a rand dependency: hash the clock's nanoseconds.
+        let noise = {
+            let ns = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.subsec_nanos() as u64);
+            let mut h = ns.wrapping_mul(0x9e3779b97f4a7c15);
+            h ^= h >> 31;
+            (h % 512) as f64 / 1024.0 // [0, 0.5)
+        };
+        nominal.mul_f64(0.5 + noise)
+    }
+}
+
+/// Connection tunables; the defaults suit tests, the CLI, and in-cluster
+/// peers on a LAN.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Bound on establishing the TCP connection.
+    pub connect_timeout: Duration,
+    /// Bound on any single read (`None` = block forever).
+    pub read_timeout: Option<Duration>,
+    /// Transient-error retry budget.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Some(Duration::from_secs(30)),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// The two halves of one live connection.
+struct Conn {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
 }
 
-impl Client {
-    /// Connect to the server at `addr`.
-    pub fn connect(addr: SocketAddr) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+impl Conn {
+    fn dial(addr: SocketAddr, config: &ClientConfig) -> Result<Conn, ClientError> {
+        let stream = TcpStream::connect_timeout(&addr, config.connect_timeout)?;
         // Request/response over one connection: never trade latency for
         // Nagle batching.
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(config.read_timeout)?;
         let writer = BufWriter::new(stream.try_clone()?);
-        Ok(Client {
+        Ok(Conn {
             reader: BufReader::new(stream),
             writer,
         })
     }
+}
+
+/// One keep-alive connection to a running server (re-dialed transparently
+/// after transient errors, within the retry budget).
+pub struct Client {
+    addr: SocketAddr,
+    config: ClientConfig,
+    conn: Option<Conn>,
+}
+
+/// How far a single attempt got before failing — decides retry safety.
+enum AttemptError {
+    /// Nothing of the response was consumed; the request may be replayed.
+    BeforeResponse(ClientError),
+    /// Response bytes were consumed (or the response itself was the
+    /// failure): never replay.
+    AfterResponse(ClientError),
+}
+
+impl Client {
+    /// Connect to the server at `addr` with default timeouts and retries.
+    pub fn connect(addr: SocketAddr) -> Result<Self, ClientError> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit timeouts/retry policy.
+    pub fn connect_with(addr: SocketAddr, config: ClientConfig) -> Result<Self, ClientError> {
+        let conn = Conn::dial(addr, &config)?;
+        Ok(Client {
+            addr,
+            config,
+            conn: Some(conn),
+        })
+    }
+
+    /// The server address this client dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
 
     /// Issue one request; returns `(status, body bytes)`.
+    ///
+    /// Transient transport failures reconnect and retry (with jittered
+    /// backoff) up to the configured attempt budget — except after any
+    /// response byte has been consumed, where retrying could double-apply
+    /// the request; those errors surface immediately.
     pub fn request(
         &mut self,
         method: &str,
         path: &str,
         body: &[u8],
     ) -> Result<(u16, Vec<u8>), ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.attempt(method, path, body) {
+                Ok(reply) => return Ok(reply),
+                Err(failure) => {
+                    // The connection is in an unknown state either way.
+                    self.conn = None;
+                    let (err, replayable) = match failure {
+                        AttemptError::BeforeResponse(e) => (e, true),
+                        AttemptError::AfterResponse(e) => (e, false),
+                    };
+                    if !replayable || !err.is_retryable() || attempt >= self.config.retry.attempts {
+                        return Err(err);
+                    }
+                    std::thread::sleep(self.config.retry.backoff(attempt));
+                }
+            }
+        }
+    }
+
+    /// One write-request/read-response cycle on the current connection
+    /// (dialing it first if needed).
+    fn attempt(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<(u16, Vec<u8>), AttemptError> {
+        let before = AttemptError::BeforeResponse;
+        if self.conn.is_none() {
+            self.conn = Some(Conn::dial(self.addr, &self.config).map_err(before)?);
+        }
+        let conn = self.conn.as_mut().expect("connection just dialed");
         write!(
-            self.writer,
+            conn.writer,
             "{method} {path} HTTP/1.1\r\nhost: lopc-serve\r\ncontent-length: {}\r\n\r\n",
             body.len()
-        )?;
-        self.writer.write_all(body)?;
-        self.writer.flush()?;
-        let resp = read_response(&mut self.reader)?;
+        )
+        .map_err(|e| before(e.into()))?;
+        conn.writer.write_all(body).map_err(|e| before(e.into()))?;
+        conn.writer.flush().map_err(|e| before(e.into()))?;
+        // Peek before parsing: an error or clean EOF *here* means no
+        // response byte was consumed, so the request is safely replayable
+        // (the classic stale keep-alive race — the server idle-closed the
+        // connection while our request was in flight).
+        match conn.reader.fill_buf() {
+            Ok([]) => {
+                return Err(before(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection before responding",
+                ))))
+            }
+            Ok(_) => {}
+            Err(e) => return Err(before(e.into())),
+        }
+        let resp =
+            read_response(&mut conn.reader).map_err(|e| AttemptError::AfterResponse(e.into()))?;
         Ok((resp.status, resp.body))
     }
 
@@ -171,8 +391,12 @@ impl Client {
     }
 
     /// Bound how long [`Client::wait_for_eof`] (or any read) blocks.
-    pub fn set_read_timeout(&self, dur: Option<std::time::Duration>) -> io::Result<()> {
-        self.reader.get_ref().set_read_timeout(dur)
+    pub fn set_read_timeout(&mut self, dur: Option<Duration>) -> io::Result<()> {
+        self.config.read_timeout = dur;
+        match &self.conn {
+            Some(conn) => conn.reader.get_ref().set_read_timeout(dur),
+            None => Ok(()),
+        }
     }
 
     /// Block until the server closes the connection. `Ok(true)` is a clean
@@ -181,8 +405,13 @@ impl Client {
     /// arrived instead.
     pub fn wait_for_eof(&mut self) -> io::Result<bool> {
         use std::io::Read;
+        let Some(conn) = self.conn.as_mut() else {
+            // The connection is already gone (torn down by an earlier
+            // error): indistinguishable from EOF.
+            return Ok(true);
+        };
         let mut byte = [0u8; 1];
-        match self.reader.read(&mut byte) {
+        match conn.reader.read(&mut byte) {
             Ok(0) => Ok(true),
             Ok(_) => Ok(false),
             Err(e) => Err(e),

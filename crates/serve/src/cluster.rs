@@ -1,0 +1,873 @@
+//! The cluster tier: consistent-hash sharding of the solution/
+//! interpolation cache across N `lopc-serve` nodes (DESIGN.md §15).
+//!
+//! One node is both the throughput ceiling and a single point of failure.
+//! This module removes both without weakening the exactness contract:
+//!
+//! * **Ring** — every node (and every routing client) builds the same
+//!   [`HashRing`] over the member addresses: [`VNODES`] virtual points per
+//!   node, placed by [`ring_hash`] over `"{addr}#{replica}"`. A request
+//!   routes by the FNV-1a hash of its *quantized* cache key
+//!   ([`CacheKey::hash64`](crate::cache::CacheKey::hash64)), so the same
+//!   scenario lands on the same node from any client — cache locality
+//!   without coordination.
+//! * **Ownership is locality, not authority.** Every node can solve every
+//!   scenario exactly; the ring only decides where cache and cell state
+//!   *accumulates*. Killing a node therefore degrades capacity, never
+//!   correctness: requests rehash to the survivors, which simply solve
+//!   colder.
+//! * **Cell shipping** — a node that owns a request but lacks the
+//!   interpolation cell asks the peers for it (`GET /v1/cell/{key}`), and
+//!   sweep-prefetched cells are pushed ahead (`POST /v1/cell/{key}`).
+//!   Every shipped cell is re-verified against a locally solved spot-probe
+//!   before admission ([`import_cell`](crate::interp::InterpCache::import_cell))
+//!   — the sender is never trusted.
+//! * **Peer health** — failure detection is lazy: the first failed
+//!   node-to-node or client-to-node request marks the peer down for a
+//!   cooldown, requests rehash to ring survivors, and the peer is
+//!   re-probed after the cooldown elapses (half-open) so recovery needs no
+//!   operator action.
+//!
+//! Membership is static per process (the `--peer` flags); health is a
+//! per-observer judgment, not gossip — two nodes may briefly disagree
+//! about a flapping third, and that is fine because any node can serve
+//! any key.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::cache::CacheKey;
+use crate::client::{Client, ClientConfig, ClientError, RetryPolicy};
+use crate::codec::{cell_from_json, cell_to_json};
+use crate::interp::{CellExport, CellSource};
+use crate::json::Json;
+use lopc_core::{Prediction, Scenario};
+
+/// Virtual points per node on the ring. Enough that a 3–16 node ring
+/// balances within a few percent; small enough that ring construction and
+/// the per-request binary search stay trivial.
+pub const VNODES: usize = 64;
+
+/// How long a peer stays marked down before the next request is allowed
+/// to re-probe it (half-open recovery).
+pub const DEFAULT_COOLDOWN: Duration = Duration::from_secs(1);
+
+/// Hash for ring point placement: FNV-1a over the bytes, finished with a
+/// SplitMix64-style avalanche so vnode points spread uniformly even for
+/// near-identical address strings.
+pub fn ring_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58476d1ce4e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d049bb133111eb);
+    h ^ (h >> 31)
+}
+
+/// A consistent-hash ring with virtual nodes. Construction is
+/// deterministic in the member *set* (addresses are sorted and deduped),
+/// so every node and client derives the identical ring from the identical
+/// membership — the property the whole tier rests on.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    nodes: Vec<String>,
+    /// `(point, node index)`, sorted by point.
+    points: Vec<(u64, u32)>,
+    vnodes: usize,
+}
+
+impl HashRing {
+    /// Build the ring over `members` with `vnodes` virtual points each.
+    pub fn new(mut members: Vec<String>, vnodes: usize) -> HashRing {
+        members.sort();
+        members.dedup();
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(members.len() * vnodes);
+        for (idx, addr) in members.iter().enumerate() {
+            for replica in 0..vnodes {
+                points.push((
+                    ring_hash(format!("{addr}#{replica}").as_bytes()),
+                    idx as u32,
+                ));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            nodes: members,
+            points,
+            vnodes,
+        }
+    }
+
+    /// The member addresses, in ring (sorted) order.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for a ring with no members.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Virtual points per node.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Index (into [`HashRing::nodes`]) of the key's owner: the node of
+    /// the first ring point clockwise of `key_hash`.
+    pub fn owner(&self, key_hash: u64) -> Option<usize> {
+        self.preference(key_hash).into_iter().next()
+    }
+
+    /// All member indices in clockwise preference order from `key_hash`:
+    /// the owner first, then each distinct successor. Callers that skip
+    /// dead nodes walk this list — that *is* the "rehash to survivors"
+    /// rule, and it is deterministic for a given key and liveness view.
+    pub fn preference(&self, key_hash: u64) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        if self.points.is_empty() {
+            return order;
+        }
+        let start = self.points.partition_point(|&(p, _)| p < key_hash);
+        let mut seen = vec![false; self.nodes.len()];
+        for i in 0..self.points.len() {
+            let (_, idx) = self.points[(start + i) % self.points.len()];
+            if !seen[idx as usize] {
+                seen[idx as usize] = true;
+                order.push(idx as usize);
+                if order.len() == self.nodes.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+/// The routing hash of one scenario: FNV-1a of its quantized cache key.
+/// Shared by servers and clients — both sides must agree where a scenario
+/// lives.
+pub fn scenario_hash(scenario: &Scenario) -> u64 {
+    CacheKey::of(scenario).hash64()
+}
+
+/// Liveness + traffic counters for one peer, as judged by this process.
+struct PeerState {
+    addr: String,
+    sock: Option<SocketAddr>,
+    /// `Some(t)` = considered down until `t` (then half-open).
+    down_until: Mutex<Option<Instant>>,
+    /// Pooled keep-alive connection for pull-path requests.
+    conn: Mutex<Option<Client>>,
+    /// Requests this process sent to the peer (fetches + pushes).
+    forwarded: AtomicU64,
+    /// Those that failed at transport/protocol level.
+    errors: AtomicU64,
+}
+
+impl PeerState {
+    fn new(addr: String) -> PeerState {
+        let sock = addr.parse().ok();
+        PeerState {
+            addr,
+            sock,
+            down_until: Mutex::new(None),
+            conn: Mutex::new(None),
+            forwarded: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Healthy, or down long enough that a re-probe is due.
+    fn available(&self, cooldown_elapsed_at: Instant) -> bool {
+        self.down_until
+            .lock()
+            .expect("peer state poisoned")
+            .is_none_or(|t| cooldown_elapsed_at >= t)
+    }
+
+    /// Currently considered healthy (gauge for `/metrics`).
+    fn healthy(&self) -> bool {
+        self.available(Instant::now())
+    }
+
+    fn mark_down(&self, cooldown: Duration) {
+        *self.down_until.lock().expect("peer state poisoned") = Some(Instant::now() + cooldown);
+    }
+
+    fn mark_up(&self) {
+        *self.down_until.lock().expect("peer state poisoned") = None;
+    }
+}
+
+/// Health/traffic snapshot of one peer for metrics exposition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PeerSnapshot {
+    /// The peer's advertised address.
+    pub addr: String,
+    /// This process currently considers the peer reachable.
+    pub healthy: bool,
+    /// Node-to-node requests sent to the peer (cell fetches + pushes).
+    pub forwarded: u64,
+    /// Of those, transport/protocol failures.
+    pub errors: u64,
+}
+
+/// Server-side cluster state: the ring, this node's identity, per-peer
+/// health, and the cell-transfer counters. One per server process; also
+/// the [`CellSource`] plugged into the [`InterpCache`](crate::InterpCache).
+pub struct ClusterState {
+    self_addr: String,
+    ring: HashRing,
+    /// Aligned with `ring.nodes()`: `Some(state)` for peers, `None` for
+    /// this node itself.
+    peers: Vec<Option<PeerState>>,
+    cooldown: Duration,
+    peer_config: ClientConfig,
+    cells_shipped: AtomicU64,
+}
+
+impl ClusterState {
+    /// Build the cluster state for a node advertising `self_addr`, peered
+    /// with `peer_addrs`. With no peers this is a degenerate one-node
+    /// cluster — the topology endpoint and metrics stay well-formed.
+    pub fn new(self_addr: String, peer_addrs: &[String], vnodes: usize) -> ClusterState {
+        let mut members: Vec<String> = peer_addrs.to_vec();
+        members.push(self_addr.clone());
+        let ring = HashRing::new(members, vnodes);
+        let peers = ring
+            .nodes()
+            .iter()
+            .map(|addr| (*addr != self_addr).then(|| PeerState::new(addr.clone())))
+            .collect();
+        ClusterState {
+            self_addr,
+            ring,
+            peers,
+            cooldown: DEFAULT_COOLDOWN,
+            // Node-to-node calls: fail fast and let the ring walk
+            // failover — the cluster layer is its own retry policy.
+            peer_config: ClientConfig {
+                connect_timeout: Duration::from_millis(500),
+                read_timeout: Some(Duration::from_secs(5)),
+                retry: RetryPolicy::none(),
+            },
+            cells_shipped: AtomicU64::new(0),
+        }
+    }
+
+    /// The address this node advertises to peers and clients.
+    pub fn self_addr(&self) -> &str {
+        &self.self_addr
+    }
+
+    /// The shared ring.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Cells this node shipped to peers (export hits + push deliveries).
+    pub fn cells_shipped(&self) -> u64 {
+        self.cells_shipped.load(Ordering::Relaxed)
+    }
+
+    /// Count one shipped cell (the server calls this when `GET /v1/cell`
+    /// serves an export).
+    pub fn count_shipped(&self) {
+        self.cells_shipped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-peer health/traffic snapshots, in ring order.
+    pub fn peer_snapshots(&self) -> Vec<PeerSnapshot> {
+        self.peers
+            .iter()
+            .flatten()
+            .map(|p| PeerSnapshot {
+                addr: p.addr.clone(),
+                healthy: p.healthy(),
+                forwarded: p.forwarded.load(Ordering::Relaxed),
+                errors: p.errors.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// The `GET /v1/cluster` topology document: identity, membership, and
+    /// ring geometry (enough for a client to rebuild the exact ring), plus
+    /// this node's health view of its peers.
+    pub fn topology_json(&self) -> Json {
+        Json::Object(vec![
+            ("self".into(), Json::Str(self.self_addr.clone())),
+            (
+                "nodes".into(),
+                Json::Array(
+                    self.ring
+                        .nodes()
+                        .iter()
+                        .map(|a| Json::Str(a.clone()))
+                        .collect(),
+                ),
+            ),
+            ("vnodes".into(), Json::Num(self.ring.vnodes() as f64)),
+            (
+                "peers".into(),
+                Json::Array(
+                    self.peer_snapshots()
+                        .into_iter()
+                        .map(|p| {
+                            Json::Object(vec![
+                                ("addr".into(), Json::Str(p.addr)),
+                                ("healthy".into(), Json::Bool(p.healthy)),
+                                ("forwarded".into(), Json::Num(p.forwarded as f64)),
+                                ("errors".into(), Json::Num(p.errors as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// One request on the peer's pooled connection; transport failure
+    /// tears the connection down and marks the peer down for the cooldown.
+    fn peer_request(
+        &self,
+        peer: &PeerState,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<(u16, Vec<u8>), ClientError> {
+        let Some(sock) = peer.sock else {
+            return Err(ClientError::Protocol(format!(
+                "peer address {:?} is not a socket address",
+                peer.addr
+            )));
+        };
+        peer.forwarded.fetch_add(1, Ordering::Relaxed);
+        let mut conn = peer.conn.lock().expect("peer conn poisoned");
+        let result = (|| {
+            if conn.is_none() {
+                *conn = Some(Client::connect_with(sock, self.peer_config)?);
+            }
+            conn.as_mut()
+                .expect("just connected")
+                .request(method, path, body)
+        })();
+        match &result {
+            Ok(_) => peer.mark_up(),
+            Err(e) => {
+                peer.errors.fetch_add(1, Ordering::Relaxed);
+                *conn = None;
+                // A non-2xx status is an *answer*; only transport-level
+                // failures indict the peer.
+                if !matches!(e, ClientError::Status(..)) {
+                    peer.mark_down(self.cooldown);
+                }
+            }
+        }
+        result
+    }
+
+    /// Ask the peers for a cell, in ring preference order of the cell's
+    /// key hash (the cell's owner most likely warmed it; the walk visits
+    /// everyone, so a cell warmed anywhere is found). `Some` is decoded
+    /// but unverified.
+    pub fn fetch_cell(&self, wire_key: &str, key_hash: u64) -> Option<CellExport> {
+        let now = Instant::now();
+        let path = format!("/v1/cell/{wire_key}");
+        for idx in self.ring.preference(key_hash) {
+            let Some(peer) = &self.peers[idx] else {
+                continue; // self
+            };
+            if !peer.available(now) {
+                continue;
+            }
+            // 404 = peer is healthy but has no cell; any other non-200 =
+            // move on (the peer was marked down if it was transport).
+            if let Ok((200, body)) = self.peer_request(peer, "GET", &path, b"") {
+                let Ok(text) = std::str::from_utf8(&body).map(str::to_owned) else {
+                    continue;
+                };
+                let Ok(doc) = crate::json::parse(&text) else {
+                    continue;
+                };
+                if let Ok(export) = cell_from_json(&doc) {
+                    return Some(export);
+                }
+            }
+        }
+        None
+    }
+
+    /// Push a freshly built cell to every live peer, from a detached
+    /// background thread — the sweep that built the cell must not wait on
+    /// the network. Best-effort: receivers re-verify, so a lost or
+    /// corrupted push costs nothing but warmth.
+    pub fn push_cell(self: &Arc<Self>, export: &CellExport) {
+        let live: Vec<usize> = (0..self.peers.len())
+            .filter(|&i| {
+                self.peers[i]
+                    .as_ref()
+                    .is_some_and(|p| p.available(Instant::now()))
+            })
+            .collect();
+        if live.is_empty() {
+            return;
+        }
+        let state = Arc::clone(self);
+        let body = cell_to_json(export).to_compact();
+        let path = format!("/v1/cell/{}", export.wire_key);
+        std::thread::spawn(move || {
+            for idx in live {
+                let Some(peer) = &state.peers[idx] else {
+                    continue;
+                };
+                if let Ok((status, _)) = state.peer_request(peer, "POST", &path, body.as_bytes()) {
+                    if (200..300).contains(&status) {
+                        state.count_shipped();
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// The [`CellSource`] the server plugs into its `InterpCache`: pull on
+/// miss, push on sweep-prefetch.
+pub struct ClusterCellSource(pub Arc<ClusterState>);
+
+impl CellSource for ClusterCellSource {
+    fn fetch(&self, wire_key: &str, key_hash: u64) -> Option<CellExport> {
+        self.0.fetch_cell(wire_key, key_hash)
+    }
+
+    fn offer(&self, export: &CellExport) {
+        self.0.push_cell(export);
+    }
+}
+
+/// One route target of a [`ClusterClient`].
+struct RouteNode {
+    addr: String,
+    sock: Option<SocketAddr>,
+    client: Option<Client>,
+    down_until: Option<Instant>,
+}
+
+/// A cluster-aware client: fetches the topology from a seed node, rebuilds
+/// the ring, and routes every request (and every batch lane) to its
+/// owner — fanning batches out per owner and reassembling the responses in
+/// request order. Node failures are detected lazily (the failing request
+/// reroutes to the ring survivors) and healed by re-probe after a
+/// cooldown.
+pub struct ClusterClient {
+    nodes: Vec<RouteNode>,
+    ring: HashRing,
+    config: ClientConfig,
+    cooldown: Duration,
+}
+
+impl ClusterClient {
+    /// Connect to any cluster member and learn the topology from it.
+    pub fn connect(seed: SocketAddr) -> Result<ClusterClient, ClientError> {
+        Self::connect_with(seed, ClientConfig::default())
+    }
+
+    /// [`ClusterClient::connect`] with explicit per-connection tunables.
+    pub fn connect_with(
+        seed: SocketAddr,
+        config: ClientConfig,
+    ) -> Result<ClusterClient, ClientError> {
+        let mut seed_client = Client::connect_with(seed, config)?;
+        let doc = seed_client.request_json("GET", "/v1/cluster", b"")?;
+        let members: Vec<String> = doc
+            .get("nodes")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Protocol("topology missing \"nodes\"".into()))?
+            .iter()
+            .map(|n| {
+                n.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| ClientError::Protocol("node entries must be strings".into()))
+            })
+            .collect::<Result<_, _>>()?;
+        if members.is_empty() {
+            return Err(ClientError::Protocol("topology has no nodes".into()));
+        }
+        let vnodes = doc
+            .get("vnodes")
+            .and_then(Json::as_num)
+            .filter(|v| (1.0..=4096.0).contains(v))
+            .ok_or_else(|| ClientError::Protocol("topology missing \"vnodes\"".into()))?
+            as usize;
+        let ring = HashRing::new(members, vnodes);
+        let nodes = ring
+            .nodes()
+            .iter()
+            .map(|addr| RouteNode {
+                addr: addr.clone(),
+                sock: addr.parse().ok(),
+                client: None,
+                down_until: None,
+            })
+            .collect();
+        Ok(ClusterClient {
+            nodes,
+            ring,
+            config,
+            cooldown: DEFAULT_COOLDOWN,
+        })
+    }
+
+    /// The cluster members, in ring order.
+    pub fn members(&self) -> Vec<String> {
+        self.nodes.iter().map(|n| n.addr.clone()).collect()
+    }
+
+    /// The address that owns `scenario` under the client's current
+    /// liveness view (tests use this to assert rerouting).
+    pub fn owner_of(&self, scenario: &Scenario) -> Option<&str> {
+        let now = Instant::now();
+        self.ring
+            .preference(scenario_hash(scenario))
+            .into_iter()
+            .find(|&i| self.node_available(i, now))
+            .or_else(|| self.ring.owner(scenario_hash(scenario)))
+            .map(|i| self.nodes[i].addr.as_str())
+    }
+
+    fn node_available(&self, idx: usize, now: Instant) -> bool {
+        self.nodes[idx].down_until.is_none_or(|t| now >= t)
+    }
+
+    fn mark_down(&mut self, idx: usize) {
+        self.nodes[idx].down_until = Some(Instant::now() + self.cooldown);
+        self.nodes[idx].client = None;
+    }
+
+    fn mark_up(&mut self, idx: usize) {
+        self.nodes[idx].down_until = None;
+    }
+
+    /// The routing order for one key under the current liveness view:
+    /// live candidates first (ring preference order), then — in case every
+    /// member looks down — the full preference order again as a forced
+    /// re-probe, so a fully-partitioned client heals itself.
+    fn candidates(&self, key_hash: u64) -> Vec<usize> {
+        let now = Instant::now();
+        let preference = self.ring.preference(key_hash);
+        let mut order: Vec<usize> = preference
+            .iter()
+            .copied()
+            .filter(|&i| self.node_available(i, now))
+            .collect();
+        if order.is_empty() {
+            order = preference;
+        }
+        order
+    }
+
+    /// Run `op` against the owner of `key_hash`, failing over clockwise on
+    /// transport errors. A [`ClientError::Status`] is an answer and is
+    /// returned as-is (the routing worked; the request was just bad).
+    fn with_owner<T>(
+        &mut self,
+        key_hash: u64,
+        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut last: Option<ClientError> = None;
+        for idx in self.candidates(key_hash) {
+            match self.try_on_node(idx, &mut op) {
+                Ok(v) => return Ok(v),
+                Err(e @ ClientError::Status(..)) => return Err(e),
+                Err(e) => {
+                    self.mark_down(idx);
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "no reachable cluster node",
+            ))
+        }))
+    }
+
+    /// One attempt on one node (dialing its connection as needed).
+    fn try_on_node<T>(
+        &mut self,
+        idx: usize,
+        op: &mut impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let node = &mut self.nodes[idx];
+        let Some(sock) = node.sock else {
+            return Err(ClientError::Protocol(format!(
+                "node address {:?} is not a socket address",
+                node.addr
+            )));
+        };
+        if node.client.is_none() {
+            node.client = Some(Client::connect_with(sock, self.config)?);
+        }
+        let result = op(node.client.as_mut().expect("just connected"));
+        match &result {
+            Ok(_) | Err(ClientError::Status(..)) => self.mark_up(idx),
+            Err(_) => {} // caller marks down
+        }
+        result
+    }
+
+    /// Route one exact-mode prediction to its owner.
+    pub fn predict(&mut self, scenario: &Scenario) -> Result<Prediction, ClientError> {
+        self.predict_within(scenario, 0.0)
+    }
+
+    /// Route one prediction (with tolerance) to its owner.
+    pub fn predict_within(
+        &mut self,
+        scenario: &Scenario,
+        max_rel_err: f64,
+    ) -> Result<Prediction, ClientError> {
+        self.with_owner(scenario_hash(scenario), |client| {
+            client.predict_within(scenario, max_rel_err)
+        })
+    }
+
+    /// Route a batch: lanes are partitioned by owner, one sub-batch flies
+    /// per owner, and the responses are reassembled in request order. A
+    /// sub-batch that fails on a dying node is re-partitioned onto the
+    /// survivors and retried; a [`ClientError::Status`] answer (bad
+    /// request, unsolvable lane) aborts the whole batch, mirroring the
+    /// single-node endpoint's semantics.
+    pub fn predict_batch(
+        &mut self,
+        scenarios: &[Scenario],
+    ) -> Result<Vec<Prediction>, ClientError> {
+        self.predict_batch_within(scenarios, 0.0)
+    }
+
+    /// [`ClusterClient::predict_batch`] with a tolerance applied to every
+    /// lane.
+    pub fn predict_batch_within(
+        &mut self,
+        scenarios: &[Scenario],
+        max_rel_err: f64,
+    ) -> Result<Vec<Prediction>, ClientError> {
+        let n = scenarios.len();
+        let mut out: Vec<Option<Prediction>> = vec![None; n];
+        let mut remaining: Vec<usize> = (0..n).collect();
+        // Each full round either finishes or shrinks the live set by at
+        // least one node, so `members + 1` rounds always suffice.
+        for _round in 0..=self.nodes.len() {
+            if remaining.is_empty() {
+                break;
+            }
+            // Partition the outstanding lanes by their current owner.
+            let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+            for &lane in &remaining {
+                let owner = self
+                    .candidates(scenario_hash(&scenarios[lane]))
+                    .into_iter()
+                    .next()
+                    .ok_or_else(|| {
+                        ClientError::Io(std::io::Error::new(
+                            std::io::ErrorKind::NotConnected,
+                            "no reachable cluster node",
+                        ))
+                    })?;
+                match groups.iter_mut().find(|(idx, _)| *idx == owner) {
+                    Some((_, lanes)) => lanes.push(lane),
+                    None => groups.push((owner, vec![lane])),
+                }
+            }
+            let mut last_err: Option<ClientError> = None;
+            for (owner, lanes) in groups {
+                let sub: Vec<Scenario> = lanes.iter().map(|&i| scenarios[i].clone()).collect();
+                match self.try_on_node(owner, &mut |client: &mut Client| {
+                    client.predict_batch_within(&sub, max_rel_err)
+                }) {
+                    Ok(preds) => {
+                        if preds.len() != lanes.len() {
+                            return Err(ClientError::Protocol(format!(
+                                "node {} answered {} predictions for {} lanes",
+                                self.nodes[owner].addr,
+                                preds.len(),
+                                lanes.len()
+                            )));
+                        }
+                        for (lane, p) in lanes.iter().zip(preds) {
+                            out[*lane] = Some(p);
+                        }
+                    }
+                    Err(e @ ClientError::Status(..)) => return Err(e),
+                    Err(e) => {
+                        self.mark_down(owner);
+                        last_err = Some(e);
+                    }
+                }
+            }
+            remaining.retain(|&i| out[i].is_none());
+            if !remaining.is_empty() && last_err.is_none() {
+                // No node failed yet nothing progressed: impossible by
+                // construction, but never loop silently.
+                return Err(ClientError::Protocol(
+                    "batch routing made no progress".into(),
+                ));
+            }
+        }
+        if let Some(i) = out.iter().position(Option::is_none) {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                format!("lane {i} could not be routed: no reachable cluster node"),
+            )));
+        }
+        Ok(out.into_iter().map(|p| p.expect("checked above")).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{}:7070", i + 1)).collect()
+    }
+
+    #[test]
+    fn ring_is_deterministic_in_the_member_set() {
+        let a = HashRing::new(addrs(3), VNODES);
+        let mut shuffled = addrs(3);
+        shuffled.reverse();
+        let b = HashRing::new(shuffled, VNODES);
+        assert_eq!(a.nodes(), b.nodes());
+        for h in [0u64, 1, u64::MAX, 0xdeadbeef, 1 << 63] {
+            assert_eq!(a.preference(h), b.preference(h));
+        }
+        // Duplicate members collapse.
+        let mut dup = addrs(3);
+        dup.extend(addrs(3));
+        assert_eq!(HashRing::new(dup, VNODES).len(), 3);
+    }
+
+    #[test]
+    fn ring_balances_within_reason() {
+        let ring = HashRing::new(addrs(3), VNODES);
+        let mut counts = [0usize; 3];
+        for i in 0..30_000u64 {
+            counts[ring.owner(ring_hash(&i.to_le_bytes())).unwrap()] += 1;
+        }
+        for &c in &counts {
+            // Perfect balance is 10_000; vnode placement keeps every node
+            // within a 2x band of it.
+            assert!((5_000..20_000).contains(&c), "imbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn preference_lists_every_node_exactly_once() {
+        let ring = HashRing::new(addrs(5), VNODES);
+        for h in [0u64, 42, u64::MAX / 2, u64::MAX] {
+            let pref = ring.preference(h);
+            let mut sorted = pref.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5, "preference {pref:?} at {h}");
+        }
+    }
+
+    #[test]
+    fn preference_is_stable_under_member_removal() {
+        // Consistent hashing's point: removing one node only moves the
+        // keys it owned. Simulate removal by skipping it in the walk and
+        // compare against a ring built without it.
+        let with = HashRing::new(addrs(4), VNODES);
+        let without = HashRing::new(addrs(3), VNODES); // 10.0.0.4 gone
+        let dead = with
+            .nodes()
+            .iter()
+            .position(|a| a == "10.0.0.4:7070")
+            .unwrap();
+        for i in 0..2_000u64 {
+            let h = ring_hash(&i.to_le_bytes());
+            let survivor = with
+                .preference(h)
+                .into_iter()
+                .find(|&idx| idx != dead)
+                .map(|idx| with.nodes()[idx].clone())
+                .unwrap();
+            let fresh = without.nodes()[without.owner(h).unwrap()].clone();
+            assert_eq!(survivor, fresh, "key {i} rehashes differently");
+        }
+    }
+
+    #[test]
+    fn scenario_hash_matches_per_quantized_key() {
+        use lopc_core::Machine;
+        let s = |w: f64| Scenario::AllToAll {
+            machine: Machine::new(32, 25.0, 200.0).with_c2(0.0),
+            w,
+        };
+        // Quantization (6 significant digits) collapses float noise into
+        // one routing hash; distinct scenarios route independently.
+        assert_eq!(scenario_hash(&s(1000.0)), scenario_hash(&s(1000.0000001)));
+        assert_ne!(scenario_hash(&s(1000.0)), scenario_hash(&s(1001.0)));
+    }
+
+    #[test]
+    fn topology_document_shape() {
+        let state = ClusterState::new(
+            "10.0.0.1:7070".into(),
+            &["10.0.0.2:7070".into(), "10.0.0.3:7070".into()],
+            VNODES,
+        );
+        let doc = state.topology_json();
+        assert_eq!(
+            doc.get("self").and_then(Json::as_str),
+            Some("10.0.0.1:7070")
+        );
+        assert_eq!(doc.get("nodes").and_then(Json::as_array).unwrap().len(), 3);
+        assert_eq!(
+            doc.get("vnodes").and_then(Json::as_num),
+            Some(VNODES as f64)
+        );
+        let peers = doc.get("peers").and_then(Json::as_array).unwrap();
+        assert_eq!(peers.len(), 2, "self is not its own peer");
+        for p in peers {
+            assert_eq!(p.get("healthy").and_then(Json::as_bool), Some(true));
+            assert_eq!(p.get("forwarded").and_then(Json::as_num), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn single_node_cluster_is_degenerate_but_well_formed() {
+        let state = ClusterState::new("10.0.0.1:7070".into(), &[], VNODES);
+        assert_eq!(state.ring().len(), 1);
+        assert!(state.peer_snapshots().is_empty());
+        // No peers: every fetch is a miss, every push a no-op.
+        assert!(state.fetch_cell("0-20", 12345).is_none());
+    }
+
+    #[test]
+    fn peer_health_cooldown_and_reprobe() {
+        let peer = PeerState::new("10.0.0.9:7070".into());
+        assert!(peer.healthy());
+        peer.mark_down(Duration::from_secs(3600));
+        assert!(!peer.healthy());
+        // A re-probe is due once the cooldown has elapsed.
+        assert!(peer.available(Instant::now() + Duration::from_secs(3601)));
+        peer.mark_up();
+        assert!(peer.healthy());
+    }
+}

@@ -48,6 +48,18 @@ fn bad<T>(msg: impl Into<String>) -> Result<T, HttpError> {
     Err(HttpError::Bad(msg.into()))
 }
 
+/// Classify a failed body `read_exact`: EOF means the peer closed inside
+/// the promised body (a framing truncation — protocol-level), while any
+/// other error (a read timeout, a reset) is a transport condition and must
+/// keep its [`io::ErrorKind`] so callers can tell a stall from a close.
+fn body_read_error(e: io::Error) -> HttpError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        HttpError::Bad("connection closed inside body".into())
+    } else {
+        HttpError::Io(e)
+    }
+}
+
 /// One parsed request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Request {
@@ -212,8 +224,7 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> 
     };
     let len = body_length(&req)?;
     let mut body = vec![0u8; len];
-    r.read_exact(&mut body)
-        .map_err(|_| HttpError::Bad("connection closed inside body".into()))?;
+    r.read_exact(&mut body).map_err(body_read_error)?;
     Ok(Some(Request { body, ..req }))
 }
 
@@ -469,8 +480,7 @@ pub fn read_response(r: &mut impl BufRead) -> Result<Response, HttpError> {
         ));
     }
     let mut body = vec![0u8; len];
-    r.read_exact(&mut body)
-        .map_err(|_| HttpError::Bad("connection closed inside body".into()))?;
+    r.read_exact(&mut body).map_err(body_read_error)?;
     Ok(Response { status, body })
 }
 

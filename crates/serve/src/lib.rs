@@ -26,12 +26,18 @@
 //!   byte-by-byte;
 //! * [`sys`] — a thin `libc`-free shim over the raw Linux syscalls the
 //!   reactor needs (`epoll_*`, `eventfd2`, `prlimit64`);
-//! * [`server`] — the epoll reactor + worker-pool server and the three
+//! * [`server`] — the epoll reactor + worker-pool server and its
 //!   endpoints (`POST /v1/predict`, `POST /v1/predict/batch`,
-//!   `GET /metrics`), multiplexing thousands of idle keep-alive
-//!   connections on one thread;
-//! * [`client`] — the in-repo blocking test client (smoke tests, CI, the
-//!   load-generator bench).
+//!   `GET /metrics`, plus the cluster tier's `GET /v1/cluster` and
+//!   `GET|POST /v1/cell/{key}`), multiplexing thousands of idle
+//!   keep-alive connections on one thread;
+//! * [`cluster`] — the distributed serving tier (DESIGN.md §15):
+//!   consistent-hash sharding of the caches across N nodes, node-to-node
+//!   cell transfer with re-verification on import, lazy peer failure
+//!   detection, and the routing [`ClusterClient`];
+//! * [`client`] — the in-repo blocking client (smoke tests, CI, the
+//!   load-generator bench), with connect/read timeouts and bounded
+//!   jittered retry.
 //!
 //! Served numbers are **bit-identical** to direct library calls: the
 //! dispatcher is `lopc_core::scenario::solve`, the JSON number format
@@ -62,6 +68,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod cluster;
 pub mod codec;
 pub mod http;
 pub mod interp;
@@ -72,12 +79,13 @@ pub mod server;
 pub mod sys;
 
 pub use cache::SolutionCache;
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientConfig, ClientError, RetryPolicy};
+pub use cluster::{ClusterClient, ClusterState, HashRing};
 pub use codec::{
-    prediction_from_json, prediction_to_json, predictions_identical, scenario_from_json,
-    scenario_to_json, DecodeError,
+    cell_from_json, cell_to_json, prediction_from_json, prediction_to_json, predictions_identical,
+    scenario_from_json, scenario_to_json, DecodeError,
 };
-pub use interp::{InterpCache, Served};
+pub use interp::{CellExport, CellKey, ImportOutcome, InterpCache, Served};
 pub use json::{parse, Json};
 pub use metrics::Metrics;
-pub use server::{start, Reply, ServerConfig, ServerHandle, Service};
+pub use server::{start, start_on, Reply, ServerConfig, ServerHandle, Service};

@@ -44,6 +44,13 @@ fn main() {
                         .unwrap_or_else(|_| die("--idle-timeout-ms must be an integer")),
                 )
             }
+            "--peer" => config.peers.push(value_for("--peer")),
+            "--advertise" => config.advertise = Some(value_for("--advertise")),
+            "--vnodes" => {
+                config.vnodes = value_for("--vnodes")
+                    .parse()
+                    .unwrap_or_else(|_| die("--vnodes must be an integer"))
+            }
             "--help" | "-h" => {
                 println!(
                     "lopc-serve: LoPC prediction service\n\n\
@@ -51,7 +58,10 @@ fn main() {
                      --workers N         worker threads (default: available parallelism)\n  \
                      --cache-shards N    cache shard count (default 16)\n  \
                      --cache-capacity N  cache entries per shard (default 256)\n  \
-                     --idle-timeout-ms N close keep-alive connections idle this long (default 30000)"
+                     --idle-timeout-ms N close keep-alive connections idle this long (default 30000)\n  \
+                     --peer HOST:PORT    another cluster node (repeatable; all nodes list each other)\n  \
+                     --advertise H:P     ring identity to advertise (default: the bound address)\n  \
+                     --vnodes N          virtual ring points per node (default 64)"
                 );
                 return;
             }
@@ -65,7 +75,10 @@ fn main() {
     };
     let addr = handle.addr();
     println!("lopc-serve listening on http://{addr}");
-    println!("endpoints: POST /v1/predict | POST /v1/predict/batch | GET /metrics");
+    println!(
+        "endpoints: POST /v1/predict | POST /v1/predict/batch | GET /metrics | \
+         GET /v1/cluster | GET|POST /v1/cell/{{key}}"
+    );
     println!(
         "example:\n  curl -s http://{addr}/v1/predict -d \
          '{{\"kind\":\"all_to_all\",\"machine\":{{\"p\":32,\"st\":25,\"so\":200,\"c2\":0}},\"w\":1000}}'"

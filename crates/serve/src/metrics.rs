@@ -10,6 +10,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::cluster::PeerSnapshot;
+
 /// Number of histogram buckets: bucket 63 absorbs everything ≥ 2^63 ns.
 const BUCKETS: usize = 64;
 
@@ -91,6 +93,27 @@ pub struct CacheCounters {
     /// Cells built speculatively by the sweep-direction prefetcher
     /// (a subset of `interp_cells_built`).
     pub interp_cells_prefetched: u64,
+}
+
+/// Point-in-time snapshot of the cluster tier (DESIGN.md §15), passed into
+/// the renderers by the server (which owns the
+/// [`ClusterState`](crate::cluster::ClusterState)). A peerless node reports a one-node
+/// ring and an empty peer list — the schema never changes shape with the
+/// deployment.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClusterCounters {
+    /// Ring members, including this node.
+    pub nodes: u64,
+    /// Virtual points per node on the ring.
+    pub vnodes_per_node: u64,
+    /// Interpolation cells this node shipped to peers.
+    pub cells_shipped: u64,
+    /// Shipped cells admitted after spot-probe re-verification.
+    pub cells_received: u64,
+    /// Shipped cells rejected by re-verification (slot pinned exact).
+    pub cells_rejected: u64,
+    /// Per-peer health and traffic, in ring order.
+    pub peers: Vec<PeerSnapshot>,
 }
 
 /// Process-global service metrics; share by reference.
@@ -202,9 +225,10 @@ impl Metrics {
         self.conns_idle_closed.load(Ordering::Relaxed)
     }
 
-    /// Snapshot as the `/metrics` JSON document (cache counters are passed
-    /// in by the server, which owns the caches).
-    pub fn to_json(&self, cache: &CacheCounters) -> crate::Json {
+    /// Snapshot as the `/metrics` JSON document (cache and cluster
+    /// counters are passed in by the server, which owns the caches and the
+    /// cluster state).
+    pub fn to_json(&self, cache: &CacheCounters, cluster: &ClusterCounters) -> crate::Json {
         use crate::Json;
         let load = |c: &AtomicU64| Json::Num(c.load(Ordering::Relaxed) as f64);
         let q = |q: f64| match self.latency.quantile(q) {
@@ -272,6 +296,42 @@ impl Metrics {
                 ]),
             ),
             (
+                "cluster".into(),
+                Json::Object(vec![
+                    ("nodes".into(), Json::Num(cluster.nodes as f64)),
+                    ("vnodes".into(), Json::Num(cluster.vnodes_per_node as f64)),
+                    (
+                        "cells_shipped".into(),
+                        Json::Num(cluster.cells_shipped as f64),
+                    ),
+                    (
+                        "cells_received".into(),
+                        Json::Num(cluster.cells_received as f64),
+                    ),
+                    (
+                        "cells_rejected".into(),
+                        Json::Num(cluster.cells_rejected as f64),
+                    ),
+                    (
+                        "peers".into(),
+                        Json::Array(
+                            cluster
+                                .peers
+                                .iter()
+                                .map(|p| {
+                                    Json::Object(vec![
+                                        ("addr".into(), Json::Str(p.addr.clone())),
+                                        ("healthy".into(), Json::Bool(p.healthy)),
+                                        ("forwarded".into(), Json::Num(p.forwarded as f64)),
+                                        ("errors".into(), Json::Num(p.errors as f64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
                 "latency_ns".into(),
                 Json::Object(vec![("p50".into(), q(0.50)), ("p99".into(), q(0.99))]),
             ),
@@ -283,7 +343,7 @@ impl Metrics {
     /// `lopc_*`-prefixed family per concept so standard scrapers consume
     /// them without an adapter. Served for `GET /metrics?format=prom` or an
     /// `Accept: text/plain` request.
-    pub fn to_prometheus(&self, cache: &CacheCounters) -> String {
+    pub fn to_prometheus(&self, cache: &CacheCounters, cluster: &ClusterCounters) -> String {
         use std::fmt::Write;
         let mut out = String::with_capacity(2048);
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
@@ -408,6 +468,63 @@ impl Metrics {
             "counter",
             &[("".into(), load(&self.reactor_events) as f64)],
         );
+        family(
+            "lopc_cluster_ring_nodes",
+            "Consistent-hash ring members, including this node.",
+            "gauge",
+            &[("".into(), cluster.nodes as f64)],
+        );
+        family(
+            "lopc_cluster_cells_shipped_total",
+            "Interpolation cells shipped to peers.",
+            "counter",
+            &[("".into(), cluster.cells_shipped as f64)],
+        );
+        family(
+            "lopc_cluster_cells_received_total",
+            "Shipped cells admitted after spot-probe re-verification.",
+            "counter",
+            &[("".into(), cluster.cells_received as f64)],
+        );
+        family(
+            "lopc_cluster_cells_rejected_total",
+            "Shipped cells rejected by re-verification.",
+            "counter",
+            &[("".into(), cluster.cells_rejected as f64)],
+        );
+        let peer_label = |addr: &str| format!("{{peer=\"{addr}\"}}");
+        // HELP/TYPE always emitted, even with zero peers, so the scrape
+        // schema is deployment-independent.
+        family(
+            "lopc_cluster_peer_up",
+            "1 when this node currently considers the peer reachable.",
+            "gauge",
+            &cluster
+                .peers
+                .iter()
+                .map(|p| (peer_label(&p.addr), if p.healthy { 1.0 } else { 0.0 }))
+                .collect::<Vec<_>>(),
+        );
+        family(
+            "lopc_cluster_peer_forwarded_total",
+            "Node-to-node requests sent to the peer.",
+            "counter",
+            &cluster
+                .peers
+                .iter()
+                .map(|p| (peer_label(&p.addr), p.forwarded as f64))
+                .collect::<Vec<_>>(),
+        );
+        family(
+            "lopc_cluster_peer_errors_total",
+            "Node-to-node requests to the peer that failed.",
+            "counter",
+            &cluster
+                .peers
+                .iter()
+                .map(|p| (peer_label(&p.addr), p.errors as f64))
+                .collect::<Vec<_>>(),
+        );
         let quantiles: Vec<(String, f64)> = [(0.5, "0.5"), (0.99, "0.99")]
             .iter()
             .filter_map(|&(q, label)| {
@@ -482,7 +599,7 @@ mod tests {
             interp_cells_built: 3,
             interp_cells_prefetched: 1,
         };
-        let doc = m.to_json(&counters);
+        let doc = m.to_json(&counters, &ClusterCounters::default());
         let req = doc.get("requests").unwrap();
         assert_eq!(req.get("predict").unwrap().as_num(), Some(2.0));
         assert_eq!(req.get("total").unwrap().as_num(), Some(5.0));
@@ -524,7 +641,7 @@ mod tests {
         assert_eq!(m.idle_timeouts(), 1);
         m.reactor_wakeup(5);
         m.reactor_wakeup(0);
-        let doc = m.to_json(&CacheCounters::default());
+        let doc = m.to_json(&CacheCounters::default(), &ClusterCounters::default());
         let conns = doc.get("connections").unwrap();
         assert_eq!(conns.get("open").unwrap().as_num(), Some(1.0));
         assert_eq!(conns.get("idle").unwrap().as_num(), Some(1.0));
@@ -536,7 +653,7 @@ mod tests {
         let reactor = doc.get("reactor").unwrap();
         assert_eq!(reactor.get("wakeups_total").unwrap().as_num(), Some(2.0));
         assert_eq!(reactor.get("events_total").unwrap().as_num(), Some(5.0));
-        let text = m.to_prometheus(&CacheCounters::default());
+        let text = m.to_prometheus(&CacheCounters::default(), &ClusterCounters::default());
         assert!(text.contains("lopc_open_connections 1"));
         assert!(text.contains("lopc_idle_connections 1"));
         assert!(text.contains("lopc_idle_timeouts_total 1"));
@@ -557,7 +674,28 @@ mod tests {
             interp_cells_built: 2,
             interp_cells_prefetched: 1,
         };
-        let text = m.to_prometheus(&counters);
+        let cluster = ClusterCounters {
+            nodes: 3,
+            vnodes_per_node: 64,
+            cells_shipped: 5,
+            cells_received: 4,
+            cells_rejected: 1,
+            peers: vec![
+                PeerSnapshot {
+                    addr: "10.0.0.2:7070".into(),
+                    healthy: true,
+                    forwarded: 9,
+                    errors: 0,
+                },
+                PeerSnapshot {
+                    addr: "10.0.0.3:7070".into(),
+                    healthy: false,
+                    forwarded: 2,
+                    errors: 2,
+                },
+            ],
+        };
+        let text = m.to_prometheus(&counters, &cluster);
         for needle in [
             "# TYPE lopc_requests_total counter",
             "lopc_requests_total{endpoint=\"predict\"} 1",
@@ -571,6 +709,14 @@ mod tests {
             "lopc_interp_cells_built_total 2",
             "lopc_interp_cells_prefetched_total 1",
             "lopc_request_latency_ns{quantile=\"0.5\"}",
+            "lopc_cluster_ring_nodes 3",
+            "lopc_cluster_cells_shipped_total 5",
+            "lopc_cluster_cells_received_total 4",
+            "lopc_cluster_cells_rejected_total 1",
+            "lopc_cluster_peer_up{peer=\"10.0.0.2:7070\"} 1",
+            "lopc_cluster_peer_up{peer=\"10.0.0.3:7070\"} 0",
+            "lopc_cluster_peer_forwarded_total{peer=\"10.0.0.2:7070\"} 9",
+            "lopc_cluster_peer_errors_total{peer=\"10.0.0.3:7070\"} 2",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
@@ -580,5 +726,37 @@ mod tests {
             assert!(name.starts_with("lopc_"), "{line}");
             assert!(value.parse::<f64>().is_ok(), "{line}");
         }
+    }
+
+    #[test]
+    fn cluster_schema_is_deployment_independent() {
+        // A peerless node still exposes every cluster family (HELP/TYPE
+        // with zero samples for the per-peer ones) and the full JSON
+        // section — scrapers never see the schema change shape.
+        let m = Metrics::new();
+        let text = m.to_prometheus(&CacheCounters::default(), &ClusterCounters::default());
+        for needle in [
+            "# TYPE lopc_cluster_ring_nodes gauge",
+            "# TYPE lopc_cluster_cells_shipped_total counter",
+            "# TYPE lopc_cluster_cells_received_total counter",
+            "# TYPE lopc_cluster_cells_rejected_total counter",
+            "# TYPE lopc_cluster_peer_up gauge",
+            "# TYPE lopc_cluster_peer_forwarded_total counter",
+            "# TYPE lopc_cluster_peer_errors_total counter",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        let doc = m.to_json(&CacheCounters::default(), &ClusterCounters::default());
+        let cluster = doc.get("cluster").unwrap();
+        for key in [
+            "nodes",
+            "vnodes",
+            "cells_shipped",
+            "cells_received",
+            "cells_rejected",
+        ] {
+            assert!(cluster.get(key).unwrap().as_num().is_some(), "{key}");
+        }
+        assert!(cluster.get("peers").unwrap().as_array().unwrap().is_empty());
     }
 }

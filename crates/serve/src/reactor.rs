@@ -78,14 +78,31 @@ pub(crate) struct Job {
 }
 
 /// Should this request travel to the worker pool instead of running
-/// inline on the reactor? Only batch predictions: they are the one
-/// endpoint whose handler cost is unbounded (a full scenario sweep of
-/// cold solves), and stalling the reactor for milliseconds would add that
-/// stall to every other connection's latency. Everything else — single
-/// predict, metrics, health — is microseconds even on a cache miss, and
+/// inline on the reactor? Requests whose handler cost is unbounded:
+///
+/// * batch predictions — a full scenario sweep of cold solves;
+/// * tolerant single predictions (`max_rel_err` in the body) — a cell
+///   miss may *fetch from a peer over the network* and re-verify with a
+///   local solve (DESIGN.md §15);
+/// * cell transfer (`/v1/cell/...`) — an import runs a spot-probe solve,
+///   and an export can race a slot still being built.
+///
+/// Stalling the reactor for milliseconds would add that stall to every
+/// other connection's latency. Everything else — exact single predict,
+/// metrics, topology — is microseconds even on a cache miss, and
 /// answering it inline saves two thread hand-offs per request.
 fn offload(request: &Request) -> bool {
     request.path == "/v1/predict/batch"
+        || request.path.starts_with("/v1/cell/")
+        || (request.path == "/v1/predict" && memmem(&request.body, b"max_rel_err"))
+}
+
+/// Naive substring search (the bodies are small and the needle is fixed;
+/// anything fancier is not worth the code).
+fn memmem(haystack: &[u8], needle: &[u8]) -> bool {
+    haystack
+        .windows(needle.len())
+        .any(|window| window == needle)
 }
 
 /// How a worker finished its job.

@@ -6,6 +6,9 @@
 //! | `POST /v1/predict` | one scenario object | one prediction object |
 //! | `POST /v1/predict/batch` | `{"scenarios": [...]}` | `{"predictions": [...]}` |
 //! | `GET /metrics` | — | counters, cache hit rate, p50/p99 latency |
+//! | `GET /v1/cluster` | — | ring topology + peer health (DESIGN.md §15) |
+//! | `GET /v1/cell/{key}` | — | one interpolation-cell export, or 404 |
+//! | `POST /v1/cell/{key}` | cell export | re-verify and admit (422 = rejected) |
 //!
 //! Threading model: a single **reactor** thread multiplexes every
 //! connection over epoll (see the `reactor` module) — accepting, reading,
@@ -33,12 +36,17 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use std::sync::OnceLock;
+
 use crate::cache::SolutionCache;
-use crate::codec::{max_rel_err_from_json, prediction_to_json, scenario_from_json};
+use crate::cluster::{ClusterCellSource, ClusterState, VNODES};
+use crate::codec::{
+    cell_from_json, cell_to_json, max_rel_err_from_json, prediction_to_json, scenario_from_json,
+};
 use crate::http::{write_response, Request};
-use crate::interp::InterpCache;
+use crate::interp::{CellKey, ImportOutcome, InterpCache};
 use crate::json::{parse, Json};
-use crate::metrics::{CacheCounters, Endpoint, Metrics};
+use crate::metrics::{CacheCounters, ClusterCounters, Endpoint, Metrics};
 use crate::reactor::{Completion, Done, Reactor, Shared};
 use lopc_core::Scenario;
 
@@ -55,6 +63,16 @@ pub struct ServerConfig {
     pub cache_capacity_per_shard: usize,
     /// Close a keep-alive connection after this long with no request.
     pub idle_timeout: Duration,
+    /// Peer addresses of the other cluster nodes (empty = single node).
+    /// Every node must be configured with the same member set — the
+    /// consistent-hash ring is derived from it (DESIGN.md §15).
+    pub peers: Vec<String>,
+    /// The address this node advertises as its ring identity. Defaults to
+    /// the bound address — override it when binding `0.0.0.0` or an
+    /// ephemeral port, since peers must name this node consistently.
+    pub advertise: Option<String>,
+    /// Virtual points per node on the ring.
+    pub vnodes: usize,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +83,9 @@ impl Default for ServerConfig {
             cache_shards: 16,
             cache_capacity_per_shard: 256,
             idle_timeout: Duration::from_secs(30),
+            peers: Vec::new(),
+            advertise: None,
+            vnodes: VNODES,
         }
     }
 }
@@ -75,6 +96,9 @@ impl Default for ServerConfig {
 pub struct Service {
     interp: InterpCache,
     metrics: Metrics,
+    /// Cluster tier, when enabled (always is for socket-backed servers;
+    /// bare `Service` unit tests run without one).
+    cluster: OnceLock<Arc<ClusterState>>,
 }
 
 /// One computed response.
@@ -125,7 +149,24 @@ impl Service {
                 cache_capacity_per_shard,
             ),
             metrics: Metrics::new(),
+            cluster: OnceLock::new(),
         }
+    }
+
+    /// Attach the cluster tier: publishes the topology endpoint and plugs
+    /// the peer network in as the interpolation cache's
+    /// [`CellSource`](crate::interp::CellSource) — cell misses pull from peers, sweep
+    /// prefetches push to them. One-shot; later calls are ignored.
+    pub fn enable_cluster(&self, state: Arc<ClusterState>) {
+        if self.cluster.set(Arc::clone(&state)).is_ok() {
+            self.interp
+                .set_cell_source(Arc::new(ClusterCellSource(state)));
+        }
+    }
+
+    /// The cluster state, when [`Service::enable_cluster`] has run.
+    pub fn cluster(&self) -> Option<&Arc<ClusterState>> {
+        self.cluster.get()
     }
 
     /// The exact solution cache (bench/tests read its counters).
@@ -155,6 +196,28 @@ impl Service {
         }
     }
 
+    /// Cluster counters for `/metrics` (a one-node, zero-peer shape when
+    /// clustering is not enabled, so the schema never changes).
+    pub fn cluster_counters(&self) -> ClusterCounters {
+        let (nodes, vnodes_per_node, cells_shipped, peers) = match self.cluster.get() {
+            Some(c) => (
+                c.ring().len() as u64,
+                c.ring().vnodes() as u64,
+                c.cells_shipped(),
+                c.peer_snapshots(),
+            ),
+            None => (1, 0, 0, Vec::new()),
+        };
+        ClusterCounters {
+            nodes,
+            vnodes_per_node,
+            cells_shipped,
+            cells_received: self.interp.cells_received(),
+            cells_rejected: self.interp.cells_rejected(),
+            peers,
+        }
+    }
+
     /// Route one request to its endpoint, recording metrics. The short form
     /// of [`Service::handle_request`] for callers without a query string or
     /// `Accept` header (unit tests, simple tools).
@@ -179,39 +242,62 @@ impl Service {
         let start = Instant::now();
         // Path decides 404 vs 405: any method other than the endpoint's own
         // on a known path is 405, only unknown paths are 404.
-        let (endpoint, reply, scenarios) = match (path, method) {
-            ("/v1/predict", "POST") => {
-                let (r, n) = self.predict(body);
-                (Endpoint::Predict, r, n)
+        let (endpoint, reply, scenarios) = if let Some(key) = path.strip_prefix("/v1/cell/") {
+            let reply = match method {
+                "GET" => self.cell_get(key),
+                "POST" => self.cell_post(key, body),
+                _ => Reply::error(405, format!("{method} not allowed on {path}")),
+            };
+            (Endpoint::Other, reply, 0)
+        } else {
+            match (path, method) {
+                ("/v1/predict", "POST") => {
+                    let (r, n) = self.predict(body);
+                    (Endpoint::Predict, r, n)
+                }
+                ("/v1/predict/batch", "POST") => {
+                    let (r, n) = self.predict_batch(body);
+                    (Endpoint::Batch, r, n)
+                }
+                ("/metrics", "GET") => {
+                    let prom_query = query
+                        .map(|q| q.split('&').any(|kv| kv == "format=prom"))
+                        .unwrap_or(false);
+                    let prom_accept = accept
+                        .map(|a| a.split(',').any(|m| m.trim().starts_with("text/plain")))
+                        .unwrap_or(false);
+                    let reply = if prom_query || prom_accept {
+                        Reply::text(
+                            self.metrics
+                                .to_prometheus(&self.cache_counters(), &self.cluster_counters()),
+                        )
+                    } else {
+                        Reply::ok(
+                            &self
+                                .metrics
+                                .to_json(&self.cache_counters(), &self.cluster_counters()),
+                        )
+                    };
+                    (Endpoint::Metrics, reply, 0)
+                }
+                ("/v1/cluster", "GET") => {
+                    let reply = match self.cluster.get() {
+                        Some(c) => Reply::ok(&c.topology_json()),
+                        None => Reply::error(404, "clustering is not enabled"),
+                    };
+                    (Endpoint::Other, reply, 0)
+                }
+                ("/v1/predict" | "/v1/predict/batch" | "/metrics" | "/v1/cluster", _) => (
+                    Endpoint::Other,
+                    Reply::error(405, format!("{method} not allowed on {path}")),
+                    0,
+                ),
+                _ => (
+                    Endpoint::Other,
+                    Reply::error(404, format!("no such endpoint {path}")),
+                    0,
+                ),
             }
-            ("/v1/predict/batch", "POST") => {
-                let (r, n) = self.predict_batch(body);
-                (Endpoint::Batch, r, n)
-            }
-            ("/metrics", "GET") => {
-                let prom_query = query
-                    .map(|q| q.split('&').any(|kv| kv == "format=prom"))
-                    .unwrap_or(false);
-                let prom_accept = accept
-                    .map(|a| a.split(',').any(|m| m.trim().starts_with("text/plain")))
-                    .unwrap_or(false);
-                let reply = if prom_query || prom_accept {
-                    Reply::text(self.metrics.to_prometheus(&self.cache_counters()))
-                } else {
-                    Reply::ok(&self.metrics.to_json(&self.cache_counters()))
-                };
-                (Endpoint::Metrics, reply, 0)
-            }
-            ("/v1/predict" | "/v1/predict/batch" | "/metrics", _) => (
-                Endpoint::Other,
-                Reply::error(405, format!("{method} not allowed on {path}")),
-                0,
-            ),
-            _ => (
-                Endpoint::Other,
-                Reply::error(404, format!("no such endpoint {path}")),
-                0,
-            ),
         };
         self.metrics.record(
             endpoint,
@@ -220,6 +306,63 @@ impl Service {
             scenarios,
         );
         reply
+    }
+
+    /// `GET /v1/cell/{key}`: export one resident interpolation cell.
+    /// `400` unparseable key, `404` absent (or untrusted — never re-ship a
+    /// cell this node would not vouch for), `200` with the export.
+    fn cell_get(&self, key: &str) -> Reply {
+        if CellKey::from_wire(key).is_none() {
+            return Reply::error(400, format!("malformed cell key {key:?}"));
+        }
+        match self.interp.export_cell(key) {
+            Some(export) => {
+                if let Some(cluster) = self.cluster.get() {
+                    cluster.count_shipped();
+                }
+                Reply::ok(&cell_to_json(&export))
+            }
+            None => Reply::error(404, format!("no resident cell {key:?}")),
+        }
+    }
+
+    /// `POST /v1/cell/{key}`: a peer pushes a cell it built. The body is
+    /// decoded, checked against the path key, and handed to
+    /// [`InterpCache::import_cell`] — which re-verifies the certificate
+    /// against a locally solved spot-probe before admitting anything.
+    fn cell_post(&self, key: &str, body: &[u8]) -> Reply {
+        let text = match std::str::from_utf8(body) {
+            Ok(t) => t,
+            Err(_) => return Reply::error(400, "body is not UTF-8"),
+        };
+        let doc = match parse(text) {
+            Ok(d) => d,
+            Err(e) => return Reply::error(400, format!("invalid JSON: {e}")),
+        };
+        let export = match cell_from_json(&doc) {
+            Ok(e) => e,
+            Err(e) => return Reply::error(400, format!("invalid cell export: {e}")),
+        };
+        if export.wire_key != key {
+            return Reply::error(
+                400,
+                format!(
+                    "path key {key:?} does not match body key {:?}",
+                    export.wire_key
+                ),
+            );
+        }
+        match self.interp.import_cell(&export) {
+            ImportOutcome::Admitted => {
+                Reply::ok(&Json::Object(vec![("imported".into(), Json::Bool(true))]))
+            }
+            ImportOutcome::AlreadyResident => {
+                Reply::ok(&Json::Object(vec![("imported".into(), Json::Bool(false))]))
+            }
+            ImportOutcome::Rejected(reason) => {
+                Reply::error(422, format!("cell rejected: {reason}"))
+            }
+        }
     }
 
     fn decode_scenario(body: &[u8]) -> Result<(Scenario, f64), Reply> {
@@ -436,11 +579,28 @@ fn worker_loop(service: &Service, shared: &Shared) {
 /// Bind and start a server.
 pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
+    start_on(listener, config)
+}
+
+/// Start a server on an already-bound listener. Splitting the bind from
+/// the start lets multi-node tests bind every listener first (learning the
+/// ephemeral ports) and only then start the nodes with each other's
+/// addresses as peers.
+pub fn start_on(listener: TcpListener, config: ServerConfig) -> std::io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     let service = Arc::new(Service::new(
         config.cache_shards,
         config.cache_capacity_per_shard,
     ));
+    // The cluster tier is always on — with no peers it is a one-node ring
+    // whose fetches and pushes are no-ops, but `/v1/cluster` still serves
+    // the topology so routing clients work against any deployment.
+    let self_addr = config.advertise.clone().unwrap_or_else(|| addr.to_string());
+    service.enable_cluster(Arc::new(ClusterState::new(
+        self_addr,
+        &config.peers,
+        config.vnodes,
+    )));
     let shared = Arc::new(Shared::new()?);
     // Many-connection serving is fd-bound; lift the soft limit as far as
     // the environment allows (best effort — C10K needs ~10k fds).
@@ -590,6 +750,109 @@ mod tests {
             .unwrap()
             .as_num()
             .is_some());
+    }
+
+    #[test]
+    fn cell_and_cluster_endpoints_route_correctly() {
+        let svc = service();
+        // Key validation is independent of residency.
+        assert_eq!(svc.handle("GET", "/v1/cell/zz!!", b"").status, 400);
+        assert_eq!(svc.handle("GET", "/v1/cell/0-20-a", b"").status, 404);
+        assert_eq!(svc.handle("PUT", "/v1/cell/0-20-a", b"").status, 405);
+        assert_eq!(
+            svc.handle("POST", "/v1/cell/0-20-a", b"not json").status,
+            400
+        );
+        // A bare Service has no cluster state: topology 404s, method 405s.
+        assert_eq!(svc.handle("GET", "/v1/cluster", b"").status, 404);
+        assert_eq!(svc.handle("POST", "/v1/cluster", b"").status, 405);
+    }
+
+    #[test]
+    fn cluster_topology_and_cell_round_trip_through_endpoints() {
+        use crate::cluster::{ClusterState, VNODES};
+        // Node A (peerless cluster enabled) warms a cell with a tolerant
+        // sweep; its export round-trips through the HTTP bodies into node
+        // B, which re-verifies and admits it.
+        let a = service();
+        a.enable_cluster(Arc::new(ClusterState::new(
+            "127.0.0.1:1".into(),
+            &[],
+            VNODES,
+        )));
+        let reply = a.handle("GET", "/v1/cluster", b"");
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let topo = parse(&reply.body).unwrap();
+        assert_eq!(topo.get("self").unwrap().as_str(), Some("127.0.0.1:1"));
+        assert_eq!(topo.get("nodes").unwrap().as_array().unwrap().len(), 1);
+
+        for i in 0..40 {
+            let body = format!(
+                r#"{{"kind":"all_to_all","machine":{{"p":32,"st":25.0,"so":200.0,"c2":0.0}},"w":{},"max_rel_err":0.05}}"#,
+                700.0 + 10.0 * i as f64
+            );
+            assert_eq!(a.handle("POST", "/v1/predict", body.as_bytes()).status, 200);
+        }
+        assert!(a.interp().cells() > 0, "tolerant sweep built no cells");
+        // Find a resident cell's wire key through the public export path.
+        let wire_key = a
+            .interp()
+            .resident_cell_keys()
+            .into_iter()
+            .find(|k| a.interp().export_cell(k).is_some())
+            .expect("at least one exportable cell");
+        let reply = a.handle("GET", &format!("/v1/cell/{wire_key}"), b"");
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        assert_eq!(a.cluster().unwrap().cells_shipped(), 1);
+
+        let b = service();
+        let post = b.handle(
+            "POST",
+            &format!("/v1/cell/{wire_key}"),
+            reply.body.as_bytes(),
+        );
+        assert_eq!(post.status, 200, "{}", post.body);
+        assert!(post.body.contains("\"imported\":true"), "{}", post.body);
+        assert_eq!(b.interp().cells_received(), 1);
+        assert_eq!(b.interp().cells_rejected(), 0);
+        // Pushing the same cell again is idempotent.
+        let again = b.handle(
+            "POST",
+            &format!("/v1/cell/{wire_key}"),
+            reply.body.as_bytes(),
+        );
+        assert!(again.body.contains("\"imported\":false"), "{}", again.body);
+        // Path/body key mismatch is a 400, not an import attempt.
+        let mismatch = b.handle("POST", "/v1/cell/0-20-a", reply.body.as_bytes());
+        assert_eq!(mismatch.status, 400);
+        // A tampered certificate (cheaper than the probe supports) is
+        // rejected and the key pinned exact.
+        let mut doc = parse(&reply.body).unwrap();
+        if let Json::Object(kv) = &mut doc {
+            for (k, v) in kv.iter_mut() {
+                if k == "cert" {
+                    *v = Json::Num(1e-12);
+                }
+            }
+        }
+        let c = service();
+        let tampered = c.handle(
+            "POST",
+            &format!("/v1/cell/{wire_key}"),
+            doc.to_compact().as_bytes(),
+        );
+        assert_eq!(tampered.status, 422, "{}", tampered.body);
+        assert_eq!(c.interp().cells_rejected(), 1);
+    }
+
+    #[test]
+    fn metrics_include_cluster_section() {
+        let svc = service();
+        let reply = svc.handle("GET", "/metrics", b"");
+        let doc = parse(&reply.body).unwrap();
+        let cluster = doc.get("cluster").unwrap();
+        assert_eq!(cluster.get("nodes").unwrap().as_num(), Some(1.0));
+        assert!(cluster.get("peers").unwrap().as_array().unwrap().is_empty());
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Cell-transfer wire-format hardening: the `CellExport` JSON codec and
+//! the import gate behind `POST /v1/cell/{key}`.
+//!
+//! Three claims, each load-bearing for a subsystem that accepts cache
+//! state from the network:
+//!
+//! 1. **Round-trip**: every export a real cache produces survives
+//!    `cell_to_json` → text → `parse` → `cell_from_json` field-for-field,
+//!    bit-exact `f64`s included — and wire keys survive
+//!    `from_wire(to_wire(k))`. Shipping must not perturb what it ships.
+//! 2. **No panics**: arbitrary corruptions of valid cell documents (and
+//!    pure byte soup) make the decoder *and* the import path return an
+//!    error, never panic. `/v1/cell` is an internet-facing endpoint.
+//! 3. **Tampering is rejected**: a decoded cell whose certificate or
+//!    corner data has been forged fails the importer's spot-probe
+//!    re-verification, and the rejection is permanent for that key.
+
+use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
+
+use lopc_core::{Machine, Scenario};
+use lopc_serve::json::parse;
+use lopc_serve::{
+    cell_from_json, cell_to_json, CellExport, CellKey, ImportOutcome, InterpCache, SolutionCache,
+};
+
+fn fresh_cache() -> InterpCache {
+    InterpCache::new(SolutionCache::new(8, 256), 8, 64)
+}
+
+/// Warm a cache across all four interpolation-eligible variants and export
+/// every resident cell. Built once — cell builds cost real solves.
+fn export_corpus() -> &'static Vec<CellExport> {
+    static CORPUS: OnceLock<Vec<CellExport>> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let cache = fresh_cache();
+        let machine = Machine::new(32, 25.0, 200.0).with_c2(0.0);
+        let scenarios = |w: f64| {
+            [
+                Scenario::AllToAll { machine, w },
+                Scenario::SharedMemory { machine, w },
+                Scenario::ClientServer {
+                    machine,
+                    w,
+                    ps: Some(3),
+                },
+                Scenario::ForkJoin { machine, w, k: 4 },
+            ]
+        };
+        for i in 0..40 {
+            for scenario in scenarios(700.0 + 12.0 * i as f64) {
+                cache
+                    .predict(&scenario, 5e-2)
+                    .expect("warm predict must solve");
+            }
+        }
+        let exports: Vec<CellExport> = cache
+            .resident_cell_keys()
+            .iter()
+            .filter_map(|key| cache.export_cell(key))
+            .collect();
+        assert!(
+            exports.len() >= 4,
+            "warm-up produced only {} exportable cells",
+            exports.len()
+        );
+        exports
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Export → JSON text → export, exactly (both renderers).
+    #[test]
+    fn cell_export_round_trip(seed in 0u64..1_000_000) {
+        let corpus = export_corpus();
+        let export = &corpus[(seed as usize) % corpus.len()];
+        for text in [
+            cell_to_json(export).to_compact(),
+            cell_to_json(export).to_pretty(),
+        ] {
+            let doc = parse(&text);
+            prop_assert!(doc.is_ok(), "emitted cell does not parse: {text}");
+            let back = cell_from_json(&doc.unwrap());
+            prop_assert!(back.is_ok(), "emitted cell does not decode: {text}");
+            prop_assert_eq!(back.unwrap(), export.clone());
+        }
+    }
+
+    /// Wire key → string → wire key, exactly — and the round-tripped key
+    /// hashes (routes) identically.
+    #[test]
+    fn wire_key_round_trip(seed in 0u64..1_000_000) {
+        let corpus = export_corpus();
+        let wire = &corpus[(seed as usize) % corpus.len()].wire_key;
+        let key = CellKey::from_wire(wire);
+        prop_assert!(key.is_some(), "exported key does not parse: {wire}");
+        let key = key.unwrap();
+        prop_assert_eq!(&key.to_wire(), wire);
+        let again = CellKey::from_wire(&key.to_wire()).unwrap();
+        prop_assert_eq!(again.hash64(), key.hash64());
+    }
+
+    /// A round-tripped export is still *admissible*: decode the wire form
+    /// into a fresh node and the verifier accepts it.
+    #[test]
+    fn round_tripped_exports_still_verify(seed in 0u64..64) {
+        let corpus = export_corpus();
+        let export = &corpus[(seed as usize) % corpus.len()];
+        let doc = parse(&cell_to_json(export).to_compact()).unwrap();
+        let shipped = cell_from_json(&doc).unwrap();
+        let importer = fresh_cache();
+        prop_assert_eq!(importer.import_cell(&shipped), ImportOutcome::Admitted);
+        prop_assert_eq!(importer.cells_rejected(), 0);
+    }
+}
+
+/// Run a decoder on hostile input, converting panics into test failures.
+fn assert_no_panic<T>(input: &[u8], what: &str, f: impl Fn(&[u8]) -> T + std::panic::UnwindSafe) {
+    let owned = input.to_vec();
+    let result = std::panic::catch_unwind(move || {
+        f(&owned);
+    });
+    assert!(
+        result.is_ok(),
+        "{what} panicked on {:?}",
+        String::from_utf8_lossy(input)
+    );
+}
+
+fn corrupt(base: &[u8], rng: &mut SmallRng) -> Vec<u8> {
+    let mut bytes = base.to_vec();
+    match rng.random_range(0..3usize) {
+        0 if !bytes.is_empty() => {
+            let i = rng.random_range(0..bytes.len());
+            bytes[i] = rng.random_range(0..256usize) as u8;
+        }
+        1 => {
+            let keep = rng.random_range(0..bytes.len().max(1));
+            bytes.truncate(keep);
+        }
+        _ => {
+            let i = rng.random_range(0..bytes.len() + 1);
+            bytes.insert(i, rng.random_range(0..256usize) as u8);
+        }
+    }
+    bytes
+}
+
+/// Corrupted cell documents (and pure garbage) never panic the decoder —
+/// and whatever still *decodes* never panics the import path either: the
+/// verifier classifies it as admitted or rejected, both defined outcomes.
+#[test]
+fn cell_decoder_and_import_fuzz_never_panic() {
+    let mut rng = SmallRng::seed_from_u64(0xce11);
+    let corpus = export_corpus();
+    let seeds: Vec<Vec<u8>> = corpus
+        .iter()
+        .map(|e| cell_to_json(e).to_compact().into_bytes())
+        .collect();
+    let importer = fresh_cache();
+    for round in 0..1500 {
+        let mutated = if round % 10 == 0 {
+            (0..rng.random_range(0..96usize))
+                .map(|_| rng.random_range(0..256usize) as u8)
+                .collect()
+        } else {
+            corrupt(&seeds[round % seeds.len()], &mut rng)
+        };
+        // `AssertUnwindSafe`: the importer is shared across rounds on
+        // purpose — a poisoned key from one round must not break later
+        // rounds either.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Ok(text) = std::str::from_utf8(&mutated) {
+                if let Ok(doc) = parse(text) {
+                    if let Ok(export) = cell_from_json(&doc) {
+                        let _ = importer.import_cell(&export);
+                    }
+                }
+            }
+        }));
+        assert!(
+            result.is_ok(),
+            "cell decoder/import panicked on {:?}",
+            String::from_utf8_lossy(&mutated)
+        );
+    }
+}
+
+/// Corrupted wire keys never panic `from_wire`; whatever still parses
+/// round-trips through `to_wire` to an identical key.
+#[test]
+fn wire_key_fuzz_never_panics() {
+    let mut rng = SmallRng::seed_from_u64(0x4e7);
+    let corpus = export_corpus();
+    let seeds: Vec<Vec<u8>> = corpus
+        .iter()
+        .map(|e| e.wire_key.clone().into_bytes())
+        .collect();
+    for round in 0..2000 {
+        let mutated = if round % 10 == 0 {
+            (0..rng.random_range(0..256usize))
+                .map(|_| rng.random_range(0..256usize) as u8)
+                .collect()
+        } else {
+            corrupt(&seeds[round % seeds.len()], &mut rng)
+        };
+        assert_no_panic(&mutated, "CellKey::from_wire", |bytes| {
+            if let Ok(text) = std::str::from_utf8(bytes) {
+                if let Some(key) = CellKey::from_wire(text) {
+                    let wire = key.to_wire();
+                    assert_eq!(
+                        CellKey::from_wire(&wire).map(|k| k.to_wire()),
+                        Some(wire),
+                        "parsed key does not round-trip"
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// Certificate/corner forgery arriving over the *wire format* (decode →
+/// import) is rejected by spot-probe re-verification, and the key is
+/// pinned exact afterwards: re-shipping the honest cell cannot displace
+/// the distrust verdict.
+#[test]
+fn tampered_wire_cells_are_rejected() {
+    let corpus = export_corpus();
+    let honest = &corpus[0];
+    let reship = |export: &CellExport| {
+        let doc = parse(&cell_to_json(export).to_compact()).unwrap();
+        cell_from_json(&doc).unwrap()
+    };
+
+    // Forged certificate: claim far more precision than the probes support.
+    {
+        let importer = fresh_cache();
+        let mut forged = honest.clone();
+        forged.cert = 1e-12;
+        let outcome = importer.import_cell(&reship(&forged));
+        assert!(
+            matches!(outcome, ImportOutcome::Rejected(_)),
+            "forged cert must be rejected, got {outcome:?}"
+        );
+        assert_eq!(importer.cells_rejected(), 1);
+        // The key is now poisoned: even the honest cell bounces off it.
+        let honest_again = importer.import_cell(&reship(honest));
+        assert_eq!(honest_again, ImportOutcome::AlreadyResident);
+        assert_eq!(
+            importer.cells_received(),
+            0,
+            "nothing may be admitted for a poisoned key"
+        );
+    }
+
+    // Forged corners: scaled solutions no longer match the local solver at
+    // the spot-probe, regardless of the (honest) certificate.
+    {
+        let importer = fresh_cache();
+        let mut forged = honest.clone();
+        for corner in &mut forged.corners {
+            corner.r *= 1.5;
+        }
+        let outcome = importer.import_cell(&reship(&forged));
+        assert!(
+            matches!(outcome, ImportOutcome::Rejected(_)),
+            "forged corners must be rejected, got {outcome:?}"
+        );
+    }
+
+    // Key swap: the body re-keyed onto a different (also valid) key fails
+    // the identity recomputation — a cell cannot be replayed onto another
+    // slot.
+    {
+        let importer = fresh_cache();
+        let donor = corpus
+            .iter()
+            .find(|e| e.wire_key != honest.wire_key)
+            .expect("corpus has at least two distinct keys");
+        let mut forged = honest.clone();
+        forged.wire_key = donor.wire_key.clone();
+        let outcome = importer.import_cell(&reship(&forged));
+        assert!(
+            matches!(outcome, ImportOutcome::Rejected(_)),
+            "re-keyed cell must be rejected, got {outcome:?}"
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Client hardening: the failure-mode contract of [`lopc_serve::Client`].
+//!
+//! The client is the building block of the cluster router, so its behaviour
+//! against sick servers is load-bearing: dialing must fail in bounded time,
+//! transient transport errors must retry within a bounded budget, the
+//! stale keep-alive race must be replayed transparently — and nothing may
+//! ever be replayed after a response byte has been consumed, because a
+//! second application of the request could diverge from the first answer.
+//!
+//! Every fake server here is a plain `TcpListener` driven from a thread,
+//! so each test controls exactly how far the HTTP exchange proceeds.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lopc_core::{Machine, Scenario};
+use lopc_serve::server::{start, ServerConfig};
+use lopc_serve::{Client, ClientConfig, ClientError, RetryPolicy};
+
+fn scenario() -> Scenario {
+    Scenario::AllToAll {
+        machine: Machine::new(32, 25.0, 200.0).with_c2(0.0),
+        w: 1000.0,
+    }
+}
+
+/// A port with nothing behind it: bind, read the address, drop the
+/// listener. Dialing it must fail *fast* (connection refused), not block.
+#[test]
+fn connect_fails_fast_when_nothing_listens() {
+    let addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().expect("addr")
+    };
+    let started = Instant::now();
+    let result = Client::connect(addr);
+    let elapsed = started.elapsed();
+    assert!(result.is_err(), "connect to a dead port must fail");
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "refused connect took {elapsed:?} — connect must not block"
+    );
+}
+
+/// An unresponsive address (non-routable test network, RFC 5737) must
+/// resolve within the configured connect timeout — this is the bound that
+/// keeps a router thread from wedging on a black-holed peer for the
+/// kernel's SYN-retry eternity. The *outcome* depends on the environment
+/// (a true black hole times out; some sandboxes answer "unreachable"
+/// instantly or even intercept the dial) — the contract under test is the
+/// time bound, never blocking.
+#[test]
+fn connect_timeout_bounds_dialing_a_black_hole() {
+    let addr: SocketAddr = "192.0.2.1:9".parse().expect("test-net address");
+    let config = ClientConfig {
+        connect_timeout: Duration::from_millis(250),
+        retry: RetryPolicy::none(),
+        ..ClientConfig::default()
+    };
+    let started = Instant::now();
+    let result = Client::connect_with(addr, config);
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "dialing a black hole took {elapsed:?} with a 250ms connect timeout \
+         (outcome was err={})",
+        result.is_err()
+    );
+}
+
+/// The stale keep-alive race: the server idle-closes our connection, and
+/// the next request sees EOF before any response byte. That is the one
+/// always-safe replay — the client must redial and succeed without the
+/// caller noticing.
+#[test]
+fn stale_keepalive_connections_are_replayed_transparently() {
+    let server = start(ServerConfig {
+        idle_timeout: Duration::from_millis(100),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let first = client.predict(&scenario()).expect("first predict");
+    // Outlive the server's idle timeout: the reactor reaps our connection.
+    std::thread::sleep(Duration::from_millis(400));
+    let second = client
+        .predict(&scenario())
+        .expect("predict after idle-close must replay on a fresh connection");
+    assert_eq!(first.r.to_bits(), second.r.to_bits());
+    server.shutdown();
+}
+
+/// A server that accepts and instantly hangs up: every attempt fails
+/// before a response byte, so the retry budget is spent exactly — the
+/// accept count equals `RetryPolicy::attempts`, and the surfaced error is
+/// the retryable transport error, not a protocol mirage.
+#[test]
+fn transient_errors_retry_exactly_the_configured_budget() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let accepts = Arc::new(AtomicU32::new(0));
+    let counter = Arc::clone(&accepts);
+    std::thread::spawn(move || {
+        // Slam the door on more connections than any budget below allows.
+        for _ in 0..16 {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    drop(stream);
+                }
+                Err(_) => break,
+            }
+        }
+    });
+
+    let config = ClientConfig {
+        retry: RetryPolicy {
+            attempts: 3,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(20),
+        },
+        ..ClientConfig::default()
+    };
+    // The dial itself is accept #1; the request then burns the budget.
+    let mut client = Client::connect_with(addr, config).expect("dial succeeds via backlog");
+    let err = client
+        .request("POST", "/v1/predict", b"{}")
+        .expect_err("a door-slamming server must exhaust the retry budget");
+    assert!(
+        err.is_retryable(),
+        "budget exhaustion must surface the transport error, got: {err}"
+    );
+    // Wait for the server thread to have counted the last accept.
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(
+        accepts.load(Ordering::SeqCst),
+        3,
+        "3 attempts must dial exactly 3 times — no more, no fewer"
+    );
+}
+
+/// The partial-response gate: the server sends response *headers* and two
+/// body bytes, then goes silent. The subsequent read timeout is a
+/// retryable error *kind*, but response bytes have been consumed — the
+/// client must surface the failure immediately instead of replaying the
+/// request (the accept count stays 1).
+#[test]
+fn never_retries_after_a_partial_response() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let accepts = Arc::new(AtomicU32::new(0));
+    let counter = Arc::clone(&accepts);
+    std::thread::spawn(move || {
+        for _ in 0..4 {
+            let Ok((mut stream, _)) = listener.accept() else {
+                break;
+            };
+            counter.fetch_add(1, Ordering::SeqCst);
+            // Consume the request header so the client's write succeeds.
+            let mut sink = [0u8; 512];
+            let _ = stream.read(&mut sink);
+            // Promise 10 body bytes, deliver 2, then hold the socket open.
+            let _ = stream.write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 10\r\n\r\nhi");
+            let _ = stream.flush();
+            std::thread::sleep(Duration::from_secs(5));
+        }
+    });
+
+    let config = ClientConfig {
+        read_timeout: Some(Duration::from_millis(200)),
+        retry: RetryPolicy {
+            attempts: 3,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(20),
+        },
+        ..ClientConfig::default()
+    };
+    let mut client = Client::connect_with(addr, config).expect("connect");
+    let started = Instant::now();
+    let err = client
+        .request("POST", "/v1/predict", b"{}")
+        .expect_err("a truncated response must fail");
+    let elapsed = started.elapsed();
+    match &err {
+        ClientError::Io(e) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+            ),
+            "expected a mid-response read timeout, got: {e}"
+        ),
+        other => panic!("expected an Io timeout, got: {other}"),
+    }
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "one timeout's worth of waiting, not a retry storm: {elapsed:?}"
+    );
+    assert_eq!(
+        accepts.load(Ordering::SeqCst),
+        1,
+        "a partially consumed response must never be replayed"
+    );
+}
+
+/// Error statuses are answers, not failures: they must not be retried
+/// (the server would see the request twice) and must decode into
+/// [`ClientError::Status`] with the body attached.
+#[test]
+fn error_statuses_are_answers_not_retries() {
+    let server = start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let err = client
+        .request_json("POST", "/v1/predict", b"{\"kind\":\"nope\"}")
+        .expect_err("an unknown kind must be a 4xx");
+    match &err {
+        ClientError::Status(code, body) => {
+            assert_eq!(*code, 400, "body: {body}");
+            assert!(!err.is_retryable(), "a status is an answer — never retry");
+        }
+        other => panic!("expected Status, got: {other}"),
+    }
+    server.shutdown();
+}

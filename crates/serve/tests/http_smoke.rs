@@ -80,6 +80,15 @@ fn all_endpoints_round_trip_over_a_socket() {
         );
     }
 
+    // Cluster topology is served even by a peerless single node.
+    let topo = client
+        .request_json("GET", "/v1/cluster", b"")
+        .expect("cluster topology");
+    let self_addr = server.addr().to_string();
+    assert_eq!(topo.get("self").unwrap().as_str(), Some(self_addr.as_str()));
+    assert_eq!(topo.get("nodes").unwrap().as_array().unwrap().len(), 1);
+    assert!(topo.get("peers").unwrap().as_array().unwrap().is_empty());
+
     // Metrics reflect the traffic this test generated.
     let metrics = client.metrics().expect("metrics");
     let requests = metrics.get("requests").expect("requests");
@@ -126,6 +135,7 @@ fn response_schemas_do_not_drift() {
             "interp",
             "connections",
             "reactor",
+            "cluster",
             "latency_ns"
         ]
     );
@@ -158,6 +168,17 @@ fn response_schemas_do_not_drift() {
     assert_eq!(
         keys(doc.get("reactor").unwrap()),
         vec!["wakeups_total", "events_total"]
+    );
+    assert_eq!(
+        keys(doc.get("cluster").unwrap()),
+        vec![
+            "nodes",
+            "vnodes",
+            "cells_shipped",
+            "cells_received",
+            "cells_rejected",
+            "peers"
+        ]
     );
     assert_eq!(keys(doc.get("latency_ns").unwrap()), vec!["p50", "p99"]);
     // The client's own connection is open (and mid-request, so not idle).
@@ -207,6 +228,13 @@ fn prometheus_exposition_schema_does_not_drift() {
             "lopc_idle_timeouts_total",
             "lopc_reactor_wakeups_total",
             "lopc_reactor_events_total",
+            "lopc_cluster_ring_nodes",
+            "lopc_cluster_cells_shipped_total",
+            "lopc_cluster_cells_received_total",
+            "lopc_cluster_cells_rejected_total",
+            "lopc_cluster_peer_up",
+            "lopc_cluster_peer_forwarded_total",
+            "lopc_cluster_peer_errors_total",
             "lopc_request_latency_ns",
         ]
     );

@@ -1,0 +1,277 @@
+//! Acceptance for the cluster tier (DESIGN.md §15): N `lopc-serve` nodes
+//! sharding the solution/interpolation caches by consistent hashing.
+//!
+//! Three contracts, end to end over real sockets:
+//!
+//! 1. **Topology**: every node derives the same ring from the same member
+//!    set — clients and nodes agree on ownership without coordination.
+//! 2. **Failure**: killing a node degrades capacity, never correctness —
+//!    the routing client fails over to ring survivors and every answer
+//!    stays bit-identical to the library (ownership is locality, not
+//!    authority: every node can solve everything exactly).
+//! 3. **Warmth travels**: a sweep warmed on node A is served on node B
+//!    from shipped cells — B pays a spot-probe per imported cell, a small
+//!    fraction of the cold solve bill — and every import passes B's local
+//!    re-verification.
+
+use std::collections::BTreeSet;
+use std::net::TcpListener;
+
+use lopc::prelude::*;
+use lopc_serve::server::{start_on, ServerConfig, ServerHandle};
+use lopc_serve::{predictions_identical, Client, ClusterClient};
+
+/// Bind `n` ephemeral listeners first, then start a node on each with the
+/// other `n-1` as peers — the only way every node can know the full member
+/// list before any of them exists.
+fn start_cluster(n: usize) -> Vec<ServerHandle> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    let addrs: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr").to_string())
+        .collect();
+    listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, listener)| {
+            let peers = addrs
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, a)| a.clone())
+                .collect();
+            start_on(
+                listener,
+                ServerConfig {
+                    workers: 2,
+                    peers,
+                    advertise: Some(addrs[i].clone()),
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("start node")
+        })
+        .collect()
+}
+
+/// A scenario population spread across variants and parameters — enough
+/// keys that a 3-node ring assigns every node some ownership with
+/// overwhelming probability.
+fn population() -> Vec<Scenario> {
+    let m32 = Machine::new(32, 25.0, 200.0).with_c2(0.0);
+    let m16 = Machine::new(16, 50.0, 131.0).with_c2(1.0);
+    let mut scenarios = Vec::new();
+    for i in 0..12 {
+        let w = 200.0 + 150.0 * i as f64;
+        scenarios.push(Scenario::AllToAll { machine: m32, w });
+        scenarios.push(Scenario::SharedMemory {
+            machine: m16,
+            w: w + 37.0,
+        });
+        scenarios.push(Scenario::ForkJoin {
+            machine: m32,
+            w: w + 11.0,
+            k: 1 + (i % 4) as u32,
+        });
+        scenarios.push(Scenario::ClientServer {
+            machine: m16,
+            w: w + 53.0,
+            ps: Some(1 + i % 8),
+        });
+    }
+    scenarios
+}
+
+#[test]
+fn every_node_publishes_the_same_topology() {
+    let nodes = start_cluster(3);
+    let mut rings = Vec::new();
+    for handle in &nodes {
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let doc = client
+            .request_json("GET", "/v1/cluster", b"")
+            .expect("topology");
+        let members: BTreeSet<String> = doc
+            .get("nodes")
+            .and_then(lopc_serve::Json::as_array)
+            .expect("nodes array")
+            .iter()
+            .map(|n| n.as_str().expect("node addr").to_owned())
+            .collect();
+        assert_eq!(members.len(), 3, "every node must list all 3 members");
+        assert!(
+            members.contains(doc.get("self").and_then(lopc_serve::Json::as_str).unwrap()),
+            "a node must be a member of its own ring"
+        );
+        rings.push(members);
+    }
+    assert!(
+        rings.windows(2).all(|w| w[0] == w[1]),
+        "all nodes must agree on the member set"
+    );
+    for handle in nodes {
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn killing_a_node_degrades_capacity_never_correctness() {
+    let mut nodes = start_cluster(3);
+    let scenarios = population();
+    let library: Vec<Prediction> = scenarios
+        .iter()
+        .map(|s| lopc::model::scenario::solve(s).expect("library solve"))
+        .collect();
+
+    let mut client = ClusterClient::connect(nodes[0].addr()).expect("cluster connect");
+    assert_eq!(client.members().len(), 3);
+
+    // The population must actually be sharded, or the kill below tests
+    // nothing.
+    let owners: BTreeSet<String> = scenarios
+        .iter()
+        .filter_map(|s| client.owner_of(s).map(str::to_owned))
+        .collect();
+    assert!(
+        owners.len() >= 2,
+        "population routes to only {owners:?} — ring is not spreading keys"
+    );
+
+    // Healthy cluster: singles and one batch, all bit-identical.
+    for (s, lib) in scenarios.iter().zip(&library) {
+        let served = client.predict(s).expect("predict via router");
+        assert!(
+            predictions_identical(&served, lib),
+            "{}: routed {served:?} != library {lib:?}",
+            s.kind()
+        );
+    }
+    let batch = client.predict_batch(&scenarios).expect("routed batch");
+    assert_eq!(batch.len(), library.len());
+    for (served, lib) in batch.iter().zip(&library) {
+        assert!(predictions_identical(served, lib));
+    }
+
+    // Kill the node that owns the first scenario — a target guaranteed to
+    // force rerouting, not a bystander.
+    let victim_addr = client
+        .owner_of(&scenarios[0])
+        .expect("first scenario has an owner")
+        .to_owned();
+    let victim = nodes
+        .iter()
+        .position(|h| h.addr().to_string() == victim_addr)
+        .expect("owner is one of the started nodes");
+    nodes.remove(victim).shutdown();
+
+    // Survivors must serve the *full* keyspace, still bit-identical: zero
+    // wrong answers, in singles and in the re-partitioned batch.
+    for (s, lib) in scenarios.iter().zip(&library) {
+        let served = client
+            .predict(s)
+            .expect("failover predict must reach a survivor");
+        assert!(
+            predictions_identical(&served, lib),
+            "{} after node kill: routed {served:?} != library {lib:?}",
+            s.kind()
+        );
+    }
+    let batch = client
+        .predict_batch(&scenarios)
+        .expect("failover batch must be re-partitioned onto survivors");
+    for (served, lib) in batch.iter().zip(&library) {
+        assert!(
+            predictions_identical(served, lib),
+            "batch after node kill drifted from the library"
+        );
+    }
+
+    for handle in nodes {
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn a_sweep_warmed_on_one_node_serves_warm_from_the_other() {
+    const TOL: f64 = 5e-2;
+    const POINTS: usize = 1000;
+    // The acceptance budget: the warm node may spend at most 15% of the
+    // one-solve-per-point cold bill.
+    const BUDGET: u64 = (POINTS as u64) * 15 / 100;
+
+    let nodes = start_cluster(2);
+    let machine = Machine::new(32, 25.0, 200.0).with_c2(0.0);
+    let sweep: Vec<Scenario> = (0..POINTS)
+        .map(|i| Scenario::AllToAll {
+            machine,
+            w: 500.0 + 1000.0 * i as f64 / (POINTS - 1) as f64,
+        })
+        .collect();
+    let library: Vec<Prediction> = sweep
+        .iter()
+        .map(|s| lopc::model::scenario::solve(s).expect("library solve"))
+        .collect();
+
+    // Warm node A through its public endpoint.
+    let mut a = Client::connect(nodes[0].addr()).expect("connect A");
+    for (s, lib) in sweep.iter().zip(&library) {
+        let p = a.predict_within(s, TOL).expect("warm predict on A");
+        let rel = ((p.r - lib.r) / lib.r).abs();
+        assert!(rel <= TOL, "A answered outside tolerance: rel={rel:.3e}");
+    }
+    let a_interp = nodes[0].service().interp();
+    assert!(
+        a_interp.cells_built() > 0,
+        "the sweep must build cells on A"
+    );
+    let a_solves = nodes[0].service().cache().misses();
+
+    // Node B serves the same sweep from A's shipped cells: pulled on miss
+    // (and possibly pushed by A's sweep prefetcher), each import paying
+    // one local spot-probe solve instead of a full cell build.
+    let mut b = Client::connect(nodes[1].addr()).expect("connect B");
+    for (s, lib) in sweep.iter().zip(&library) {
+        let p = b.predict_within(s, TOL).expect("warm predict on B");
+        let rel = ((p.r - lib.r) / lib.r).abs();
+        assert!(rel <= TOL, "B answered outside tolerance: rel={rel:.3e}");
+    }
+
+    let b_interp = nodes[1].service().interp();
+    assert!(
+        b_interp.cells_received() >= 1,
+        "B must have admitted at least one shipped cell"
+    );
+    assert_eq!(
+        b_interp.cells_rejected(),
+        0,
+        "honest peers' cells must all pass re-verification"
+    );
+    assert_eq!(a_interp.cells_rejected(), 0);
+
+    let b_solves = nodes[1].service().cache().misses();
+    assert!(
+        b_solves <= BUDGET,
+        "B spent {b_solves} exact solves, budget is {BUDGET} (15% of {POINTS})"
+    );
+    assert!(
+        b_solves < a_solves,
+        "warm-from-peer ({b_solves} solves) must be cheaper than the cold \
+         build ({a_solves} solves)"
+    );
+
+    // Exact mode through the warm node is still bit-identical — shipped
+    // cells only ever answer tolerant queries.
+    for (s, lib) in sweep.iter().zip(&library).step_by(100) {
+        let served = b.predict(s).expect("exact predict on warm B");
+        assert!(
+            predictions_identical(&served, lib),
+            "exact mode on a warm node drifted from the library"
+        );
+    }
+
+    for handle in nodes {
+        handle.shutdown();
+    }
+}

@@ -8,8 +8,8 @@
 //! cache returning the wrong bucket, a divergent dispatch) fails here.
 
 use lopc::prelude::*;
-use lopc_serve::server::{start, ServerConfig};
-use lopc_serve::{predictions_identical, Client};
+use lopc_serve::server::{start, start_on, ServerConfig};
+use lopc_serve::{predictions_identical, Client, ClusterClient};
 
 fn mixed_scenarios() -> Vec<Scenario> {
     let m32 = Machine::new(32, 25.0, 200.0).with_c2(0.0);
@@ -95,4 +95,76 @@ fn service_answers_equal_library_answers() {
         "the batch repeats must have been cache hits"
     );
     server.shutdown();
+}
+
+/// The same contract through the cluster tier: a 3-node ring behind the
+/// routing [`ClusterClient`] answers the same mixed population — singles
+/// routed lane by lane, the batch fanned out per owner and reassembled in
+/// order — bit-identically to direct library calls. Sharding must never
+/// show up in the numbers.
+#[test]
+fn cluster_routed_answers_equal_library_answers() {
+    let scenarios = mixed_scenarios();
+    let library: Vec<Prediction> = scenarios
+        .iter()
+        .map(|s| lopc::model::scenario::solve(s).expect("library solve"))
+        .collect();
+
+    // Bind all three listeners first, then start each node knowing the
+    // other two (ephemeral ports are only known after binding).
+    let listeners: Vec<std::net::TcpListener> = (0..3)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    let addrs: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr").to_string())
+        .collect();
+    let nodes: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, listener)| {
+            let peers = addrs
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, a)| a.clone())
+                .collect();
+            start_on(
+                listener,
+                ServerConfig {
+                    workers: 2,
+                    peers,
+                    advertise: Some(addrs[i].clone()),
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("start node")
+        })
+        .collect();
+
+    let mut client = ClusterClient::connect(nodes[0].addr()).expect("cluster connect");
+    assert_eq!(client.members().len(), 3, "topology must list all nodes");
+
+    for (s, lib) in scenarios.iter().zip(&library) {
+        let served = client.predict(s).expect("routed predict");
+        assert!(
+            predictions_identical(&served, lib),
+            "{}: routed {served:?} != library {lib:?}",
+            s.kind()
+        );
+    }
+
+    let batch = client.predict_batch(&scenarios).expect("routed batch");
+    assert_eq!(batch.len(), library.len());
+    for ((s, lib), served) in scenarios.iter().zip(&library).zip(&batch) {
+        assert!(
+            predictions_identical(served, lib),
+            "routed batch {}: served {served:?} != library {lib:?}",
+            s.kind()
+        );
+    }
+
+    for handle in nodes {
+        handle.shutdown();
+    }
 }
