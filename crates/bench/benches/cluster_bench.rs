@@ -105,7 +105,7 @@ fn bench(c: &mut Criterion) {
     // exactly the keys the ring assigns it).
     let cluster = start_cluster(3);
     {
-        let mut router = ClusterClient::connect(cluster[0].addr()).expect("router");
+        let router = ClusterClient::connect(cluster[0].addr()).expect("router");
         let served = router.predict_batch(&scenarios).expect("warm-up");
         assert_eq!(served.len(), scenarios.len());
         // Routed warm answers must equal the single node's, bit for bit.
@@ -119,15 +119,19 @@ fn bench(c: &mut Criterion) {
         }
     }
 
+    // Sub-millisecond iterations on a shared box: the ratio below divides
+    // two separately-timed benches, so each needs enough samples for its
+    // best-of-N to reach the load-free floor — otherwise scheduler noise
+    // lands asymmetrically and the ratio jumps run to run.
     let mut g = c.benchmark_group("cluster_batch");
-    g.sample_size(10);
+    g.sample_size(40);
     g.throughput(Throughput::Elements(n));
     g.bench_function("single_node_warm", |b| {
         let mut client = Client::connect(single.addr()).expect("connect");
         b.iter(|| black_box(client.predict_batch(&scenarios).expect("batch").len()))
     });
     g.bench_function("three_node_warm", |b| {
-        let mut router = ClusterClient::connect(cluster[0].addr()).expect("router");
+        let router = ClusterClient::connect(cluster[0].addr()).expect("router");
         b.iter(|| black_box(router.predict_batch(&scenarios).expect("batch").len()))
     });
     g.finish();
@@ -137,7 +141,7 @@ fn bench(c: &mut Criterion) {
     g.throughput(Throughput::Elements(1));
     let cursor = AtomicU64::new(0);
     g.bench_function("three_node_warm", |b| {
-        let mut router = ClusterClient::connect(cluster[0].addr()).expect("router");
+        let router = ClusterClient::connect(cluster[0].addr()).expect("router");
         b.iter(|| {
             let i = cursor.fetch_add(1, Ordering::Relaxed) as usize % scenarios.len();
             black_box(router.predict(&scenarios[i]).expect("predict").r)
@@ -173,6 +177,13 @@ fn bench(c: &mut Criterion) {
         println!(
             "[cluster] warm batch throughput: single node {single_rps:.0}/s, \
              3-node routed {three_rps:.0}/s ({:.2}x)",
+            three_rps / single_rps
+        );
+        // Machine-readable line for the CI regression gate (a plain awk
+        // threshold): the concurrent pipelined wave keeps this near 0.9 on
+        // a one-core runner; the old sequential fan-out sat at 0.75.
+        println!(
+            "[cluster] three_node_over_single_ratio {:.4}",
             three_rps / single_rps
         );
     }

@@ -55,60 +55,82 @@ pub fn quantize(x: f64) -> f64 {
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CacheKey(Box<[u64]>);
 
+/// Feed every word of a scenario's quantized key — variant tag, machine
+/// parameters, then the variant's own parameters — to `emit`, in the
+/// order [`CacheKey::of`] stores them. The single source of truth for the
+/// key layout: materialising a key and the allocation-free routing hash
+/// ([`CacheKey::hash_of`]) both walk through here, so they can never
+/// disagree.
+fn key_words(scenario: &Scenario, mut emit: impl FnMut(u64)) {
+    /// Quantized bit pattern of one parameter.
+    fn q(x: f64) -> u64 {
+        quantize(x).to_bits()
+    }
+    fn machine_words(emit: &mut impl FnMut(u64), m: &lopc_core::Machine) {
+        emit(m.p as u64);
+        emit(q(m.s_l));
+        emit(q(m.s_o));
+        emit(q(m.c2));
+    }
+    match scenario {
+        Scenario::AllToAll { machine, w } => {
+            emit(0);
+            machine_words(&mut emit, machine);
+            emit(q(*w));
+        }
+        Scenario::ClientServer { machine, w, ps } => {
+            emit(1);
+            machine_words(&mut emit, machine);
+            emit(q(*w));
+            emit(ps.map_or(u64::MAX, |ps| ps as u64));
+        }
+        Scenario::ForkJoin { machine, w, k } => {
+            emit(2);
+            machine_words(&mut emit, machine);
+            emit(q(*w));
+            emit(*k as u64);
+        }
+        Scenario::General(model) => {
+            emit(3);
+            machine_words(&mut emit, &model.machine);
+            emit(model.protocol_processor as u64);
+            for w in &model.w {
+                match w {
+                    None => emit(u64::MAX),
+                    Some(w) => emit(q(*w)),
+                }
+            }
+            for row in &model.v {
+                for &x in row {
+                    emit(q(x));
+                }
+            }
+        }
+        Scenario::SharedMemory { machine, w } => {
+            emit(4);
+            machine_words(&mut emit, machine);
+            emit(q(*w));
+        }
+    }
+}
+
+/// One FNV-1a step over a key word.
+fn fnv_word(h: u64, w: u64) -> u64 {
+    let mut h = h;
+    for b in w.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
 impl CacheKey {
     /// Derive the key for one scenario.
     pub fn of(scenario: &Scenario) -> Self {
-        /// Quantized bit pattern of one parameter.
-        fn q(x: f64) -> u64 {
-            quantize(x).to_bits()
-        }
-        fn machine_words(words: &mut Vec<u64>, m: &lopc_core::Machine) {
-            words.push(m.p as u64);
-            words.push(q(m.s_l));
-            words.push(q(m.s_o));
-            words.push(q(m.c2));
-        }
         let mut words: Vec<u64> = Vec::with_capacity(8);
-        match scenario {
-            Scenario::AllToAll { machine, w } => {
-                words.push(0);
-                machine_words(&mut words, machine);
-                words.push(q(*w));
-            }
-            Scenario::ClientServer { machine, w, ps } => {
-                words.push(1);
-                machine_words(&mut words, machine);
-                words.push(q(*w));
-                words.push(ps.map_or(u64::MAX, |ps| ps as u64));
-            }
-            Scenario::ForkJoin { machine, w, k } => {
-                words.push(2);
-                machine_words(&mut words, machine);
-                words.push(q(*w));
-                words.push(*k as u64);
-            }
-            Scenario::General(model) => {
-                words.push(3);
-                machine_words(&mut words, &model.machine);
-                words.push(model.protocol_processor as u64);
-                for w in &model.w {
-                    match w {
-                        None => words.push(u64::MAX),
-                        Some(w) => words.push(q(*w)),
-                    }
-                }
-                for row in &model.v {
-                    for &x in row {
-                        words.push(q(x));
-                    }
-                }
-            }
-            Scenario::SharedMemory { machine, w } => {
-                words.push(4);
-                machine_words(&mut words, machine);
-                words.push(q(*w));
-            }
-        }
+        key_words(scenario, |w| words.push(w));
         CacheKey(words.into_boxed_slice())
     }
 
@@ -118,13 +140,16 @@ impl CacheKey {
     /// the consistent-hash ring, so this function is part of the cluster
     /// wire contract (DESIGN.md §15).
     pub fn hash64(&self) -> u64 {
-        let mut h: u64 = 0xcbf29ce484222325;
-        for &w in self.0.iter() {
-            for b in w.to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x100000001b3);
-            }
-        }
+        self.0.iter().fold(FNV_OFFSET, |h, &w| fnv_word(h, w))
+    }
+
+    /// `CacheKey::of(scenario).hash64()` without materialising the key:
+    /// the routing client hashes every lane of every batch, and the
+    /// per-lane allocation is the only part of that cost that isn't
+    /// inherent.
+    pub fn hash_of(scenario: &Scenario) -> u64 {
+        let mut h = FNV_OFFSET;
+        key_words(scenario, |w| h = fnv_word(h, w));
         h
     }
 }
@@ -436,6 +461,46 @@ mod tests {
             quantize(9e-310).to_bits(),
             "distinct subnormal-range values must keep distinct keys"
         );
+    }
+
+    #[test]
+    fn hash_of_matches_materialised_key_for_every_variant() {
+        // `hash_of` is the routing hash (cluster wire contract): it must
+        // equal hashing the materialised key, variant by variant.
+        let variants = [
+            a2a(1000.0),
+            Scenario::ClientServer {
+                machine: machine(),
+                w: 700.0,
+                ps: Some(3),
+            },
+            Scenario::ClientServer {
+                machine: machine(),
+                w: 700.0,
+                ps: None,
+            },
+            Scenario::ForkJoin {
+                machine: machine(),
+                w: 2000.0,
+                k: 4,
+            },
+            Scenario::General(lopc_core::GeneralModel::client_server(machine(), 700.0, 3)),
+            Scenario::General(
+                lopc_core::GeneralModel::multi_hop(machine(), 300.0, 2).with_protocol_processor(),
+            ),
+            Scenario::SharedMemory {
+                machine: machine(),
+                w: 500.0,
+            },
+        ];
+        for s in &variants {
+            assert_eq!(
+                CacheKey::hash_of(s),
+                CacheKey::of(s).hash64(),
+                "hash_of diverged for {}",
+                s.kind()
+            );
+        }
     }
 
     #[test]

@@ -220,12 +220,48 @@ pub struct Client {
 }
 
 /// How far a single attempt got before failing — decides retry safety.
-enum AttemptError {
+/// Crate-visible because the cluster router's pipelined wave applies the
+/// same never-replay-after-a-response-byte gate per connection.
+pub(crate) enum AttemptError {
     /// Nothing of the response was consumed; the request may be replayed.
     BeforeResponse(ClientError),
     /// Response bytes were consumed (or the response itself was the
     /// failure): never replay.
     AfterResponse(ClientError),
+}
+
+/// The wire body of a batch request over borrowed lanes.
+pub(crate) fn batch_request_body(scenarios: &[&Scenario], max_rel_err: f64) -> String {
+    with_tolerance(
+        Json::Object(vec![(
+            "scenarios".into(),
+            Json::Array(scenarios.iter().map(|s| scenario_to_json(s)).collect()),
+        )]),
+        max_rel_err,
+    )
+    .to_compact()
+}
+
+/// Decode a batch response: non-2xx becomes [`ClientError::Status`], a
+/// 2xx must carry the `"predictions"` array.
+pub(crate) fn batch_predictions_from_response(
+    status: u16,
+    body: Vec<u8>,
+) -> Result<Vec<Prediction>, ClientError> {
+    let text = String::from_utf8(body)
+        .map_err(|_| ClientError::Protocol("response body is not UTF-8".into()))?;
+    if !(200..300).contains(&status) {
+        return Err(ClientError::Status(status, text));
+    }
+    let doc = parse(&text).map_err(ClientError::Protocol)?;
+    let items = doc
+        .get("predictions")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ClientError::Protocol("missing \"predictions\" array".into()))?;
+    items
+        .iter()
+        .map(|v| prediction_from_json(v).map_err(|e| ClientError::Protocol(e.to_string())))
+        .collect()
 }
 
 impl Client {
@@ -319,7 +355,88 @@ impl Client {
         }
         let resp =
             read_response(&mut conn.reader).map_err(|e| AttemptError::AfterResponse(e.into()))?;
+        if !resp.keep_alive {
+            // The server declared this connection over (`connection:
+            // close`); keeping it pooled would make the next request hit
+            // the stale keep-alive race deterministically.
+            self.conn = None;
+        }
         Ok((resp.status, resp.body))
+    }
+
+    /// Pipelining, send half: write one request on the current connection
+    /// (dialing it first if needed) *without* waiting for the response.
+    /// The cluster router uses this to put every per-owner sub-batch in
+    /// flight before reading any reply — the servers overlap their work
+    /// while the client is still writing. Must be paired with
+    /// [`Client::pipeline_recv`]; interleaving other requests in between
+    /// would desynchronize the connection.
+    pub(crate) fn pipeline_send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<(), ClientError> {
+        if self.conn.is_none() {
+            self.conn = Some(Conn::dial(self.addr, &self.config)?);
+        }
+        let conn = self.conn.as_mut().expect("connection just dialed");
+        let wrote = (|| {
+            write!(
+                conn.writer,
+                "{method} {path} HTTP/1.1\r\nhost: lopc-serve\r\ncontent-length: {}\r\n\r\n",
+                body.len()
+            )?;
+            conn.writer.write_all(body)?;
+            conn.writer.flush()
+        })();
+        if let Err(e) = wrote {
+            self.conn = None;
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// Pipelining, receive half: block for the response to the oldest
+    /// un-answered [`Client::pipeline_send`]. The retry-safety split is
+    /// the caller's to honor: a [`AttemptError::BeforeResponse`] failure
+    /// consumed nothing and a retryable one may be replayed on a fresh
+    /// connection (the stale keep-alive race); an
+    /// [`AttemptError::AfterResponse`] failure must surface.
+    pub(crate) fn pipeline_recv(&mut self) -> Result<(u16, Vec<u8>), AttemptError> {
+        let before = AttemptError::BeforeResponse;
+        let Some(conn) = self.conn.as_mut() else {
+            return Err(before(ClientError::Io(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "no connection to receive on",
+            ))));
+        };
+        match conn.reader.fill_buf() {
+            Ok([]) => {
+                self.conn = None;
+                return Err(before(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection before responding",
+                ))));
+            }
+            Ok(_) => {}
+            Err(e) => {
+                self.conn = None;
+                return Err(before(e.into()));
+            }
+        }
+        match read_response(&mut conn.reader) {
+            Ok(resp) => {
+                if !resp.keep_alive {
+                    self.conn = None;
+                }
+                Ok((resp.status, resp.body))
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(AttemptError::AfterResponse(e.into()))
+            }
+        }
     }
 
     /// Issue one request and parse the JSON body; non-2xx becomes
@@ -371,23 +488,22 @@ impl Client {
         scenarios: &[Scenario],
         max_rel_err: f64,
     ) -> Result<Vec<Prediction>, ClientError> {
-        let body = with_tolerance(
-            Json::Object(vec![(
-                "scenarios".into(),
-                Json::Array(scenarios.iter().map(scenario_to_json).collect()),
-            )]),
-            max_rel_err,
-        )
-        .to_compact();
-        let doc = self.request_json("POST", "/v1/predict/batch", body.as_bytes())?;
-        let items = doc
-            .get("predictions")
-            .and_then(Json::as_array)
-            .ok_or_else(|| ClientError::Protocol("missing \"predictions\" array".into()))?;
-        items
-            .iter()
-            .map(|v| prediction_from_json(v).map_err(|e| ClientError::Protocol(e.to_string())))
-            .collect()
+        let refs: Vec<&Scenario> = scenarios.iter().collect();
+        self.predict_batch_refs(&refs, max_rel_err)
+    }
+
+    /// [`Client::predict_batch_within`] over borrowed lanes. The cluster
+    /// router partitions one caller batch into per-owner sub-batches; this
+    /// signature lets it ship each sub-batch without cloning a single
+    /// `Scenario` on the hot path.
+    pub fn predict_batch_refs(
+        &mut self,
+        scenarios: &[&Scenario],
+        max_rel_err: f64,
+    ) -> Result<Vec<Prediction>, ClientError> {
+        let body = batch_request_body(scenarios, max_rel_err);
+        let (status, body) = self.request("POST", "/v1/predict/batch", body.as_bytes())?;
+        batch_predictions_from_response(status, body)
     }
 
     /// Bound how long [`Client::wait_for_eof`] (or any read) blocks.

@@ -436,6 +436,11 @@ pub struct Response {
     pub status: u16,
     /// Body bytes.
     pub body: Vec<u8>,
+    /// May the connection carry another request? `connection: close`
+    /// clears it; HTTP/1.1 defaults to keep-alive. A pooled client must
+    /// check this out before reusing the connection — replaying onto a
+    /// half-closed socket is the stale keep-alive race.
+    pub keep_alive: bool,
 }
 
 /// Read one response (client side).
@@ -453,6 +458,7 @@ pub fn read_response(r: &mut impl BufRead) -> Result<Response, HttpError> {
         _ => return bad(format!("malformed status line {status_line:?}")),
     };
     let mut content_length = None;
+    let mut keep_alive = true;
     loop {
         let line = match read_line(r, &mut budget)? {
             None => return bad("connection closed inside headers"),
@@ -469,6 +475,8 @@ pub fn read_response(r: &mut impl BufRead) -> Result<Response, HttpError> {
                         .parse::<usize>()
                         .map_err(|_| HttpError::Bad(format!("bad content-length {value:?}")))?,
                 );
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = !value.trim().eq_ignore_ascii_case("close");
             }
         }
     }
@@ -481,7 +489,11 @@ pub fn read_response(r: &mut impl BufRead) -> Result<Response, HttpError> {
     }
     let mut body = vec![0u8; len];
     r.read_exact(&mut body).map_err(body_read_error)?;
-    Ok(Response { status, body })
+    Ok(Response {
+        status,
+        body,
+        keep_alive,
+    })
 }
 
 #[cfg(test)]
@@ -600,10 +612,35 @@ mod tests {
         let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body, b"{\"ok\":true}");
+        assert!(
+            resp.keep_alive,
+            "keep-alive response must check out reusable"
+        );
         let text = String::from_utf8(wire).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("content-length: 11\r\n"));
         assert!(text.contains("connection: keep-alive\r\n"));
+    }
+
+    #[test]
+    fn response_connection_close_checks_out_not_reusable() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 200, "application/json", "{}", false).unwrap();
+        let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert!(!resp.keep_alive, "connection: close must fail the checkout");
+        // Case-insensitive, whitespace-tolerant; absence defaults to reuse.
+        let close = b"HTTP/1.1 200 OK\r\nConnection:  CLOSE \r\ncontent-length: 0\r\n\r\n";
+        assert!(
+            !read_response(&mut BufReader::new(&close[..]))
+                .unwrap()
+                .keep_alive
+        );
+        let bare = b"HTTP/1.1 200 OK\r\ncontent-length: 0\r\n\r\n";
+        assert!(
+            read_response(&mut BufReader::new(&bare[..]))
+                .unwrap()
+                .keep_alive
+        );
     }
 
     #[test]

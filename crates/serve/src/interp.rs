@@ -245,6 +245,17 @@ pub trait CellSource: Send + Sync {
     /// **unverified** — the cache re-verifies before admitting.
     fn fetch(&self, wire_key: &str, key_hash: u64) -> Option<CellExport>;
 
+    /// A *speculative* pull, issued by the sweep prefetcher ahead of
+    /// demand: unlike a miss (where the ring owner almost always has the
+    /// cell, so a preference-ordered walk stops at the first peer), a
+    /// prefetch cannot know which peer warmed ahead, and it runs inline in
+    /// a serving request — implementations should ask all peers in one
+    /// concurrent wave rather than serially. Defaults to [`Self::fetch`]
+    /// for sources with no cheaper wave.
+    fn fetch_speculative(&self, wire_key: &str, key_hash: u64) -> Option<CellExport> {
+        self.fetch(wire_key, key_hash)
+    }
+
     /// A sweep prefetch built `export` locally: offer it to peers
     /// (best-effort push; failures are the receiver's problem).
     fn offer(&self, export: &CellExport);
@@ -761,7 +772,9 @@ impl InterpCache {
             // verification is simply ignored here — a speculative
             // prefetch is no verdict on the key — and built honestly.
             if let Some(source) = self.source.get() {
-                if let Some(export) = source.fetch(&next_key.to_wire(), next_key.hash64()) {
+                if let Some(export) =
+                    source.fetch_speculative(&next_key.to_wire(), next_key.hash64())
+                {
                     if let Ok(cell) = self.verify_export(&next_key, &export) {
                         pulled = true;
                         self.cells_received.fetch_add(1, Ordering::Relaxed);

@@ -206,6 +206,13 @@ impl Metrics {
         self.reactor_events.fetch_add(events, Ordering::Relaxed);
     }
 
+    /// Connections accepted since start (counter). Tests assert on this to
+    /// prove a client's connection pool reuses its warm connection instead
+    /// of redialing per request.
+    pub fn opened_connections_total(&self) -> u64 {
+        self.conns_opened.load(Ordering::Relaxed)
+    }
+
     /// Connections currently open (gauge).
     pub fn open_connections(&self) -> u64 {
         self.conns_opened

@@ -11,8 +11,8 @@
 //!   **inline** — one thread wakeup per request, exactly the hand-off
 //!   count of the old thread-per-connection core (see [`offload`]).
 //! * **workers** block only on the [`JobQueue`] condvar and receive the
-//!   solver-heavy jobs (batch predictions), so an unbounded scenario sweep
-//!   never stalls the event loop. The worker writes the response bytes
+//!   solver-heavy jobs (large or tolerant batch predictions), so an
+//!   unbounded scenario sweep never stalls the event loop. The worker writes the response bytes
 //!   straight to the (non-blocking) socket — keeping the reactor off the
 //!   response latency path — and posts a [`Completion`] back through the
 //!   [`EventFd`] doorbell so the reactor re-arms the connection (or
@@ -77,10 +77,24 @@ pub(crate) struct Job {
     pub request: Request,
 }
 
+/// Batch bodies at or under this size may run inline on the reactor
+/// (see [`offload`]). ~3 KB is roughly 30 closed-form lanes — a couple
+/// hundred microseconds even when every lane is a cold solve, comparable
+/// to serving a handful of inline singles. The routed sub-batches a
+/// [`ClusterClient`](crate::cluster::ClusterClient) fans out land well
+/// under this; saving their hand-offs is what keeps a pipelined
+/// multi-node wave competitive with one big single-node batch.
+const INLINE_BATCH_MAX_BODY: usize = 3 * 1024;
+
 /// Should this request travel to the worker pool instead of running
 /// inline on the reactor? Requests whose handler cost is unbounded:
 ///
-/// * batch predictions — a full scenario sweep of cold solves;
+/// * batch predictions that are *large* (over [`INLINE_BATCH_MAX_BODY`]:
+///   a full scenario sweep of cold solves), *tolerant* (a cell miss may
+///   fetch from a peer over the network), or contain a *general* model
+///   (an arbitrarily sized Appendix-A AMVA). Small exact closed-form
+///   batches are bounded — each lane is a microseconds fixed-point
+///   solve — and run inline;
 /// * tolerant single predictions (`max_rel_err` in the body) — a cell
 ///   miss may *fetch from a peer over the network* and re-verify with a
 ///   local solve (DESIGN.md §15);
@@ -92,9 +106,33 @@ pub(crate) struct Job {
 /// metrics, topology — is microseconds even on a cache miss, and
 /// answering it inline saves two thread hand-offs per request.
 fn offload(request: &Request) -> bool {
-    request.path == "/v1/predict/batch"
-        || request.path.starts_with("/v1/cell/")
+    if request.path == "/v1/predict/batch" {
+        return request.body.len() > INLINE_BATCH_MAX_BODY
+            || batch_body_forces_offload(&request.body);
+    }
+    request.path.starts_with("/v1/cell/")
         || (request.path == "/v1/predict" && memmem(&request.body, b"max_rel_err"))
+}
+
+/// Does a small batch body carry a token that forces worker offload —
+/// `max_rel_err` (tolerant lanes can fetch cells over the network) or
+/// `general` (an Appendix-A model of arbitrary size)? One pass with
+/// first-byte dispatch: this runs on the reactor for every batch under
+/// the inline cap, and two naive [`memmem`] passes over a few KB would
+/// cost a measurable slice of the hand-off they avoid. A false positive
+/// (the token in some future free-form field) merely offloads; misses
+/// are impossible because the wire keys are literal.
+fn batch_body_forces_offload(body: &[u8]) -> bool {
+    let mut rest = body;
+    while let Some(&byte) = rest.first() {
+        match byte {
+            b'm' if rest.starts_with(b"max_rel_err") => return true,
+            b'g' if rest.starts_with(b"general") => return true,
+            _ => {}
+        }
+        rest = &rest[1..];
+    }
+    false
 }
 
 /// Naive substring search (the bodies are small and the needle is fixed;

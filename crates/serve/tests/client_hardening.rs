@@ -17,8 +17,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lopc_core::{Machine, Scenario};
-use lopc_serve::server::{start, ServerConfig};
-use lopc_serve::{Client, ClientConfig, ClientError, RetryPolicy};
+use lopc_serve::server::{start, start_on, ServerConfig};
+use lopc_serve::{Client, ClientConfig, ClientError, ClusterClient, RetryPolicy};
 
 fn scenario() -> Scenario {
     Scenario::AllToAll {
@@ -205,6 +205,142 @@ fn never_retries_after_a_partial_response() {
         1,
         "a partially consumed response must never be replayed"
     );
+}
+
+/// The router keeps one warm keep-alive connection per node: a burst of
+/// routed batches must ride that pooled connection, never redial per
+/// sub-batch. The server's accept counter is the witness — one accept for
+/// the topology fetch, one for the pooled route connection, and not a
+/// single one more across ten batches.
+#[test]
+fn routed_batches_reuse_the_pooled_connection() {
+    let server = start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let router = ClusterClient::connect(server.addr()).expect("router");
+    let scenarios: Vec<Scenario> = (0..16)
+        .map(|i| Scenario::AllToAll {
+            machine: Machine::new(32, 25.0, 200.0).with_c2(0.0),
+            w: 100.0 * (i + 1) as f64,
+        })
+        .collect();
+    for _ in 0..10 {
+        router.predict_batch(&scenarios).expect("routed batch");
+    }
+    let opened = server.service().metrics().opened_connections_total();
+    assert_eq!(
+        opened, 2,
+        "ten routed batches opened {opened} connections — expected exactly \
+         the topology fetch plus one pooled route connection"
+    );
+    server.shutdown();
+}
+
+/// Half-open re-probe is single-flight: when a dead member's cooldown
+/// expires, exactly one request across every concurrent caller dials it;
+/// the rest fail over to the survivors without waiting. A door-slamming
+/// dead node counts its accepts — with four threads hammering the router
+/// for many cooldown windows, the count stays at "one probe per window",
+/// not "every in-flight request at every expiry" (the thundering herd this
+/// test pins down).
+#[test]
+fn half_open_reprobe_is_single_flight_under_contention() {
+    // The dead member: accepts and instantly hangs up, counting dials.
+    let dead_listener = TcpListener::bind("127.0.0.1:0").expect("bind dead");
+    let dead_addr = dead_listener.local_addr().expect("addr").to_string();
+    let accepts = Arc::new(AtomicU32::new(0));
+    let counter = Arc::clone(&accepts);
+    std::thread::spawn(move || {
+        for _ in 0..4096 {
+            match dead_listener.accept() {
+                Ok((stream, _)) => {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    drop(stream);
+                }
+                Err(_) => break,
+            }
+        }
+    });
+
+    // Two live nodes whose topology includes the dead member.
+    let listeners: Vec<TcpListener> = (0..2)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    let addrs: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr").to_string())
+        .collect();
+    let nodes: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, listener)| {
+            let peers = vec![addrs[1 - i].clone(), dead_addr.clone()];
+            start_on(
+                listener,
+                ServerConfig {
+                    workers: 2,
+                    peers,
+                    advertise: Some(addrs[i].clone()),
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("start node")
+        })
+        .collect();
+
+    let config = ClientConfig {
+        retry: RetryPolicy::none(),
+        ..ClientConfig::default()
+    };
+    let seed = nodes[0].addr();
+    let mut router = ClusterClient::connect_with(seed, config).expect("router");
+    let cooldown = Duration::from_millis(50);
+    router.set_cooldown(cooldown);
+    let router = Arc::new(router);
+
+    // Hammer from four threads across a parameter spread wide enough that
+    // plenty of lanes are owned by the dead member.
+    let deadline = Instant::now() + Duration::from_millis(400);
+    let workers: Vec<_> = (0..4)
+        .map(|t| {
+            let router = Arc::clone(&router);
+            std::thread::spawn(move || {
+                let mut served = 0u32;
+                while Instant::now() < deadline {
+                    for i in 0..8 {
+                        let s = Scenario::AllToAll {
+                            machine: Machine::new(32, 25.0, 200.0).with_c2(0.0),
+                            w: 100.0 * (t * 8 + i + 1) as f64,
+                        };
+                        router
+                            .predict(&s)
+                            .expect("failover must absorb the dead member");
+                        served += 1;
+                    }
+                }
+                served
+            })
+        })
+        .collect();
+    let served: u32 = workers.into_iter().map(|h| h.join().expect("worker")).sum();
+
+    let dials = accepts.load(Ordering::SeqCst);
+    // First contact may race every thread (the member starts out "up");
+    // after that, each ~50ms window admits exactly one probe. 400ms of
+    // hammering is ~8 windows — allow generous scheduling slop, but stay
+    // far below the hundreds a per-request herd would produce.
+    assert!(dials >= 1, "the dead member was never probed");
+    assert!(
+        dials <= 30,
+        "{dials} dials of the dead member in ~8 cooldown windows — \
+         half-open re-probe is stampeding instead of single-flight"
+    );
+    assert!(served > 0, "hammer threads never completed a request");
+    for n in nodes {
+        n.shutdown();
+    }
 }
 
 /// Error statuses are answers, not failures: they must not be retried

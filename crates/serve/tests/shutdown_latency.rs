@@ -111,7 +111,17 @@ fn shutdown_races_batch_dispatch_without_hanging() {
     // reactor spinning on an in-flight count that could never reach zero.
     // The window is microseconds wide, so hammer the interleaving.
     use std::io::Write;
-    let body = r#"{"scenarios":[{"kind":"all_to_all","machine":{"p":32,"st":25.0,"so":200.0,"c2":0.0},"w":77.0}]}"#;
+    // Enough lanes to exceed the reactor's inline-batch cap: the race under
+    // test only exists for batches that travel to the worker pool.
+    let lanes: Vec<String> = (0..64)
+        .map(|i| {
+            format!(
+                r#"{{"kind":"all_to_all","machine":{{"p":32,"st":25.0,"so":200.0,"c2":0.0}},"w":{}.0}}"#,
+                77 + i
+            )
+        })
+        .collect();
+    let body = format!(r#"{{"scenarios":[{}]}}"#, lanes.join(","));
     let request = format!(
         "POST /v1/predict/batch HTTP/1.1\r\nhost: x\r\ncontent-length: {}\r\n\r\n{}",
         body.len(),

@@ -125,7 +125,7 @@ fn killing_a_node_degrades_capacity_never_correctness() {
         .map(|s| lopc::model::scenario::solve(s).expect("library solve"))
         .collect();
 
-    let mut client = ClusterClient::connect(nodes[0].addr()).expect("cluster connect");
+    let client = ClusterClient::connect(nodes[0].addr()).expect("cluster connect");
     assert_eq!(client.members().len(), 3);
 
     // The population must actually be sharded, or the kill below tests
@@ -190,6 +190,108 @@ fn killing_a_node_degrades_capacity_never_correctness() {
 
     for handle in nodes {
         handle.shutdown();
+    }
+}
+
+/// Kill an owner *while batches are in flight*: a background thread takes
+/// a node down mid-hammer, so some wave catches the exact moment its
+/// sub-batch's target dies. Every batch must still come back complete and
+/// bit-identical to the library — the failed sub-batch re-partitions onto
+/// ring survivors, no lane is dropped, none is answered twice (the router
+/// turns a double answer into a hard protocol error, so a plain `Ok` here
+/// really is the single-assignment proof).
+#[test]
+fn killing_an_owner_mid_wave_loses_no_batch() {
+    let mut nodes = start_cluster(3);
+    let scenarios = population();
+    let library: Vec<Prediction> = scenarios
+        .iter()
+        .map(|s| lopc::model::scenario::solve(s).expect("library solve"))
+        .collect();
+
+    let client = ClusterClient::connect(nodes[0].addr()).expect("cluster connect");
+    client.predict_batch(&scenarios).expect("warm-up batch");
+
+    // The victim owns the first scenario, so every wave keeps targeting
+    // it until the moment it dies (the seed has no special role after
+    // topology discovery — any owner works).
+    let victim_addr = client
+        .owner_of(&scenarios[0])
+        .expect("first scenario has an owner")
+        .to_owned();
+    let victim = nodes
+        .iter()
+        .position(|h| h.addr().to_string() == victim_addr)
+        .expect("owner is one of the started nodes");
+    let victim = nodes.remove(victim);
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    let killer = std::thread::spawn(move || {
+        // Let a few waves land against the full ring first.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        victim.shutdown();
+        let _ = tx.send(());
+    });
+
+    let mut saw_kill = false;
+    for round in 0..200 {
+        let batch = client
+            .predict_batch(&scenarios)
+            .unwrap_or_else(|e| panic!("batch round {round} failed mid-kill: {e}"));
+        assert_eq!(batch.len(), library.len(), "round {round} lost lanes");
+        for (served, lib) in batch.iter().zip(&library) {
+            assert!(
+                predictions_identical(served, lib),
+                "round {round}: mid-kill batch drifted from the library"
+            );
+        }
+        if !saw_kill && rx.try_recv().is_ok() {
+            saw_kill = true;
+        }
+        // Keep hammering a little past the kill so post-kill waves (dead
+        // pooled connection, re-partition path) are exercised too.
+        if saw_kill && round >= 50 {
+            break;
+        }
+    }
+    killer.join().expect("killer thread");
+    assert!(saw_kill, "the victim was never observed to die mid-hammer");
+
+    for handle in nodes {
+        handle.shutdown();
+    }
+}
+
+/// With every member dead, routed calls must surface a transport error —
+/// promptly, with no panic and no partial result. (The router's forced
+/// re-probe of ring owners means a later call would heal if a node came
+/// back; here nothing does, so every round must keep erroring.)
+#[test]
+fn all_owners_down_surfaces_a_transport_error() {
+    let nodes = start_cluster(3);
+    let scenarios = population();
+    let client = ClusterClient::connect(nodes[0].addr()).expect("cluster connect");
+    client.predict_batch(&scenarios).expect("warm-up batch");
+
+    for handle in nodes {
+        handle.shutdown();
+    }
+
+    for round in 0..3 {
+        let err = client
+            .predict_batch(&scenarios)
+            .expect_err("a fully-dead cluster must fail the batch");
+        assert!(
+            matches!(err, lopc_serve::ClientError::Io(_)),
+            "round {round}: expected a transport error, got: {err}"
+        );
+        let err = client
+            .predict(&scenarios[0])
+            .expect_err("a fully-dead cluster must fail singles too");
+        assert!(
+            matches!(err, lopc_serve::ClientError::Io(_)),
+            "round {round}: expected a transport error, got: {err}"
+        );
     }
 }
 

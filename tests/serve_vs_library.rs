@@ -142,7 +142,7 @@ fn cluster_routed_answers_equal_library_answers() {
         })
         .collect();
 
-    let mut client = ClusterClient::connect(nodes[0].addr()).expect("cluster connect");
+    let client = ClusterClient::connect(nodes[0].addr()).expect("cluster connect");
     assert_eq!(client.members().len(), 3, "topology must list all nodes");
 
     for (s, lib) in scenarios.iter().zip(&library) {
